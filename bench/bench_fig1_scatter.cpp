@@ -1,0 +1,103 @@
+// Reproduces Figure 1: prediction vs ground-truth scatter on 7nm test
+// data, (a) trained on limited 7nm data only (DAC23-AdvOnly) vs
+// (b) trained on both 7nm and 130nm data with the proposed method.
+//
+// Prints an ASCII scatter (log-log) per model plus the R^2 and the raw
+// (truth, prediction) series needed to regenerate the plot.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+struct Series {
+  std::vector<float> truth;  // ps
+  std::vector<float> pred;   // ps
+};
+
+void printScatter(const char* title, const Series& s, double r2) {
+  constexpr int kW = 56, kH = 18;
+  float lo = 1e30f, hi = -1e30f;
+  for (const float v : s.truth) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float logLo = std::log10(std::max(lo * 0.8f, 1.0f));
+  const float logHi = std::log10(hi * 1.2f);
+  std::vector<std::string> canvas(kH, std::string(kW, ' '));
+  auto plot = [&](float x, float y, char glyph) {
+    const int cx = static_cast<int>((std::log10(std::max(x, 1.0f)) - logLo) /
+                                    (logHi - logLo) * (kW - 1));
+    const int cy = static_cast<int>((std::log10(std::max(y, 1.0f)) - logLo) /
+                                    (logHi - logLo) * (kH - 1));
+    if (cx >= 0 && cx < kW && cy >= 0 && cy < kH) {
+      canvas[static_cast<std::size_t>(kH - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = glyph;
+    }
+  };
+  // Diagonal y = x first, data points on top.
+  for (int i = 0; i < kW; ++i) {
+    const float v = std::pow(10.0f, logLo + (logHi - logLo) * i / (kW - 1));
+    plot(v, v, '.');
+  }
+  for (std::size_t i = 0; i < s.truth.size(); ++i) {
+    plot(s.truth[i], s.pred[i], 'o');
+  }
+  std::printf("%s (R2 = %.3f; x: truth, y: prediction, log10 ps)\n", title,
+              r2);
+  for (const auto& line : canvas) std::printf("  |%s|\n", line.c_str());
+  std::printf("  +%s+\n", std::string(kW, '-').c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace dagt;
+  const bench::Experiment experiment;
+
+  const auto advOnly = experiment.runStrategy(core::Strategy::kAdvOnly);
+  const auto ours = experiment.runStrategy(core::Strategy::kOurs);
+
+  auto gather = [&](const std::vector<core::DesignEval>& evals) {
+    Series s;
+    for (std::size_t d = 0; d < evals.size(); ++d) {
+      const auto& design = experiment.testDesigns()[d];
+      for (std::size_t i = 0; i < design.labels.size(); ++i) {
+        s.truth.push_back(design.labels[i]);
+        s.pred.push_back(evals[d].predictions[i]);
+      }
+    }
+    return s;
+  };
+  const Series a = gather(advOnly);
+  const Series b = gather(ours);
+  // The paper's metric (Table 2) is the per-design R2; the pooled scatter
+  // R2 is also shown since the clouds mix designs of very different size.
+  auto perDesignAvg = [](const std::vector<core::DesignEval>& evals) {
+    double sum = 0.0;
+    for (const auto& e : evals) sum += e.r2;
+    return sum / static_cast<double>(evals.size());
+  };
+  const double r2a = perDesignAvg(advOnly);
+  const double r2b = perDesignAvg(ours);
+
+  std::printf("Figure 1: prediction vs ground truth on 7nm test data\n");
+  std::printf("(R2 below = per-design average as in Table 2; pooled "
+              "scatter R2: advonly %.3f, ours %.3f)\n\n",
+              core::r2Score(a.pred, a.truth), core::r2Score(b.pred, b.truth));
+  printScatter("(a) trained on limited 7nm netlist data", a, r2a);
+  std::printf("\n");
+  printScatter("(b) trained on limited 7nm + 130nm netlist data (ours)", b,
+               r2b);
+
+  std::printf("\nsample series (truth_ps, advonly_pred_ps, ours_pred_ps):\n");
+  const std::size_t step = std::max<std::size_t>(1, a.truth.size() / 24);
+  for (std::size_t i = 0; i < a.truth.size(); i += step) {
+    std::printf("  %10.1f %10.1f %10.1f\n", a.truth[i], a.pred[i], b.pred[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 8: ablation study on the effectiveness of each module.
+//
+// Per test design, compares the full method against (a) disentanglement +
+// alignment only (deterministic readout) and (b) Bayesian prediction only
+// (no alignment losses). Expected shape: both ablations lose R^2 vs the
+// full model, with design-dependent which of the two helps more.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dagt;
+  const bench::Experiment experiment;
+
+  const std::vector<core::Strategy> variants = {
+      core::Strategy::kOursDaOnly, core::Strategy::kOursBayesOnly,
+      core::Strategy::kOurs};
+
+  std::vector<std::vector<core::DesignEval>> results;
+  for (const core::Strategy s : variants) {
+    core::TrainStats stats;
+    results.push_back(experiment.runStrategy(s, &stats));
+    std::fprintf(stderr, "%-16s trained in %.1fs\n",
+                 core::strategyName(s).c_str(), stats.trainSeconds);
+  }
+
+  TextTable table({"design", "DA only", "Bayesian only", "Ours (full)"});
+  const auto& designs = bench::Experiment::testDesignOrder();
+  std::vector<double> sums(variants.size(), 0.0);
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    std::vector<std::string> row = {designs[d]};
+    for (std::size_t s = 0; s < variants.size(); ++s) {
+      row.push_back(TextTable::num(results[s][d].r2));
+      sums[s] += results[s][d].r2;
+    }
+    table.addRow(row);
+  }
+  table.addSeparator();
+  table.addRow({"average", TextTable::num(sums[0] / designs.size()),
+                TextTable::num(sums[1] / designs.size()),
+                TextTable::num(sums[2] / designs.size())});
+
+  std::printf("Figure 8: ablation on the effectiveness of each module "
+              "(R2 score)\n%s",
+              table.render().c_str());
+
+  // ASCII bar chart, one group per design (the paper's presentation).
+  std::printf("\nR2 bars (each # = 0.05):\n");
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    std::printf("%-8s\n", designs[d].c_str());
+    const char* labels[3] = {"DA", "Bayes", "Full"};
+    for (std::size_t s = 0; s < variants.size(); ++s) {
+      const double r2 = std::max(0.0, results[s][d].r2);
+      std::printf("  %-6s |%s %.3f\n", labels[s],
+                  std::string(static_cast<std::size_t>(r2 / 0.05), '#')
+                      .c_str(),
+                  results[s][d].r2);
+    }
+  }
+  return 0;
+}

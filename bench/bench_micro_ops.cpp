@@ -1,0 +1,157 @@
+// Micro-benchmarks of the substrate layers (google-benchmark): tensor
+// kernels, STA throughput, placement, graph/feature construction and the
+// model forward pass. Not a paper table — an engineering dashboard for the
+// library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/models.hpp"
+#include "core/timing_gnn.hpp"
+#include "features/design_data.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "sta/sta_engine.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace dagt;
+
+// ---------------------------------------------------------------------------
+// Tensor kernels
+// ---------------------------------------------------------------------------
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const auto a = tensor::Tensor::randn({n, n}, rng);
+  const auto b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TensorConv2d(benchmark::State& state) {
+  Rng rng(2);
+  const auto x = tensor::Tensor::randn({8, 3, 32, 32}, rng);
+  const auto w = tensor::Tensor::randn({8, 3, 3, 3}, rng);
+  const auto b = tensor::Tensor::randn({8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d(x, w, b, 2, 1));
+  }
+}
+BENCHMARK(BM_TensorConv2d);
+
+void BM_TensorSegmentSum(benchmark::State& state) {
+  Rng rng(3);
+  const std::int64_t rows = 4096;
+  const auto src = tensor::Tensor::randn({rows, 64}, rng);
+  std::vector<std::int64_t> segments(rows);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    segments[static_cast<std::size_t>(i)] = i % 512;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::segmentSum(src, segments, 512));
+  }
+}
+BENCHMARK(BM_TensorSegmentSum);
+
+void BM_AutogradBackwardMlp(benchmark::State& state) {
+  Rng rng(4);
+  nn::Mlp mlp({64, 128, 128, 1}, rng);
+  const auto x = tensor::Tensor::randn({256, 64}, rng);
+  for (auto _ : state) {
+    mlp.zeroGrad();
+    tensor::Tensor loss = tensor::meanAll(tensor::square(mlp.forward(x)));
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_AutogradBackwardMlp);
+
+// ---------------------------------------------------------------------------
+// EDA substrate (shared mid-sized design, built once)
+// ---------------------------------------------------------------------------
+
+const features::DataPipeline& pipeline() {
+  static auto* p = new features::DataPipeline{features::DataConfig{}};
+  return *p;
+}
+
+const features::DesignData& design() {
+  static features::DesignData d = pipeline().build("sha3");
+  return d;
+}
+
+void BM_StaFullRun(benchmark::State& state) {
+  const auto& d = design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sta::StaEngine::run(d.netlist, nullptr,
+                            sta::RouteConfig{sta::WireModel::kPreRouting,
+                                             0.0f, 0.0f}));
+  }
+  state.SetItemsProcessed(state.iterations() * d.netlist.numPins());
+}
+BENCHMARK(BM_StaFullRun);
+
+void BM_PlacerAnneal(benchmark::State& state) {
+  const auto& lib = pipeline().library(netlist::TechNode::k7nm);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto nl =
+        pipeline().suite().buildNetlist(pipeline().suite().entry("arm9"), lib);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(place::Placer::place(nl));
+  }
+}
+BENCHMARK(BM_PlacerAnneal);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const auto& d = design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        route::GlobalRouter::route(d.netlist, d.placement));
+  }
+  state.SetItemsProcessed(state.iterations() * d.netlist.numNets());
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_PinGraphBuild(benchmark::State& state) {
+  const auto& d = design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::PinGraph(d.netlist));
+  }
+}
+BENCHMARK(BM_PinGraphBuild);
+
+void BM_GnnForward(benchmark::State& state) {
+  const auto& d = design();
+  Rng rng(5);
+  core::TimingGnn gnn(d.pinFeatures.dim(1), 64, rng);
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn.forward(*d.graph, d.pinFeatures));
+  }
+  state.SetItemsProcessed(state.iterations() * d.netlist.numPins());
+}
+BENCHMARK(BM_GnnForward);
+
+void BM_ModelInference(benchmark::State& state) {
+  const auto& d = design();
+  core::TimingDataset dataset({&d});
+  Rng rng(6);
+  core::OursModel model(pipeline().featureDim(), core::ModelConfig{},
+                        core::OursVariant::kFull, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predictDesign(dataset, d));
+  }
+  state.SetItemsProcessed(state.iterations() * d.numEndpoints());
+}
+BENCHMARK(BM_ModelInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

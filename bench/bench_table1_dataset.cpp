@@ -1,0 +1,63 @@
+// Reproduces Table 1: statistics of the dataset.
+//
+// Paper columns: tech node, #pin, #edp (endpoints), #e_n (net edges),
+// #e_c (cell edges) for each design, with train/test grouping and the
+// per-group averages. Absolute counts are ~200x smaller than the paper's
+// (CPU-scale synthetic designs); relative sizes and the split match.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "designgen/design_suite.hpp"
+#include "features/design_data.hpp"
+
+int main() {
+  using namespace dagt;
+  const features::DataPipeline pipeline{features::DataConfig{}};
+
+  TextTable table({"split", "benchmark", "tech node", "#pin", "#edp", "#e_n",
+                   "#e_c"});
+  struct Avg {
+    double pins = 0, edp = 0, en = 0, ec = 0;
+    int count = 0;
+  } trainAvg, testAvg;
+
+  const std::vector<std::string> trainOrder = {
+      "smallboom", "jpeg", "linkruncca", "spiMaster", "usbf_device"};
+  const std::vector<std::string> testOrder = {"arm9", "chacha", "hwacha",
+                                              "or1200", "sha3"};
+  auto addRows = [&](const std::vector<std::string>& names,
+                     const char* split, Avg& avg) {
+    for (const auto& name : names) {
+      const auto data = pipeline.build(name);
+      const auto& s = data.stats;
+      table.addRow({split, name, netlist::techNodeName(data.node),
+                    std::to_string(s.numPins), std::to_string(s.numEndpoints),
+                    std::to_string(s.numNetEdges),
+                    std::to_string(s.numCellEdges)});
+      avg.pins += static_cast<double>(s.numPins);
+      avg.edp += static_cast<double>(s.numEndpoints);
+      avg.en += static_cast<double>(s.numNetEdges);
+      avg.ec += static_cast<double>(s.numCellEdges);
+      ++avg.count;
+    }
+  };
+  addRows(trainOrder, "train", trainAvg);
+  table.addSeparator();
+  addRows(testOrder, "test", testAvg);
+  table.addSeparator();
+  auto avgRow = [&](const char* split, const char* node, const Avg& avg) {
+    table.addRow({"Avg", split, node,
+                  TextTable::num(avg.pins / avg.count, 0),
+                  TextTable::num(avg.edp / avg.count, 0),
+                  TextTable::num(avg.en / avg.count, 0),
+                  TextTable::num(avg.ec / avg.count, 0)});
+  };
+  avgRow("train", "7nm&130nm", trainAvg);
+  avgRow("test", "7nm", testAvg);
+
+  std::printf("Table 1: Statistics of the dataset "
+              "(edp = endpoint, e_n = net edge, e_c = cell edge)\n%s",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 3: ablation on the number of 130nm designs.
+//
+// Rows add source designs one at a time in the paper's order
+// (J = jpeg, L = linkruncca, S = spiMaster, U = usbf_device); each row
+// reports the per-test-design R^2 of the full proposed method trained
+// with that source subset. Expected shape: average R^2 improves
+// monotonically as more 130nm data is added.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dagt;
+  const std::vector<std::vector<std::string>> subsets = {
+      {"jpeg"},
+      {"jpeg", "linkruncca"},
+      {"jpeg", "linkruncca", "spiMaster"},
+      {"jpeg", "linkruncca", "spiMaster", "usbf_device"},
+  };
+
+  TextTable table({"J", "L", "S", "U", "arm9", "chacha", "hwacha", "or1200",
+                   "sha3", "average"});
+  for (const auto& subset : subsets) {
+    const bench::Experiment experiment(1.0f, subset);
+    core::TrainStats stats;
+    const auto evals = experiment.runStrategy(core::Strategy::kOurs, &stats);
+    std::fprintf(stderr, "|sources|=%zu trained in %.1fs\n", subset.size(),
+                 stats.trainSeconds);
+    std::vector<std::string> row;
+    for (const char* name :
+         {"jpeg", "linkruncca", "spiMaster", "usbf_device"}) {
+      const bool used =
+          std::find(subset.begin(), subset.end(), name) != subset.end();
+      row.push_back(used ? "x" : "");
+    }
+    double sum = 0.0;
+    for (const auto& e : evals) {
+      row.push_back(TextTable::num(e.r2));
+      sum += e.r2;
+    }
+    row.push_back(TextTable::num(sum / static_cast<double>(evals.size())));
+    table.addRow(row);
+  }
+
+  std::printf("Table 3: ablation on the number of 130nm designs "
+              "(R2 score of the proposed method)\n%s",
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "harness.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace dagt::bench {
+
+using designgen::DesignRole;
+
+Experiment::Experiment(float scale, std::vector<std::string> sourceNames,
+                       std::int64_t targetEndpointBudget) {
+  features::DataConfig dataConfig;
+  dataConfig.designScale = scale;
+  pipeline_ = std::make_unique<features::DataPipeline>(dataConfig);
+
+  if (sourceNames.empty()) {
+    sourceNames = pipeline_->suite().sourceDesignOrder();
+  }
+  // Train: the 7nm target design plus the selected 130nm sources.
+  trainDesigns_.push_back(pipeline_->build("smallboom"));
+  for (const auto& name : sourceNames) {
+    DAGT_CHECK_MSG(
+        pipeline_->suite().entry(name).role == DesignRole::kTrainSource,
+        name << " is not a source design");
+    trainDesigns_.push_back(pipeline_->build(name));
+  }
+  for (const auto& name : testDesignOrder()) {
+    testDesigns_.push_back(pipeline_->build(name));
+  }
+
+  auto pointers = [](const std::vector<features::DesignData>& v) {
+    std::vector<const features::DesignData*> p;
+    p.reserve(v.size());
+    for (const auto& d : v) p.push_back(&d);
+    return p;
+  };
+  trainSet_ = std::make_unique<core::TimingDataset>(pointers(trainDesigns_));
+  testSet_ = std::make_unique<core::TimingDataset>(pointers(testDesigns_));
+  if (targetEndpointBudget > 0) {
+    trainSet_->restrictEndpoints(trainDesigns_.front(),
+                                 targetEndpointBudget, /*seed=*/99);
+  }
+}
+
+const std::vector<std::string>& Experiment::testDesignOrder() {
+  static const std::vector<std::string> order = {"arm9", "chacha", "hwacha",
+                                                 "or1200", "sha3"};
+  return order;
+}
+
+core::TrainConfig Experiment::defaultTrainConfig() {
+  core::TrainConfig config;
+  config.epochs = 40;
+  config.finetuneEpochs = 16;
+  config.learningRate = 5e-3f;
+  config.finetuneLearningRate = 1.5e-3f;
+  config.endpointCap = 128;
+  return config;
+}
+
+std::vector<core::DesignEval> Experiment::runStrategy(
+    core::Strategy strategy, core::TrainStats* stats) const {
+  const core::Trainer trainer(*trainSet_, defaultTrainConfig());
+  auto model = trainer.train(strategy, stats);
+  auto evals = core::evaluateModel(*model, *testSet_);
+  // evaluateModel preserves dataset order == testDesignOrder.
+  return evals;
+}
+
+}  // namespace dagt::bench

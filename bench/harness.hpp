@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared experiment harness for the paper-reproduction bench binaries.
+// Builds the ten-design dataset once and exposes the train/test split of
+// the paper (Table 1) plus the default training configuration used by the
+// Table 2 / Table 3 / Figure 1 / Figure 8 benches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "features/design_data.hpp"
+
+namespace dagt::bench {
+
+/// Everything a reproduction bench needs, built once.
+class Experiment {
+ public:
+  /// scale: design-size multiplier (1.0 = default benchmark scale).
+  /// sourceNames: which 130nm designs to include (Table 3 varies this);
+  /// empty means all four.
+  /// targetEndpointBudget: the "limited data at the advanced node" premise
+  /// — only this many smallboom endpoints are visible during training
+  /// (<= 0 disables the restriction).
+  explicit Experiment(float scale = 1.0f,
+                      std::vector<std::string> sourceNames = {},
+                      std::int64_t targetEndpointBudget = 48);
+
+  const features::DataPipeline& pipeline() const { return *pipeline_; }
+  const core::TimingDataset& trainSet() const { return *trainSet_; }
+  const core::TimingDataset& testSet() const { return *testSet_; }
+  const std::vector<features::DesignData>& trainDesigns() const {
+    return trainDesigns_;
+  }
+  const std::vector<features::DesignData>& testDesigns() const {
+    return testDesigns_;
+  }
+
+  /// The paper's test-design row order (Table 2).
+  static const std::vector<std::string>& testDesignOrder();
+
+  /// Training configuration tuned for the benchmark scale.
+  static core::TrainConfig defaultTrainConfig();
+
+  /// Train one strategy and evaluate on the test set, in row order.
+  std::vector<core::DesignEval> runStrategy(core::Strategy strategy,
+                                            core::TrainStats* stats
+                                            = nullptr) const;
+
+ private:
+  std::unique_ptr<features::DataPipeline> pipeline_;
+  std::vector<features::DesignData> trainDesigns_;
+  std::vector<features::DesignData> testDesigns_;
+  std::unique_ptr<core::TimingDataset> trainSet_;
+  std::unique_ptr<core::TimingDataset> testSet_;
+};
+
+}  // namespace dagt::bench

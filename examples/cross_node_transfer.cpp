@@ -1,0 +1,66 @@
+// Cross-node transfer study (the paper's headline experiment, reduced
+// scale): train the same predictor architecture under different transfer
+// strategies on {130nm sources + one 7nm design} and compare held-out 7nm
+// accuracy.
+//
+// Usage: cross_node_transfer [scale] [epochs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "features/design_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dagt;
+  const float scale = argc > 1 ? std::strtof(argv[1], nullptr) : 0.5f;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 24;
+  Log::threshold() = LogLevel::kInfo;
+
+  features::DataConfig dataConfig;
+  dataConfig.designScale = scale;
+  const features::DataPipeline pipeline(dataConfig);
+
+  std::vector<features::DesignData> train;
+  for (const char* name :
+       {"smallboom", "jpeg", "linkruncca", "spiMaster", "usbf_device"}) {
+    train.push_back(pipeline.build(name));
+  }
+  std::vector<features::DesignData> test;
+  for (const char* name : {"arm9", "chacha", "hwacha", "or1200", "sha3"}) {
+    test.push_back(pipeline.build(name));
+  }
+  auto pointers = [](const std::vector<features::DesignData>& v) {
+    std::vector<const features::DesignData*> p;
+    for (const auto& d : v) p.push_back(&d);
+    return p;
+  };
+  core::TimingDataset trainSet(pointers(train));
+  const core::TimingDataset testSet(pointers(test));
+  // The paper's premise: data at the advanced node is scarce.
+  trainSet.restrictEndpoints(train.front(), 48, /*seed=*/99);
+
+  core::TrainConfig config;
+  config.epochs = epochs;
+  config.learningRate = 5e-3f;
+  const core::Trainer trainer(trainSet, config);
+
+  TextTable table({"strategy", "avg test R2", "train seconds"});
+  for (const core::Strategy s :
+       {core::Strategy::kAdvOnly, core::Strategy::kSimpleMerge,
+        core::Strategy::kParamShare, core::Strategy::kPretrainFinetune,
+        core::Strategy::kOurs}) {
+    core::TrainStats stats;
+    auto model = trainer.train(s, &stats);
+    double sum = 0.0;
+    for (const auto& eval : core::evaluateModel(*model, testSet)) {
+      sum += eval.r2;
+    }
+    table.addRow({core::strategyName(s), TextTable::num(sum / 5.0),
+                  TextTable::num(stats.trainSeconds, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Using the EDA substrate directly (no machine learning): synthesize a
+// design onto a technology node, place it, inspect congestion, run the
+// timing optimizer and compare pre-routing vs sign-off static timing.
+//
+// This is the flow that generates the training labels; it is also a
+// perfectly usable miniature PnR-and-STA playground on its own.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "designgen/design_suite.hpp"
+#include "place/layout_maps.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "sta/sta_engine.hpp"
+#include "sta/timing_optimizer.hpp"
+#include "sta/timing_report.hpp"
+
+int main() {
+  using namespace dagt;
+
+  // 1. "Synthesis": generate the or1200 functionality and map it to 7nm.
+  const designgen::DesignSuite suite(/*scale=*/0.5f);
+  const auto lib = netlist::CellLibrary::makeNode(netlist::TechNode::k7nm);
+  auto nl = suite.buildNetlist(suite.entry("or1200"), lib);
+  const auto stats = nl.stats();
+  std::printf("or1200 @ 7nm: %lld cells, %lld nets, %lld pins, %lld endpoints\n",
+              static_cast<long long>(nl.numCells()),
+              static_cast<long long>(nl.numNets()),
+              static_cast<long long>(stats.numPins),
+              static_cast<long long>(stats.numEndpoints));
+
+  // 2. Placement.
+  const auto placement = place::Placer::place(nl);
+  std::printf("die %.1f x %.1f um, HPWL %.0f -> %.0f um after annealing\n",
+              placement.dieArea.width(), placement.dieArea.height(),
+              placement.initialHpwl, placement.finalHpwl);
+
+  // 3. Congestion snapshot.
+  const place::LayoutMaps maps(nl, placement, 32);
+  float peakRudy = 0.0f;
+  for (std::int32_t gy = 0; gy < 32; ++gy) {
+    for (std::int32_t gx = 0; gx < 32; ++gx) {
+      peakRudy = std::max(peakRudy, maps.rudyAt(gx, gy));
+    }
+  }
+  std::printf("peak RUDY congestion %.2f, %zu macro blockages\n", peakRudy,
+              placement.macros.size());
+
+  // 4. Pre-routing STA (optimistic Elmore).
+  const auto pre = sta::StaEngine::run(
+      nl, nullptr, sta::RouteConfig{sta::WireModel::kPreRouting, 0.0f, 0.0f});
+  std::printf("pre-routing worst arrival: %.1f ps\n", pre.worstArrival);
+
+  // 5. Timing optimization (sizing + buffering) and sign-off STA.
+  const auto report = sta::TimingOptimizer::optimize(nl, maps);
+  const place::LayoutMaps routedMaps(nl, placement, 32);
+  const auto signoff = sta::StaEngine::run(
+      nl, &routedMaps, sta::RouteConfig{sta::WireModel::kRouted, 1.0f, 0.15f});
+  std::printf("optimizer: %d cells resized, %d buffers inserted, worst "
+              "%.1f -> %.1f ps\n",
+              report.cellsResized, report.buffersInserted,
+              report.worstArrivalBefore, report.worstArrivalAfter);
+  std::printf("sign-off (routed) worst arrival: %.1f ps "
+              "(pre-routing was %.1f ps optimistic)\n",
+              signoff.worstArrival,
+              signoff.worstArrival - pre.worstArrival);
+
+  // 6. Global routing of the optimized netlist: wirelength, congestion
+  //    hot spots and overflow.
+  const auto routing = route::GlobalRouter::route(nl, placement);
+  std::printf("\nglobal route: %.0f um total wire, peak edge utilization "
+              "%.2f, %lld overflowed edges\n",
+              routing.totalWirelength, routing.maxUtilization,
+              static_cast<long long>(routing.overflowEdges));
+
+  // 7. Slack against an auto-derived constraint + critical-path report.
+  const auto constraints =
+      sta::TimingConstraints::fromEstimate(signoff.worstArrival, 0.98f);
+  const auto slack = sta::computeSlack(nl, signoff, constraints);
+  std::printf("constraint %.1f ps: WNS %.1f ps, TNS %.1f ps, %lld "
+              "violating endpoints\n",
+              constraints.clockPeriod, slack.worstNegativeSlack,
+              slack.totalNegativeSlack,
+              static_cast<long long>(slack.violatingEndpoints));
+  const auto critical = sta::traceCriticalPath(nl, signoff);
+  std::printf("\n%s", sta::formatPathReport(nl, critical).c_str());
+
+  // 8. Ten most critical endpoints.
+  auto endpoints = nl.endpoints();
+  std::sort(endpoints.begin(), endpoints.end(),
+            [&](netlist::PinId a, netlist::PinId b) {
+              return signoff.arrival[static_cast<std::size_t>(a)] >
+                     signoff.arrival[static_cast<std::size_t>(b)];
+            });
+  std::printf("\ncritical endpoints (pin, signoff ps, preroute ps):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, endpoints.size());
+       ++i) {
+    const auto p = endpoints[i];
+    std::printf("  pin %-6d %8.1f %8.1f\n", p,
+                signoff.arrival[static_cast<std::size_t>(p)],
+                pre.arrival[static_cast<std::size_t>(p)]);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dagt {
+
+/// Error type thrown by all DAGT_CHECK* assertion failures.
+///
+/// The library never calls std::abort on bad input; invariant violations
+/// surface as exceptions so tests can assert on them and callers can recover.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dagt
+
+/// Always-on invariant check; throws dagt::CheckError on failure.
+#define DAGT_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dagt::detail::checkFailed(#cond, __FILE__, __LINE__, "");      \
+    }                                                                  \
+  } while (false)
+
+/// Invariant check with a streamed message, e.g.
+/// DAGT_CHECK_MSG(i < n, "index " << i << " out of range " << n).
+#define DAGT_CHECK_MSG(cond, streamed)                                 \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream dagt_check_os_;                               \
+      dagt_check_os_ << streamed;                                      \
+      ::dagt::detail::checkFailed(#cond, __FILE__, __LINE__,           \
+                                  dagt_check_os_.str());               \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,29 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dagt {
+
+LogLevel& Log::threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  static const auto start = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+  }
+  std::fprintf(stderr, "[%8.3f %-5s] %s\n", secs, tag, message.c_str());
+}
+
+}  // namespace dagt

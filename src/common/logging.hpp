@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dagt {
+
+/// Severity levels for the library logger, ordered by verbosity.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr.
+///
+/// The library is quiet by default (kWarn); benches and examples raise the
+/// level to kInfo to narrate progress. Not thread-safe beyond line
+/// atomicity, which is all the single-writer use here needs.
+class Log {
+ public:
+  /// Global verbosity threshold; messages below it are dropped.
+  static LogLevel& threshold();
+
+  static void write(LogLevel level, const std::string& message);
+
+  static bool enabled(LogLevel level) { return level >= threshold(); }
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace dagt
+
+#define DAGT_LOG(level)                        \
+  if (!::dagt::Log::enabled(level)) {          \
+  } else                                       \
+    ::dagt::detail::LogLine(level)
+
+#define DAGT_DEBUG DAGT_LOG(::dagt::LogLevel::kDebug)
+#define DAGT_INFO DAGT_LOG(::dagt::LogLevel::kInfo)
+#define DAGT_WARN DAGT_LOG(::dagt::LogLevel::kWarn)
+#define DAGT_ERROR DAGT_LOG(::dagt::LogLevel::kError)

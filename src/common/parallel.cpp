@@ -1,0 +1,57 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace dagt {
+
+std::size_t& parallelThreadCount() {
+  static std::size_t count = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(std::clamp(hw, 1u, 16u));
+  }();
+  return count;
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grainSize) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads =
+      std::min(parallelThreadCount(), (n + grainSize - 1) / grainSize);
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking via a shared cursor: workers steal fixed-size chunks,
+  // which balances well when per-index cost is uneven (e.g. ragged rows).
+  std::atomic<std::size_t> cursor{begin};
+  std::exception_ptr firstError;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  auto worker = [&] {
+    while (true) {
+      const std::size_t chunkBegin =
+          cursor.fetch_add(grainSize, std::memory_order_relaxed);
+      if (chunkBegin >= end || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t chunkEnd = std::min(end, chunkBegin + grainSize);
+      try {
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) fn(i);
+      } catch (...) {
+        if (!failed.exchange(true)) firstError = std::current_exception();
+        return;
+      }
+    }
+  };
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (failed && firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace dagt

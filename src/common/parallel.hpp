@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dagt {
+
+/// Number of worker threads used by parallelFor (defaults to hardware
+/// concurrency, capped at 16). Setting it to 1 makes everything serial.
+std::size_t& parallelThreadCount();
+
+/// Run fn(i) for i in [begin, end) across a shared thread pool.
+///
+/// The range is split into contiguous chunks, one per worker; fn must be
+/// safe to call concurrently for distinct i. Falls back to a serial loop
+/// for small ranges where the fork/join overhead would dominate.
+/// Exceptions thrown by fn are captured and rethrown on the calling thread.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grainSize = 256);
+
+}  // namespace dagt

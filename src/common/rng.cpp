@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace dagt {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four xoshiro words from splitmix64 as recommended by the
+  // xoshiro authors; avoids the all-zero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  DAGT_CHECK_MSG(lo <= hi, "uniform bounds inverted: " << lo << " > " << hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  DAGT_CHECK(n > 0);
+  // Lemire-style rejection-free enough for our needs: modulo bias is
+  // negligible for n << 2^64 (all our ranges are tiny).
+  return next() % n;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  DAGT_CHECK_MSG(lo <= hi, "uniformInt bounds inverted");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double Rng::normal() {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  // Box-Muller; u1 is nudged away from zero so log() stays finite.
+  const double u1 = std::max(uniform(), 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cachedNormal_ = r * std::sin(theta);
+  hasCachedNormal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
+  DAGT_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: only the first k positions need to be finalized.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniformInt(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace dagt

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dagt {
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// All stochastic components of the library (design generation, placement
+/// annealing, parameter init, Monte-Carlo sampling, batch shuffling) draw
+/// from an explicitly seeded Rng so every experiment is exactly
+/// reproducible across runs and platforms. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled without replacement from [0, n).
+  std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for per-subsystem streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cachedNormal_ = 0.0;
+  bool hasCachedNormal_ = false;
+};
+
+}  // namespace dagt

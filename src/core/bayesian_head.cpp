@@ -1,0 +1,57 @@
+#include "core/bayesian_head.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace dagt::core {
+
+using tensor::Tensor;
+
+BayesianHead::BayesianHead(std::int64_t featureDim, std::int64_t hidden,
+                           Rng& rng)
+    : featureDim_(featureDim),
+      muNet_({featureDim, hidden, featureDim}, rng, nn::Activation::kRelu,
+             nn::Activation::kNone),
+      logvarNet_({featureDim, hidden, featureDim}, rng,
+                 nn::Activation::kRelu, nn::Activation::kNone) {
+  bias_ = registerParameter(Tensor::zeros({1}));
+}
+
+BayesianHead::WeightDistribution BayesianHead::distribution(
+    const Tensor& u) const {
+  DAGT_CHECK(u.ndim() == 2 && u.dim(1) == featureDim_);
+  // Bound the log-variance to [-5, 1] (sigma in [0.08, 1.65]): keeps the
+  // reparameterized samples and the closed-form KL numerically tame.
+  const Tensor raw = logvarNet_.forward(u);
+  const Tensor logvar =
+      tensor::addScalar(tensor::mulScalar(tensor::tanhOp(raw), 3.0f), -2.0f);
+  return {muNet_.forward(u), logvar};
+}
+
+BayesianHead::Prediction BayesianHead::predict(const Tensor& u,
+                                               const WeightDistribution& q,
+                                               std::int32_t numSamples,
+                                               Rng& rng) const {
+  DAGT_CHECK(numSamples >= 1);
+  DAGT_CHECK(u.shape() == q.mu.shape());
+  const Tensor std = tensor::expOp(tensor::mulScalar(q.logvar, 0.5f));
+  const std::int64_t b = u.dim(0);
+
+  Prediction out;
+  out.samples.reserve(static_cast<std::size_t>(numSamples));
+  Tensor sum;
+  for (std::int32_t k = 0; k < numSamples; ++k) {
+    const Tensor eps = Tensor::randn(u.shape(), rng);  // constant w.r.t. tape
+    const Tensor w = tensor::add(q.mu, tensor::mul(std, eps));
+    // \hat y_i = W_i . u + bias
+    Tensor y = tensor::sumDim1(tensor::mul(w, u));
+    y = tensor::reshape(
+        tensor::addBias(tensor::reshape(y, {b, 1}), bias_), {b});
+    out.samples.push_back(y);
+    sum = k == 0 ? y : tensor::add(sum, y);
+  }
+  out.mean = tensor::mulScalar(sum, 1.0f / static_cast<float>(numSamples));
+  return out;
+}
+
+}  // namespace dagt::core

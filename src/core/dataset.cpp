@@ -1,0 +1,132 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "features/path_extractor.hpp"
+
+namespace dagt::core {
+
+using features::DesignData;
+using tensor::Tensor;
+
+TimingDataset::TimingDataset(std::vector<const DesignData*> designs)
+    : designs_(std::move(designs)) {
+  for (const auto* d : designs_) {
+    DAGT_CHECK(d != nullptr);
+    DAGT_CHECK_MSG(d->maps != nullptr && d->graph != nullptr,
+                   d->name << " lacks pre-routing snapshot data");
+  }
+}
+
+const DesignData& TimingDataset::design(const std::string& name) const {
+  for (const auto* d : designs_) {
+    if (d->name == name) return *d;
+  }
+  DAGT_CHECK_MSG(false, "dataset has no design " << name);
+}
+
+const std::vector<float>& TimingDataset::cachedImage(
+    const DesignData& design, std::int64_t endpointIdx) const {
+  auto& perDesign = imageCache_[&design];
+  if (perDesign.empty()) {
+    perDesign.resize(design.paths.size());
+  }
+  auto& slot = perDesign[static_cast<std::size_t>(endpointIdx)];
+  if (slot.empty()) {
+    slot = features::PathExtractor::maskedImage(
+        *design.maps, design.paths[static_cast<std::size_t>(endpointIdx)]);
+  }
+  return slot;
+}
+
+DesignBatch TimingDataset::makeBatch(
+    const DesignData& design, std::vector<std::int64_t> endpointIdx) const {
+  const std::int64_t b = static_cast<std::int64_t>(endpointIdx.size());
+  DAGT_CHECK(b > 0);
+  const std::int64_t res = design.maps->resolution();
+  const std::int64_t imageNumel = 3 * res * res;
+
+  std::vector<float> images(static_cast<std::size_t>(b * imageNumel));
+  std::vector<float> labels(static_cast<std::size_t>(b));
+  std::vector<float> preRoute(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t e = endpointIdx[static_cast<std::size_t>(i)];
+    DAGT_CHECK(e >= 0 && e < design.numEndpoints());
+    const auto& img = cachedImage(design, e);
+    std::memcpy(images.data() + i * imageNumel, img.data(),
+                static_cast<std::size_t>(imageNumel) * sizeof(float));
+    labels[static_cast<std::size_t>(i)] =
+        design.labels[static_cast<std::size_t>(e)] * kLabelScale;
+    preRoute[static_cast<std::size_t>(i)] =
+        design.preRouteArrivals[static_cast<std::size_t>(e)] * kLabelScale;
+  }
+
+  DesignBatch batch;
+  batch.design = &design;
+  batch.endpointIdx = std::move(endpointIdx);
+  batch.images = Tensor::fromVector({b, 3, res, res}, std::move(images));
+  batch.labels = Tensor::fromVector({b}, std::move(labels));
+  batch.preRouteNs = Tensor::fromVector({b}, std::move(preRoute));
+  return batch;
+}
+
+DesignBatch TimingDataset::fullBatch(const DesignData& design) const {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(design.numEndpoints()));
+  for (std::int64_t i = 0; i < design.numEndpoints(); ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  return makeBatch(design, std::move(all));
+}
+
+DesignBatch TimingDataset::sampleBatch(const DesignData& design,
+                                       std::int64_t cap, Rng& rng) const {
+  DAGT_CHECK(cap > 0);
+  const auto it = restriction_.find(&design);
+  if (it != restriction_.end()) {
+    const auto& pool = it->second;
+    const std::int64_t n = static_cast<std::int64_t>(pool.size());
+    if (n <= cap) {
+      return makeBatch(design, pool);
+    }
+    std::vector<std::int64_t> idx;
+    for (const std::size_t pick : rng.sampleIndices(
+             static_cast<std::size_t>(n), static_cast<std::size_t>(cap))) {
+      idx.push_back(pool[pick]);
+    }
+    return makeBatch(design, std::move(idx));
+  }
+  const std::int64_t n = design.numEndpoints();
+  if (n <= cap) return fullBatch(design);
+  const auto picks =
+      rng.sampleIndices(static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(cap));
+  std::vector<std::int64_t> idx(picks.begin(), picks.end());
+  return makeBatch(design, std::move(idx));
+}
+
+void TimingDataset::restrictEndpoints(const DesignData& design,
+                                      std::int64_t budget,
+                                      std::uint64_t seed) {
+  DAGT_CHECK(budget > 0);
+  if (design.numEndpoints() <= budget) return;
+  Rng rng(seed ^ 0xabcdef1234567890ULL);
+  const auto picks = rng.sampleIndices(
+      static_cast<std::size_t>(design.numEndpoints()),
+      static_cast<std::size_t>(budget));
+  std::vector<std::int64_t> pool(picks.begin(), picks.end());
+  std::sort(pool.begin(), pool.end());
+  restriction_[&design] = std::move(pool);
+}
+
+std::int64_t TimingDataset::availableEndpoints(
+    const DesignData& design) const {
+  const auto it = restriction_.find(&design);
+  if (it != restriction_.end()) {
+    return static_cast<std::int64_t>(it->second.size());
+  }
+  return design.numEndpoints();
+}
+
+}  // namespace dagt::core

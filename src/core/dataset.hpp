@@ -1,0 +1,76 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/design_data.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::core {
+
+/// Labels are scaled from ps to ns for optimization stability. The scale is
+/// deliberately *shared* by both technology nodes, preserving the
+/// order-of-magnitude arrival gap between 130nm and 7nm (Figure 6) that
+/// breaks naive data merging.
+constexpr float kLabelScale = 1e-3f;
+
+/// A batch of timing paths from ONE design (the GNN runs per design):
+/// endpoint indices, their masked layout images and their labels.
+struct DesignBatch {
+  const features::DesignData* design = nullptr;
+  std::vector<std::int64_t> endpointIdx;  // indices into design->paths
+  tensor::Tensor images;                  // [B, 3, R, R]
+  tensor::Tensor labels;                  // [B], ns
+  /// Optimistic pre-routing Elmore arrival per endpoint [B], ns. Readouts
+  /// add a learnable multiple of this as a bypass (y = f(u) + w0 * pre):
+  /// the network then learns the routing/optimization correction rather
+  /// than reproducing absolute magnitude from bounded embeddings.
+  tensor::Tensor preRouteNs;
+};
+
+/// Batching front-end over a set of DesignData. Caches per-path masked
+/// layout images (they are static across epochs) and assembles tensors.
+class TimingDataset {
+ public:
+  explicit TimingDataset(std::vector<const features::DesignData*> designs);
+
+  const std::vector<const features::DesignData*>& designs() const {
+    return designs_;
+  }
+  const features::DesignData& design(const std::string& name) const;
+
+  /// All endpoints of a design, in endpoint order (ignores restriction;
+  /// used for evaluation).
+  DesignBatch fullBatch(const features::DesignData& design) const;
+  /// Up to `cap` endpoints sampled without replacement from the design's
+  /// available (possibly restricted) endpoint pool.
+  DesignBatch sampleBatch(const features::DesignData& design,
+                          std::int64_t cap, Rng& rng) const;
+
+  /// Restrict a design to a fixed random subset of `budget` endpoints for
+  /// sampling — models the paper's "limited data at the advanced node"
+  /// premise. Deterministic for a given seed. No-op if the design has
+  /// fewer endpoints than the budget.
+  void restrictEndpoints(const features::DesignData& design,
+                         std::int64_t budget, std::uint64_t seed);
+  /// Number of endpoints sampleBatch can draw from.
+  std::int64_t availableEndpoints(const features::DesignData& design) const;
+
+ private:
+  DesignBatch makeBatch(const features::DesignData& design,
+                        std::vector<std::int64_t> endpointIdx) const;
+  const std::vector<float>& cachedImage(const features::DesignData& design,
+                                        std::int64_t endpointIdx) const;
+
+  std::vector<const features::DesignData*> designs_;
+  /// Cache: design pointer -> per-endpoint masked images.
+  mutable std::unordered_map<const features::DesignData*,
+                             std::vector<std::vector<float>>>
+      imageCache_;
+  /// Optional per-design endpoint whitelist (scarce-data restriction).
+  std::unordered_map<const features::DesignData*, std::vector<std::int64_t>>
+      restriction_;
+};
+
+}  // namespace dagt::core

@@ -1,0 +1,23 @@
+#include "core/disentangler.hpp"
+
+#include "common/check.hpp"
+
+namespace dagt::core {
+
+Disentangler::Disentangler(std::int64_t featureDim, std::int64_t hidden,
+                           Rng& rng)
+    : halfDim_(featureDim / 2),
+      nodeMlp_({featureDim, hidden, halfDim_}, rng, nn::Activation::kRelu,
+               nn::Activation::kNone),
+      designMlp_({featureDim, hidden, halfDim_}, rng, nn::Activation::kRelu,
+                 nn::Activation::kTanh) {
+  DAGT_CHECK_MSG(featureDim % 2 == 0, "feature dim must be even");
+  registerChild(nodeMlp_);
+  registerChild(designMlp_);
+}
+
+Disentangler::Split Disentangler::forward(const tensor::Tensor& u) const {
+  return {nodeMlp_.forward(u), designMlp_.forward(u)};
+}
+
+}  // namespace dagt::core

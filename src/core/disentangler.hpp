@@ -1,0 +1,34 @@
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace dagt::core {
+
+/// Feature disentanglement (paper Eq. 2): two MLP heads split the path
+/// feature u in R^m into equal-sized halves,
+///   u^n = MLP_n(u)  — node-dependent knowledge (standard-cell character),
+///   u^d = MLP_d(u)  — design-dependent knowledge (logical functionality).
+/// MLP_n is two linear layers with one ReLU in between; MLP_d additionally
+/// appends a tanh, bounding u^d in (-1, 1) so the CMD loss (Eq. 5) can use
+/// the interval [a, b] = [-1, 1].
+class Disentangler : public nn::Module {
+ public:
+  Disentangler(std::int64_t featureDim, std::int64_t hidden, Rng& rng);
+
+  struct Split {
+    tensor::Tensor nodeDependent;    // u^n, [B, m/2]
+    tensor::Tensor designDependent;  // u^d, [B, m/2] in (-1, 1)
+  };
+
+  Split forward(const tensor::Tensor& u) const;
+
+  std::int64_t halfDim() const { return halfDim_; }
+
+ private:
+  std::int64_t halfDim_;
+  nn::Mlp nodeMlp_;
+  nn::Mlp designMlp_;
+};
+
+}  // namespace dagt::core

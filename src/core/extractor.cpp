@@ -1,0 +1,40 @@
+#include "core/extractor.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace dagt::core {
+
+using tensor::Tensor;
+
+PathFeatureExtractor::PathFeatureExtractor(std::int64_t pinFeatureDim,
+                                           const ModelConfig& config,
+                                           Rng& rng)
+    : config_(config),
+      gnn_(pinFeatureDim, config.gnnHidden, rng),
+      cnn_(config.cnnBaseChannels, config.cnnDim, rng) {
+  registerChild(gnn_);
+  registerChild(cnn_);
+}
+
+Tensor PathFeatureExtractor::extract(const DesignBatch& batch) const {
+  DAGT_CHECK(batch.design != nullptr);
+  const auto& design = *batch.design;
+
+  // GNN over the whole design once; endpoint rows for the batch.
+  const auto gnnOut = gnn_.forward(*design.graph, design.pinFeatures);
+  std::vector<netlist::PinId> endpointPins;
+  endpointPins.reserve(batch.endpointIdx.size());
+  for (const std::int64_t e : batch.endpointIdx) {
+    endpointPins.push_back(
+        design.paths[static_cast<std::size_t>(e)].endpoint);
+  }
+  const Tensor graphEmb = TimingGnn::select(gnnOut, endpointPins);
+
+  // CNN over the batch of path-masked layout images.
+  const Tensor layoutEmb = cnn_.forward(batch.images);
+
+  return tensor::concat1({graphEmb, layoutEmb});
+}
+
+}  // namespace dagt::core

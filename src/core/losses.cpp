@@ -1,0 +1,146 @@
+#include "core/losses.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dagt::core {
+
+using tensor::Tensor;
+
+Tensor l2NormalizeRows(const Tensor& t, float eps) {
+  DAGT_CHECK(t.ndim() == 2);
+  const Tensor norm =
+      tensor::sqrtOp(tensor::addScalar(tensor::sumDim1(tensor::square(t)),
+                                       eps));
+  const Tensor inv = tensor::div(Tensor::ones({t.dim(0)}), norm);
+  return tensor::mulColVec(t, inv);
+}
+
+Tensor nodeContrastiveLoss(const Tensor& unSource, const Tensor& unTarget,
+                           float tau) {
+  DAGT_CHECK(unSource.ndim() == 2 && unTarget.ndim() == 2);
+  DAGT_CHECK_MSG(unSource.dim(0) >= 2 && unTarget.dim(0) >= 2,
+                 "contrastive loss needs >= 2 paths per node");
+  DAGT_CHECK(unSource.dim(1) == unTarget.dim(1));
+  DAGT_CHECK(tau > 0.0f);
+  const std::int64_t bs = unSource.dim(0);
+  const std::int64_t bt = unTarget.dim(0);
+  const std::int64_t b = bs + bt;
+
+  const Tensor all =
+      tensor::concat0({l2NormalizeRows(unSource), l2NormalizeRows(unTarget)});
+  Tensor logits =
+      tensor::mulScalar(tensor::matmul(all, tensor::transpose2d(all)),
+                        1.0f / tau);
+
+  // Exclude self-similarity from the denominator (A \ {u} in Eq. 3).
+  std::vector<float> diagMask(static_cast<std::size_t>(b * b), 0.0f);
+  for (std::int64_t i = 0; i < b; ++i) {
+    diagMask[static_cast<std::size_t>(i * b + i)] = -1e9f;
+  }
+  logits = tensor::add(logits, Tensor::fromVector({b, b}, std::move(diagMask)));
+
+  // log softmax over each row's admissible set.
+  const Tensor logProb =
+      tensor::addColVec(logits, tensor::neg(tensor::logSumExpDim1(logits)));
+
+  // Positive-pair weights: same node, i != j; each row's positives are
+  // averaged, rows are averaged within their node set (Eq. 4).
+  std::vector<float> weights(static_cast<std::size_t>(b * b), 0.0f);
+  const float wS =
+      1.0f / (static_cast<float>(bs) * static_cast<float>(bs - 1));
+  const float wT =
+      1.0f / (static_cast<float>(bt) * static_cast<float>(bt - 1));
+  for (std::int64_t i = 0; i < bs; ++i) {
+    for (std::int64_t j = 0; j < bs; ++j) {
+      if (i != j) weights[static_cast<std::size_t>(i * b + j)] = wS;
+    }
+  }
+  for (std::int64_t i = bs; i < b; ++i) {
+    for (std::int64_t j = bs; j < b; ++j) {
+      if (i != j) weights[static_cast<std::size_t>(i * b + j)] = wT;
+    }
+  }
+  const Tensor weighted =
+      tensor::mul(logProb, Tensor::fromVector({b, b}, std::move(weights)));
+  return tensor::neg(tensor::sumAll(weighted));
+}
+
+Tensor centralMomentDiscrepancy(const Tensor& udSource, const Tensor& udTarget,
+                                int maxOrder) {
+  DAGT_CHECK(udSource.ndim() == 2 && udTarget.ndim() == 2);
+  DAGT_CHECK(udSource.dim(1) == udTarget.dim(1));
+  DAGT_CHECK(maxOrder >= 1);
+  const std::int64_t d = udSource.dim(1);
+  constexpr float kIntervalWidth = 2.0f;  // b - a with tanh bounds (-1, 1)
+
+  const auto l2 = [](const Tensor& v) {
+    return tensor::sqrtOp(tensor::sumAll(tensor::square(v)));
+  };
+
+  const Tensor meanS = tensor::meanDim0(udSource);
+  const Tensor meanT = tensor::meanDim0(udTarget);
+  // First term: ||E(Us) - E(Ut)|| / (b - a).
+  Tensor loss = tensor::mulScalar(l2(tensor::sub(meanS, meanT)),
+                                  1.0f / kIntervalWidth);
+
+  const Tensor centeredS = tensor::sub(
+      udSource,
+      tensor::repeatRows(tensor::reshape(meanS, {1, d}), udSource.dim(0)));
+  const Tensor centeredT = tensor::sub(
+      udTarget,
+      tensor::repeatRows(tensor::reshape(meanT, {1, d}), udTarget.dim(0)));
+  float intervalPow = kIntervalWidth;
+  for (int k = 2; k <= maxOrder; ++k) {
+    intervalPow *= kIntervalWidth;
+    const Tensor ckS = tensor::meanDim0(tensor::powInt(centeredS, k));
+    const Tensor ckT = tensor::meanDim0(tensor::powInt(centeredT, k));
+    loss = tensor::add(
+        loss, tensor::mulScalar(l2(tensor::sub(ckS, ckT)), 1.0f / intervalPow));
+  }
+  return loss;
+}
+
+Tensor gaussianKl(const Tensor& muQ, const Tensor& logvarQ, const Tensor& muP,
+                  const Tensor& logvarP) {
+  DAGT_CHECK(muQ.shape() == logvarQ.shape());
+  DAGT_CHECK(muQ.shape() == muP.shape());
+  DAGT_CHECK(muQ.shape() == logvarP.shape());
+  // 0.5 * [ logvarP - logvarQ + (varQ + (muQ - muP)^2) / varP - 1 ]
+  const Tensor varQ = tensor::expOp(logvarQ);
+  const Tensor varP = tensor::expOp(logvarP);
+  const Tensor meanGap = tensor::square(tensor::sub(muQ, muP));
+  const Tensor inner = tensor::addScalar(
+      tensor::add(tensor::sub(logvarP, logvarQ),
+                  tensor::div(tensor::add(varQ, meanGap), varP)),
+      -1.0f);
+  return tensor::mulScalar(tensor::meanAll(tensor::sumDim1(inner)), 0.5f);
+}
+
+Tensor mse(const Tensor& prediction, const Tensor& labels) {
+  DAGT_CHECK(prediction.shape() == labels.shape());
+  return tensor::meanAll(tensor::square(tensor::sub(prediction, labels)));
+}
+
+double r2Score(std::span<const float> prediction,
+               std::span<const float> truth) {
+  DAGT_CHECK_MSG(prediction.size() == truth.size(),
+                 "r2Score: size mismatch");
+  DAGT_CHECK(!truth.empty());
+  double mean = 0.0;
+  for (const float y : truth) mean += y;
+  mean /= static_cast<double>(truth.size());
+  double ssRes = 0.0;
+  double ssTot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double res = static_cast<double>(truth[i]) - prediction[i];
+    const double dev = static_cast<double>(truth[i]) - mean;
+    ssRes += res * res;
+    ssTot += dev * dev;
+  }
+  if (ssTot <= 0.0) return 0.0;
+  return 1.0 - ssRes / ssTot;
+}
+
+}  // namespace dagt::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+
+#include "tensor/ops.hpp"
+
+namespace dagt::core {
+
+/// L2-normalize each row of a 2-D tensor (zero rows are left near-zero).
+tensor::Tensor l2NormalizeRows(const tensor::Tensor& t, float eps = 1e-8f);
+
+/// Node-based contrastive loss (paper Eq. 3-4, implemented in the standard
+/// supervised-contrastive log form the equation's prose describes):
+/// node-dependent features of paths from the SAME technology node are
+/// pulled together, features from different nodes pushed apart.
+///
+/// unSource / unTarget: [Bs, D] / [Bt, D] node-dependent features of the
+/// source- and target-node paths in the batch (each with >= 2 rows).
+/// Rows are L2-normalized internally; tau is the softmax temperature.
+tensor::Tensor nodeContrastiveLoss(const tensor::Tensor& unSource,
+                                   const tensor::Tensor& unTarget,
+                                   float tau = 0.1f);
+
+/// Design-based discrepancy loss: Central Moment Discrepancy (paper Eq. 5,
+/// Zellinger et al.) between the design-dependent feature sets of the two
+/// nodes, with bounding interval [a, b] = [-1, 1] (tanh output) and moments
+/// up to maxOrder (the paper uses 5).
+tensor::Tensor centralMomentDiscrepancy(const tensor::Tensor& udSource,
+                                        const tensor::Tensor& udTarget,
+                                        int maxOrder = 5);
+
+/// KL divergence between diagonal Gaussians KL(q || p), averaged over the
+/// batch dimension. All inputs are [B, D] (broadcast the prior with
+/// repeatRows first if it is a single row).
+tensor::Tensor gaussianKl(const tensor::Tensor& muQ,
+                          const tensor::Tensor& logvarQ,
+                          const tensor::Tensor& muP,
+                          const tensor::Tensor& logvarP);
+
+/// Mean squared error between a prediction vector and a constant label
+/// vector, both [B].
+tensor::Tensor mse(const tensor::Tensor& prediction,
+                   const tensor::Tensor& labels);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot (the paper's
+/// evaluation metric). Returns -inf-free values; a constant-truth input
+/// yields 0 (by convention) rather than a division by zero.
+double r2Score(std::span<const float> prediction,
+               std::span<const float> truth);
+
+}  // namespace dagt::core

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dagt::core {
+
+/// Architecture hyper-parameters of the timing predictor.
+///
+/// The paper uses GNN hidden 256, CNN input 3x512x512 and embedding 128 on
+/// a GPU; these defaults are the CPU-scale equivalents (the ratio between
+/// GNN and CNN embedding widths is preserved).
+struct ModelConfig {
+  std::int64_t gnnHidden = 64;
+  std::int64_t cnnBaseChannels = 8;
+  std::int64_t cnnDim = 32;
+  std::int64_t imageResolution = 32;
+  /// Hidden width of the disentangling MLPs and the mu/sigma MLPs.
+  std::int64_t headHidden = 64;
+
+  /// m — the timing-path feature width (Eq. 1).
+  std::int64_t pathFeatureDim() const { return gnnHidden + cnnDim; }
+  /// m/2 — width of each disentangled half (Eq. 2).
+  std::int64_t halfFeatureDim() const { return pathFeatureDim() / 2; }
+};
+
+}  // namespace dagt::core

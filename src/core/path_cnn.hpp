@@ -1,0 +1,28 @@
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace dagt::core {
+
+/// CNN over the per-path masked layout image set X (paper Section 3.1):
+/// three stride-2 conv stages, global average pooling, and a linear
+/// projection to the layout-embedding width.
+class PathCnn : public nn::Module {
+ public:
+  PathCnn(std::int64_t baseChannels, std::int64_t outDim, Rng& rng);
+
+  /// images: [B, 3, R, R] -> [B, outDim]. R must be >= 8.
+  tensor::Tensor forward(const tensor::Tensor& images) const;
+
+  std::int64_t outDim() const { return outDim_; }
+
+ private:
+  std::int64_t outDim_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d conv3_;
+  nn::Linear project_;
+};
+
+}  // namespace dagt::core

@@ -1,0 +1,88 @@
+#include "core/timing_gnn.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace dagt::core {
+
+using tensor::Tensor;
+
+TimingGnn::TimingGnn(std::int64_t inputDim, std::int64_t hidden, Rng& rng)
+    : inputDim_(inputDim),
+      hidden_(hidden),
+      self_(inputDim, hidden, rng),
+      netSum_(hidden, hidden, rng),
+      netMax_(hidden, hidden, rng),
+      cellSum_(hidden, hidden, rng),
+      cellMax_(hidden, hidden, rng),
+      norm_(hidden) {
+  registerChild(self_);
+  registerChild(netSum_);
+  registerChild(netMax_);
+  registerChild(cellSum_);
+  registerChild(cellMax_);
+  registerChild(norm_);
+}
+
+TimingGnn::Output TimingGnn::forward(const features::PinGraph& graph,
+                                     const Tensor& pinFeatures) const {
+  DAGT_CHECK(pinFeatures.ndim() == 2);
+  DAGT_CHECK_MSG(pinFeatures.dim(0) == graph.numPins(),
+                 "pin feature rows " << pinFeatures.dim(0) << " != pins "
+                                     << graph.numPins());
+  DAGT_CHECK_MSG(pinFeatures.dim(1) == inputDim_,
+                 "pin feature dim " << pinFeatures.dim(1) << " != "
+                                    << inputDim_);
+  Output out;
+  out.graph = &graph;
+  out.levelEmbeddings.reserve(static_cast<std::size_t>(graph.numLevels()));
+
+  for (std::int32_t level = 0; level < graph.numLevels(); ++level) {
+    const auto& pins = graph.pinsAtLevel(level);
+    const std::int64_t n = static_cast<std::int64_t>(pins.size());
+    // Own features of this level's pins.
+    std::vector<std::int64_t> rows(pins.begin(), pins.end());
+    Tensor h = self_.forward(tensor::indexSelect0(pinFeatures, rows));
+
+    // Fanin aggregation per edge type from earlier levels.
+    const auto addAggregates = [&](const features::LevelEdges& edges,
+                                   const nn::Linear& meanProj,
+                                   const nn::Linear& maxProj) {
+      if (edges.size() == 0) return;
+      const Tensor sources =
+          tensor::gatherRowsMulti(out.levelEmbeddings, edges.src);
+      // Mean aggregation: divide the segment sums by per-pin fanin counts
+      // (sum aggregation compounds with depth and overflows float32 on
+      // deep designs).
+      std::vector<float> invCount(static_cast<std::size_t>(n), 0.0f);
+      for (const std::int64_t dst : edges.dstLocal) {
+        invCount[static_cast<std::size_t>(dst)] += 1.0f;
+      }
+      for (auto& c : invCount) c = c > 0.0f ? 1.0f / c : 0.0f;
+      const Tensor aggMean = tensor::mulColVec(
+          tensor::segmentSum(sources, edges.dstLocal, n),
+          Tensor::fromVector({n}, std::move(invCount)));
+      const Tensor aggMax = tensor::segmentMax(sources, edges.dstLocal, n);
+      h = tensor::add(h, meanProj.forward(aggMean));
+      h = tensor::add(h, maxProj.forward(aggMax));
+    };
+    addAggregates(graph.netEdgesInto(level), netSum_, netMax_);
+    addAggregates(graph.cellEdgesInto(level), cellSum_, cellMax_);
+
+    out.levelEmbeddings.push_back(tensor::relu(norm_.forward(h)));
+  }
+  return out;
+}
+
+Tensor TimingGnn::select(const Output& output,
+                         const std::vector<netlist::PinId>& pins) {
+  DAGT_CHECK(output.graph != nullptr);
+  std::vector<std::pair<std::int32_t, std::int64_t>> coords;
+  coords.reserve(pins.size());
+  for (const netlist::PinId p : pins) {
+    coords.push_back(output.graph->locate(p));
+  }
+  return tensor::gatherRowsMulti(output.levelEmbeddings, coords);
+}
+
+}  // namespace dagt::core

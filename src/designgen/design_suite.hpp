@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "designgen/logic_network.hpp"
+#include "designgen/tech_mapper.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dagt::designgen {
+
+/// Role of a design in the paper's experimental protocol (Table 1).
+enum class DesignRole : std::uint8_t {
+  kTrainSource,  // abundant data at the preceding node (130nm)
+  kTrainTarget,  // limited data at the advanced node (7nm)
+  kTest,         // held-out designs at the advanced node (7nm)
+};
+
+/// One named benchmark: its functionality spec, its technology node and its
+/// role in the train/test split.
+struct DesignEntry {
+  DesignSpec spec;
+  netlist::TechNode node = netlist::TechNode::k7nm;
+  DesignRole role = DesignRole::kTest;
+};
+
+/// The ten named designs of the paper's Table 1, re-expressed as seeded
+/// synthetic specs whose *relative* sizes, register richness and workload
+/// style mirror the originals (smallboom/hwacha: Chipyard cores; jpeg/sha3/
+/// chacha: datapath; spiMaster/usbf_device/linkruncca: peripherals;
+/// arm9/or1200: CPU cores). Absolute sizes are scaled down ~200x so the
+/// full pipeline runs on a CPU in seconds.
+class DesignSuite {
+ public:
+  /// scale multiplies every design's gate budget (1.0 = default benchmark
+  /// scale; tests use much smaller values).
+  explicit DesignSuite(float scale = 1.0f);
+
+  const std::vector<DesignEntry>& entries() const { return entries_; }
+  const DesignEntry& entry(const std::string& name) const;
+
+  std::vector<const DesignEntry*> byRole(DesignRole role) const;
+  /// The four 130nm source designs in the paper's Table 3 order
+  /// (jpeg, linkruncca, spiMaster, usbf_device).
+  std::vector<std::string> sourceDesignOrder() const;
+
+  /// Generate the logic network and map it to its node's library.
+  /// The library reference must outlive the returned netlist.
+  netlist::Netlist buildNetlist(const DesignEntry& entry,
+                                const netlist::CellLibrary& library) const;
+
+ private:
+  std::vector<DesignEntry> entries_;
+};
+
+}  // namespace dagt::designgen

@@ -1,0 +1,249 @@
+#include "designgen/logic_network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dagt::designgen {
+
+using netlist::CellFunction;
+
+namespace {
+
+/// Gate-function menu with style-dependent sampling weights.
+struct FunctionMix {
+  std::vector<CellFunction> functions;
+  std::vector<float> weights;  // same arity, need not be normalized
+};
+
+FunctionMix mixFor(DesignStyle style) {
+  switch (style) {
+    case DesignStyle::kDatapath:
+      // Crypto / DSP: XOR-rich, deep carry/majority chains.
+      return {{CellFunction::kXor2, CellFunction::kXnor2, CellFunction::kAnd2,
+               CellFunction::kOr2, CellFunction::kMaj3, CellFunction::kNand2,
+               CellFunction::kInv, CellFunction::kMux2},
+              {5.0f, 2.5f, 2.0f, 1.5f, 2.0f, 1.0f, 0.8f, 1.2f}};
+    case DesignStyle::kControl:
+      // Peripheral / FSM logic: wide AND-OR decode, muxing, inverters.
+      return {{CellFunction::kNand2, CellFunction::kNor2, CellFunction::kAnd2,
+               CellFunction::kOr2, CellFunction::kMux2, CellFunction::kInv,
+               CellFunction::kAoi21, CellFunction::kOai21,
+               CellFunction::kNand3, CellFunction::kNor3},
+              {3.0f, 2.0f, 2.5f, 2.0f, 3.0f, 1.5f, 1.5f, 1.5f, 1.0f, 1.0f}};
+    case DesignStyle::kCpu:
+      // Core: balanced mix of datapath and control.
+      return {{CellFunction::kNand2, CellFunction::kNor2, CellFunction::kAnd2,
+               CellFunction::kOr2, CellFunction::kXor2, CellFunction::kMux2,
+               CellFunction::kInv, CellFunction::kAoi21,
+               CellFunction::kNand3, CellFunction::kMaj3},
+              {2.5f, 1.5f, 2.0f, 2.0f, 2.0f, 2.5f, 1.0f, 1.2f, 1.0f, 0.8f}};
+  }
+  DAGT_CHECK_MSG(false, "unknown design style");
+}
+
+CellFunction sampleFunction(const FunctionMix& mix, Rng& rng) {
+  float total = 0.0f;
+  for (const float w : mix.weights) total += w;
+  float pick = static_cast<float>(rng.uniform()) * total;
+  for (std::size_t i = 0; i < mix.functions.size(); ++i) {
+    pick -= mix.weights[i];
+    if (pick <= 0.0f) return mix.functions[i];
+  }
+  return mix.functions.back();
+}
+
+}  // namespace
+
+SignalId LogicNetwork::addNode(LogicNode node) {
+  const SignalId id = static_cast<SignalId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const LogicNode& LogicNetwork::node(SignalId id) const {
+  DAGT_CHECK_MSG(id >= 0 && id < numNodes(), "node id " << id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+LogicNetwork LogicNetwork::generate(const DesignSpec& spec) {
+  DAGT_CHECK(spec.numPrimaryInputs >= 2);
+  DAGT_CHECK(spec.numGates >= 4);
+  DAGT_CHECK(spec.pipelineStages >= 1);
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 17);
+
+  LogicNetwork net;
+  net.spec_ = spec;
+
+  // Live signal pool, newest last. localityBias skews fanin selection toward
+  // recent signals, which stretches logic depth (datapath chains); a low
+  // bias yields wide shallow cones (decode logic).
+  std::vector<SignalId> pool;
+  for (std::int32_t i = 0; i < spec.numPrimaryInputs; ++i) {
+    const SignalId id = net.addNode({OpKind::kInput, CellFunction::kInv, {}});
+    net.inputs_.push_back(id);
+    pool.push_back(id);
+  }
+
+  const FunctionMix mix = mixFor(spec.style);
+  auto pickFanin = [&](std::vector<SignalId>& exclude) -> SignalId {
+    // Rejection loop keeps a gate's fanins distinct (up to a few tries).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::size_t idx;
+      if (rng.uniform() < spec.localityBias) {
+        // Geometric-ish preference for the freshest quarter of the pool.
+        const std::size_t window =
+            std::max<std::size_t>(1, pool.size() / 4);
+        idx = pool.size() - 1 - rng.uniformInt(window);
+      } else {
+        idx = static_cast<std::size_t>(rng.uniformInt(pool.size()));
+      }
+      const SignalId candidate = pool[idx];
+      if (std::find(exclude.begin(), exclude.end(), candidate) ==
+          exclude.end()) {
+        return candidate;
+      }
+    }
+    return pool[static_cast<std::size_t>(rng.uniformInt(pool.size()))];
+  };
+
+  const std::int32_t gatesPerStage =
+      std::max(1, spec.numGates / spec.pipelineStages);
+  std::int32_t gatesMade = 0;
+  for (std::int32_t stage = 0; stage < spec.pipelineStages; ++stage) {
+    const std::int32_t target = (stage + 1 == spec.pipelineStages)
+                                    ? spec.numGates - gatesMade
+                                    : gatesPerStage;
+    for (std::int32_t g = 0; g < target; ++g) {
+      const CellFunction fn = sampleFunction(mix, rng);
+      const int arity = netlist::cellFunctionInputs(fn);
+      std::vector<SignalId> fanin;
+      for (int i = 0; i < arity; ++i) fanin.push_back(pickFanin(fanin));
+      pool.push_back(net.addNode({OpKind::kGate, fn, std::move(fanin)}));
+      ++gatesMade;
+    }
+    // Register barrier: a random fraction of live signals is registered.
+    // Registered signals replace their combinational sources in the pool,
+    // so later stages build on stage boundaries — a feed-forward pipeline.
+    if (stage + 1 < spec.pipelineStages) {
+      std::vector<SignalId> nextPool;
+      for (const SignalId s : pool) {
+        if (rng.uniform() < spec.registerFraction) {
+          nextPool.push_back(
+              net.addNode({OpKind::kRegister, CellFunction::kDff, {s}}));
+        } else if (rng.uniform() < 0.5) {
+          nextPool.push_back(s);  // feed-through signal
+        }
+      }
+      // Never let the pool die out.
+      if (nextPool.size() < 4) {
+        nextPool.insert(nextPool.end(), pool.begin(),
+                        pool.begin() + std::min<std::size_t>(4, pool.size()));
+      }
+      pool = std::move(nextPool);
+    }
+  }
+
+  // Output stage: every signal with no fanout must be observable. Count
+  // fanouts, then compact the dangling signals with OR trees down to the
+  // output budget; each surviving signal feeds a primary output.
+  std::vector<std::int32_t> fanoutCount(
+      static_cast<std::size_t>(net.numNodes()), 0);
+  for (const auto& n : net.nodes_) {
+    for (const SignalId f : n.fanin) {
+      ++fanoutCount[static_cast<std::size_t>(f)];
+    }
+  }
+  std::vector<SignalId> dangling;
+  for (SignalId id = 0; id < net.numNodes(); ++id) {
+    const OpKind kind = net.nodes_[static_cast<std::size_t>(id)].kind;
+    if (kind != OpKind::kOutput &&
+        fanoutCount[static_cast<std::size_t>(id)] == 0) {
+      dangling.push_back(id);
+    }
+  }
+  while (static_cast<std::int32_t>(dangling.size()) > spec.maxOutputs) {
+    // Pairwise OR-reduce oldest-first; the reduction gates are part of the
+    // functionality, hence identical across technology nodes.
+    std::vector<SignalId> reduced;
+    for (std::size_t i = 0; i + 1 < dangling.size(); i += 2) {
+      reduced.push_back(net.addNode(
+          {OpKind::kGate, CellFunction::kOr2, {dangling[i], dangling[i + 1]}}));
+    }
+    if (dangling.size() % 2 == 1) reduced.push_back(dangling.back());
+    dangling = std::move(reduced);
+  }
+  for (const SignalId s : dangling) {
+    net.outputs_.push_back(
+        net.addNode({OpKind::kOutput, CellFunction::kBuf, {s}}));
+  }
+  DAGT_CHECK(!net.outputs_.empty());
+  return net;
+}
+
+std::int64_t LogicNetwork::countKind(OpKind kind) const {
+  std::int64_t count = 0;
+  for (const auto& n : nodes_) {
+    if (n.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<SignalId> LogicNetwork::topologicalOrder() const {
+  // Nodes are created with fanin ids strictly smaller than their own id,
+  // so identity order is topological; verified here.
+  std::vector<SignalId> order(static_cast<std::size_t>(numNodes()));
+  for (SignalId id = 0; id < numNodes(); ++id) {
+    for (const SignalId f : nodes_[static_cast<std::size_t>(id)].fanin) {
+      DAGT_CHECK_MSG(f < id, "logic network is not in construction order");
+    }
+    order[static_cast<std::size_t>(id)] = id;
+  }
+  return order;
+}
+
+std::vector<std::int32_t> LogicNetwork::logicDepth() const {
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(numNodes()), 0);
+  for (const SignalId id : topologicalOrder()) {
+    const LogicNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind == OpKind::kRegister) {
+      depth[static_cast<std::size_t>(id)] = 0;  // stage boundary
+      continue;
+    }
+    std::int32_t best = 0;
+    for (const SignalId f : n.fanin) {
+      best = std::max(best, depth[static_cast<std::size_t>(f)]);
+    }
+    depth[static_cast<std::size_t>(id)] =
+        best + (n.kind == OpKind::kGate ? 1 : 0);
+  }
+  return depth;
+}
+
+void LogicNetwork::validate() const {
+  DAGT_CHECK(!inputs_.empty());
+  DAGT_CHECK(!outputs_.empty());
+  for (SignalId id = 0; id < numNodes(); ++id) {
+    const LogicNode& n = nodes_[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case OpKind::kInput:
+        DAGT_CHECK(n.fanin.empty());
+        break;
+      case OpKind::kGate:
+        DAGT_CHECK_MSG(static_cast<int>(n.fanin.size()) ==
+                           netlist::cellFunctionInputs(n.function),
+                       "gate arity mismatch at node " << id);
+        break;
+      case OpKind::kRegister:
+      case OpKind::kOutput:
+        DAGT_CHECK(n.fanin.size() == 1);
+        break;
+    }
+    for (const SignalId f : n.fanin) {
+      DAGT_CHECK_MSG(f >= 0 && f < id, "bad fanin " << f << " at node " << id);
+    }
+  }
+  (void)topologicalOrder();
+}
+
+}  // namespace dagt::designgen

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/cell_library.hpp"
+
+namespace dagt::designgen {
+
+/// Node kind in the technology-independent logic network.
+enum class OpKind : std::uint8_t { kInput, kGate, kRegister, kOutput };
+
+using SignalId = std::int32_t;
+
+struct LogicNode {
+  OpKind kind = OpKind::kGate;
+  netlist::CellFunction function = netlist::CellFunction::kInv;  // kGate only
+  std::vector<SignalId> fanin;
+};
+
+/// Workload archetype controlling the generator's gate-function mix and
+/// shape. Mirrors the rough character of the paper's benchmarks
+/// (datapath-heavy crypto/DSP vs control-heavy peripherals vs CPU cores).
+enum class DesignStyle : std::uint8_t { kDatapath, kControl, kCpu };
+
+/// Parameters of one synthetic design's functionality.
+struct DesignSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  DesignStyle style = DesignStyle::kCpu;
+  std::int32_t numPrimaryInputs = 32;
+  std::int32_t numGates = 1000;        // target combinational gate count
+  std::int32_t pipelineStages = 4;     // register barriers inserted
+  float registerFraction = 0.25f;      // share of signals registered per stage
+  float localityBias = 0.7f;           // 1.0 = always use freshest signals
+  std::int32_t maxOutputs = 64;        // PO budget after output compaction
+};
+
+/// Technology-independent logic DAG — the paper's "design-dependent
+/// knowledge" (Figure 4). One LogicNetwork maps onto any technology node's
+/// library; the mapped netlists differ structurally but share functionality.
+///
+/// The network is a pure DAG even through registers (register fanin refers
+/// to the previous pipeline stage), so downstream mapping and timing are
+/// acyclic by construction.
+class LogicNetwork {
+ public:
+  /// Deterministically generate a network from a spec (seeded internally).
+  static LogicNetwork generate(const DesignSpec& spec);
+
+  const DesignSpec& spec() const { return spec_; }
+  const std::vector<LogicNode>& nodes() const { return nodes_; }
+  const LogicNode& node(SignalId id) const;
+  std::int64_t numNodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  const std::vector<SignalId>& inputs() const { return inputs_; }
+  const std::vector<SignalId>& outputs() const { return outputs_; }
+
+  std::int64_t countKind(OpKind kind) const;
+
+  /// Node ids in topological order (inputs first).
+  std::vector<SignalId> topologicalOrder() const;
+
+  /// Longest path length (in gate nodes) from any input/register to each
+  /// node — a proxy for logic depth used in tests and diagnostics.
+  std::vector<std::int32_t> logicDepth() const;
+
+  /// Structural checks: acyclic, arity matches function, outputs exist.
+  void validate() const;
+
+ private:
+  SignalId addNode(LogicNode node);
+
+  DesignSpec spec_;
+  std::vector<LogicNode> nodes_;
+  std::vector<SignalId> inputs_;
+  std::vector<SignalId> outputs_;
+};
+
+}  // namespace dagt::designgen

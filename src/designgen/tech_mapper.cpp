@@ -1,0 +1,208 @@
+#include "designgen/tech_mapper.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dagt::designgen {
+
+using netlist::CellFunction;
+using netlist::CellLibrary;
+using netlist::CellTypeId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+namespace {
+
+/// Working state threaded through the mapping of one network.
+struct MapState {
+  const LogicNetwork* logic = nullptr;
+  const CellLibrary* lib = nullptr;
+  Netlist* out = nullptr;
+  std::vector<PinId> driverOf;          // signal -> netlist driver pin
+  std::vector<NetId> netOf;             // signal -> lazily created net
+  std::vector<std::int32_t> fanoutOf;   // signal -> logic fanout count
+};
+
+/// Initial gate sizing from structural fanout, mirroring what a synthesis
+/// tool's quick sizing pass would do before placement.
+int desiredDrive(std::int32_t fanout) {
+  if (fanout <= 2) return 1;
+  if (fanout <= 5) return 2;
+  if (fanout <= 10) return 4;
+  return 8;
+}
+
+/// Library cell for fn at (or nearest below/above) the desired drive.
+CellTypeId chooseCell(const CellLibrary& lib, CellFunction fn,
+                      std::int32_t fanout) {
+  const auto& variants = lib.cellsForFunction(fn);
+  DAGT_CHECK_MSG(!variants.empty(), "library lacks function "
+                                        << netlist::cellFunctionName(fn));
+  const int want = desiredDrive(fanout);
+  CellTypeId best = variants.front();
+  for (const CellTypeId id : variants) {
+    best = id;
+    if (lib.cell(id).driveStrength >= want) break;  // ascending menu
+  }
+  return best;
+}
+
+/// Net carrying `signal`, created on first use.
+NetId netFor(MapState& st, SignalId signal) {
+  NetId& net = st.netOf[static_cast<std::size_t>(signal)];
+  if (net == netlist::kInvalidId) {
+    net = st.out->addNet(st.driverOf[static_cast<std::size_t>(signal)]);
+  }
+  return net;
+}
+
+/// Emit one cell computing fn over already-mapped driver pins; returns the
+/// new cell's output pin. Used both for direct mapping and decomposition.
+PinId emitCell(MapState& st, CellFunction fn, std::int32_t fanout,
+               const std::vector<PinId>& inputDrivers) {
+  const CellTypeId type = chooseCell(*st.lib, fn, fanout);
+  const netlist::CellId cellId = st.out->addCell(type);
+  const auto& cell = st.out->cell(cellId);
+  DAGT_CHECK(cell.inputPins.size() == inputDrivers.size());
+  for (std::size_t i = 0; i < inputDrivers.size(); ++i) {
+    // Driver pins created during decomposition have no signal id; they get
+    // private single-sink nets here.
+    const PinId driver = inputDrivers[i];
+    NetId net = st.out->pin(driver).net;
+    if (net == netlist::kInvalidId) net = st.out->addNet(driver);
+    st.out->connectSink(net, cell.inputPins[i]);
+  }
+  return cell.outputPin;
+}
+
+/// Decompose an unsupported complex gate into 2-input primitives that the
+/// target library does provide. `in` holds the mapped fanin driver pins.
+PinId decompose(MapState& st, CellFunction fn, std::int32_t fanout,
+                const std::vector<PinId>& in) {
+  auto leaf = [&](CellFunction f, const std::vector<PinId>& pins) {
+    return emitCell(st, f, /*fanout=*/1, pins);
+  };
+  auto root = [&](CellFunction f, const std::vector<PinId>& pins) {
+    return emitCell(st, f, fanout, pins);
+  };
+  switch (fn) {
+    case CellFunction::kNand3:  // !(abc) = NAND2(AND2(a,b), c)
+      return root(CellFunction::kNand2,
+                  {leaf(CellFunction::kAnd2, {in[0], in[1]}), in[2]});
+    case CellFunction::kNor3:   // !(a+b+c) = NOR2(OR2(a,b), c)
+      return root(CellFunction::kNor2,
+                  {leaf(CellFunction::kOr2, {in[0], in[1]}), in[2]});
+    case CellFunction::kAoi21:  // !(ab + c) = NOR2(AND2(a,b), c)
+      return root(CellFunction::kNor2,
+                  {leaf(CellFunction::kAnd2, {in[0], in[1]}), in[2]});
+    case CellFunction::kOai21:  // !((a+b)c) = NAND2(OR2(a,b), c)
+      return root(CellFunction::kNand2,
+                  {leaf(CellFunction::kOr2, {in[0], in[1]}), in[2]});
+    case CellFunction::kMux2: {  // a!s + bs (inputs ordered a, b, s)
+      const PinId notS = leaf(CellFunction::kInv, {in[2]});
+      const PinId aTerm = leaf(CellFunction::kAnd2, {in[0], notS});
+      const PinId bTerm = leaf(CellFunction::kAnd2, {in[1], in[2]});
+      return root(CellFunction::kOr2, {aTerm, bTerm});
+    }
+    case CellFunction::kMaj3: {  // ab + c(a+b)
+      const PinId ab = leaf(CellFunction::kAnd2, {in[0], in[1]});
+      const PinId aOrB = leaf(CellFunction::kOr2, {in[0], in[1]});
+      const PinId cTerm = leaf(CellFunction::kAnd2, {in[2], aOrB});
+      return root(CellFunction::kOr2, {ab, cTerm});
+    }
+    default:
+      DAGT_CHECK_MSG(false, "no decomposition for "
+                                << netlist::cellFunctionName(fn));
+  }
+}
+
+}  // namespace
+
+Netlist TechMapper::map(const LogicNetwork& logic, const CellLibrary& library,
+                        const Options& options) {
+  Netlist out(&library, logic.spec().name);
+  MapState st;
+  st.logic = &logic;
+  st.lib = &library;
+  st.out = &out;
+  st.driverOf.assign(static_cast<std::size_t>(logic.numNodes()),
+                     netlist::kInvalidId);
+  st.netOf.assign(static_cast<std::size_t>(logic.numNodes()),
+                  netlist::kInvalidId);
+  st.fanoutOf.assign(static_cast<std::size_t>(logic.numNodes()), 0);
+  for (const auto& n : logic.nodes()) {
+    for (const SignalId f : n.fanin) {
+      ++st.fanoutOf[static_cast<std::size_t>(f)];
+    }
+  }
+
+  for (const SignalId id : logic.topologicalOrder()) {
+    const LogicNode& n = logic.node(id);
+    const std::int32_t fanout = st.fanoutOf[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case OpKind::kInput:
+        st.driverOf[static_cast<std::size_t>(id)] = out.addPrimaryInput();
+        break;
+      case OpKind::kGate: {
+        std::vector<PinId> inputDrivers;
+        inputDrivers.reserve(n.fanin.size());
+        for (const SignalId f : n.fanin) {
+          // Route through the source signal's shared net.
+          inputDrivers.push_back(st.driverOf[static_cast<std::size_t>(f)]);
+        }
+        PinId outPin;
+        const int arity = netlist::cellFunctionInputs(n.function);
+        const bool direct = library.supports(n.function) &&
+                            (options.preferComplexGates || arity <= 2);
+        if (direct) {
+          // Connect via the fanin signals' shared nets.
+          const CellTypeId type = chooseCell(library, n.function, fanout);
+          const netlist::CellId cellId = out.addCell(type);
+          const auto& cell = out.cell(cellId);
+          for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+            out.connectSink(netFor(st, n.fanin[i]), cell.inputPins[i]);
+          }
+          outPin = cell.outputPin;
+        } else {
+          DAGT_CHECK_MSG(arity > 2, "library lacks 2-input primitive "
+                                        << netlist::cellFunctionName(
+                                               n.function));
+          // Decomposition: first hook each fanin's shared net to a fresh
+          // buffer-free tap by passing the raw driver pins; decompose()
+          // wires intermediates privately.
+          std::vector<PinId> taps;
+          taps.reserve(n.fanin.size());
+          for (const SignalId f : n.fanin) {
+            taps.push_back(st.driverOf[static_cast<std::size_t>(f)]);
+            (void)netFor(st, f);  // ensure the shared net exists
+          }
+          outPin = decompose(st, n.function, fanout, taps);
+        }
+        st.driverOf[static_cast<std::size_t>(id)] = outPin;
+        break;
+      }
+      case OpKind::kRegister: {
+        const CellTypeId type =
+            chooseCell(library, CellFunction::kDff, fanout);
+        const netlist::CellId cellId = out.addCell(type);
+        const auto& cell = out.cell(cellId);
+        out.connectSink(netFor(st, n.fanin[0]), cell.inputPins[0]);
+        st.driverOf[static_cast<std::size_t>(id)] = cell.outputPin;
+        break;
+      }
+      case OpKind::kOutput: {
+        const PinId port = out.addPrimaryOutput();
+        out.connectSink(netFor(st, n.fanin[0]), port);
+        st.driverOf[static_cast<std::size_t>(id)] = netlist::kInvalidId;
+        break;
+      }
+    }
+  }
+
+  out.validate();
+  return out;
+}
+
+}  // namespace dagt::designgen

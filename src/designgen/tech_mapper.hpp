@@ -1,0 +1,32 @@
+#pragma once
+
+#include "designgen/logic_network.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dagt::designgen {
+
+/// Maps a technology-independent LogicNetwork onto a concrete technology
+/// node's cell library, producing a gate-level Netlist.
+///
+/// This is the step where node-dependent knowledge enters: cell choice,
+/// drive sizing and — when the target library lacks a complex gate — local
+/// decomposition into 2-input primitives. One LogicNetwork therefore yields
+/// structurally different netlists on 130nm vs 7nm while computing the same
+/// function, exactly the premise of the paper's Figure 4.
+struct MapperOptions {
+  /// Map complex gates 1:1 when the library offers them (true), or always
+  /// decompose to 2-input primitives (false; ablation knob).
+  bool preferComplexGates = true;
+};
+
+class TechMapper {
+ public:
+  using Options = MapperOptions;
+
+  /// Map `logic` onto `library`. The returned netlist passes validate().
+  static netlist::Netlist map(const LogicNetwork& logic,
+                              const netlist::CellLibrary& library,
+                              const Options& options = MapperOptions{});
+};
+
+}  // namespace dagt::designgen

@@ -1,0 +1,58 @@
+#include "eval/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace dagt::eval {
+
+double silvermanBandwidth(std::span<const float> samples) {
+  DAGT_CHECK(!samples.empty());
+  double mean = 0.0;
+  for (const float s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const float s : samples) {
+    var += (s - mean) * (s - mean);
+  }
+  var /= static_cast<double>(samples.size());
+  const double stddev = std::sqrt(var);
+  const double h = 1.06 * stddev *
+                   std::pow(static_cast<double>(samples.size()), -0.2);
+  return std::max(h, 1e-6);
+}
+
+KdeSeries kernelDensity(std::span<const float> samples,
+                        std::int32_t gridPoints, double bandwidth) {
+  DAGT_CHECK(!samples.empty());
+  DAGT_CHECK(gridPoints >= 2);
+  const double h = bandwidth > 0.0 ? bandwidth : silvermanBandwidth(samples);
+
+  const auto [minIt, maxIt] = std::minmax_element(samples.begin(),
+                                                  samples.end());
+  const double lo = static_cast<double>(*minIt) - 3.0 * h;
+  const double hi = static_cast<double>(*maxIt) + 3.0 * h;
+  const double step = (hi - lo) / static_cast<double>(gridPoints - 1);
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * h *
+             std::sqrt(2.0 * std::numbers::pi));
+
+  KdeSeries series;
+  series.x.resize(static_cast<std::size_t>(gridPoints));
+  series.density.resize(static_cast<std::size_t>(gridPoints));
+  for (std::int32_t i = 0; i < gridPoints; ++i) {
+    const double x = lo + step * i;
+    double acc = 0.0;
+    for (const float s : samples) {
+      const double z = (x - s) / h;
+      acc += std::exp(-0.5 * z * z);
+    }
+    series.x[static_cast<std::size_t>(i)] = x;
+    series.density[static_cast<std::size_t>(i)] = acc * norm;
+  }
+  return series;
+}
+
+}  // namespace dagt::eval

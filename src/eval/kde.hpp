@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dagt::eval {
+
+/// One kernel-density-estimate curve (paper Figure 6).
+struct KdeSeries {
+  std::vector<double> x;        // evaluation grid
+  std::vector<double> density;  // estimated pdf at each grid point
+};
+
+/// Gaussian kernel density estimate of 1-D samples on a uniform grid
+/// spanning [min - 3h, max + 3h]. bandwidth <= 0 selects Silverman's rule
+/// of thumb. Requires at least one sample.
+KdeSeries kernelDensity(std::span<const float> samples,
+                        std::int32_t gridPoints = 64,
+                        double bandwidth = 0.0);
+
+/// Silverman bandwidth: 1.06 * stddev * n^(-1/5) (floored to a small
+/// positive value for degenerate inputs).
+double silvermanBandwidth(std::span<const float> samples);
+
+}  // namespace dagt::eval

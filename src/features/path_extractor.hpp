@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/layout_maps.hpp"
+
+namespace dagt::features {
+
+/// One timing path G' in the paper's sense: the whole fanin cone of a
+/// timing endpoint (a sub-graph of the netlist), plus its footprint on the
+/// layout grid for CNN masking.
+struct TimingPath {
+  netlist::PinId endpoint = netlist::kInvalidId;
+  /// Pins of the fanin cone (endpoint included), ascending pin id.
+  std::vector<netlist::PinId> conePins;
+  /// Flattened layout-grid bins (gy * resolution + gx) touched by cone
+  /// pins; sorted unique. Used to mask the layout image per path.
+  std::vector<std::int32_t> maskBins;
+};
+
+/// Extracts Path(G) = {G'_i}: the fanin cone of every endpoint.
+class PathExtractor {
+ public:
+  /// Cones for all endpoints (ordered like Netlist::endpoints()).
+  /// `maps` may be null to skip mask-bin computation.
+  static std::vector<TimingPath> extract(const netlist::Netlist& netlist,
+                                         const place::LayoutMaps* maps);
+
+  /// Masked copy of the layout image for one path: bins outside the path's
+  /// footprint are zeroed (with the footprint dilated by one bin so local
+  /// context survives). Returns a flattened [3, res, res] image.
+  static std::vector<float> maskedImage(const place::LayoutMaps& maps,
+                                        const TimingPath& path);
+};
+
+}  // namespace dagt::features

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dagt::netlist {
+
+/// Technology node of a library / netlist. The paper transfers knowledge
+/// from a mature 130nm node (abundant data) to an advanced 7nm node
+/// (scarce data).
+enum class TechNode : std::uint8_t { k130nm = 0, k7nm = 1, k45nm = 2 };
+
+constexpr int kNumTechNodes = 3;
+
+/// Short printable name ("130nm" / "7nm").
+std::string techNodeName(TechNode node);
+
+/// Technology-independent logic function of a cell. The design generator
+/// emits networks over these functions; the technology mapper picks a
+/// node-specific CellType realizing each one.
+enum class CellFunction : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kMux2,
+  kAoi21,  // 3-input AND-OR-invert
+  kOai21,  // 3-input OR-AND-invert
+  kNand3,
+  kNor3,
+  kMaj3,   // 3-input majority
+  kDff,    // sequential element (D -> Q)
+};
+
+constexpr int kNumCellFunctions = 15;
+
+std::string cellFunctionName(CellFunction fn);
+
+/// Number of data inputs of a function (clock pins are not modeled).
+int cellFunctionInputs(CellFunction fn);
+
+/// Index of a CellType within its library.
+using CellTypeId = std::int32_t;
+constexpr CellTypeId kInvalidCellType = -1;
+
+/// One standard cell: a logic function at a technology node with a drive
+/// strength and NLDM-flavored electrical parameters.
+///
+/// Delay model (linear NLDM surrogate, calibrated per node):
+///   arc delay  = intrinsicDelay + driveRes * loadCap + slewSens * inSlew
+///   out slew   = slewIntrinsic  + slewRes  * loadCap
+/// Units: ps, fF, kOhm (ps = kOhm * fF).
+struct CellType {
+  std::string name;        // e.g. "NAND2_X2" (node implied by the library)
+  CellFunction function = CellFunction::kInv;
+  TechNode node = TechNode::k130nm;
+  int numInputs = 1;
+  int driveStrength = 1;   // 1 / 2 / 4
+  float inputCap = 0.0f;       // fF per input pin
+  float driveRes = 0.0f;       // kOhm
+  float intrinsicDelay = 0.0f; // ps
+  float slewSens = 0.0f;       // ps of delay per ps of input slew
+  float slewIntrinsic = 0.0f;  // ps
+  float slewRes = 0.0f;        // ps per fF of load
+  float area = 0.0f;           // um^2 footprint (placement sizing)
+  bool isSequential = false;
+  float clkToQ = 0.0f;         // ps, sequential cells only
+};
+
+/// A synthetic standard-cell library for one technology node.
+///
+/// Two libraries are provided (130nm / 7nm). They cover the same logic
+/// functions — so one design maps onto both — but with an order-of-magnitude
+/// gap in delays and capacitances, reproducing the arrival-time distribution
+/// gap of the paper's Figure 6, and with *different drive-strength menus and
+/// decomposition preferences* so the mapped netlist graphs differ (Fig. 4).
+class CellLibrary {
+ public:
+  /// Build the built-in synthetic library for a node.
+  static CellLibrary makeNode(TechNode node);
+
+  /// Assemble a library from explicit cells and wire parameters (used by
+  /// the .dagtlib reader and by tests that need bespoke libraries).
+  static CellLibrary assemble(TechNode node, std::vector<CellType> cells,
+                              float unitWireRes, float unitWireCap,
+                              float sitePitch, float defaultInputSlew);
+
+  /// Cell with the given name, or kInvalidCellType.
+  CellTypeId findCellByName(const std::string& name) const;
+
+  TechNode node() const { return node_; }
+  int numCells() const { return static_cast<int>(cells_.size()); }
+  const CellType& cell(CellTypeId id) const;
+
+  /// Cell implementing fn at the given drive strength; kInvalidCellType if
+  /// the library has no such variant.
+  CellTypeId findCell(CellFunction fn, int driveStrength) const;
+  /// All drive variants for a function, ascending drive.
+  const std::vector<CellTypeId>& cellsForFunction(CellFunction fn) const;
+  /// True when the library offers fn at any drive strength.
+  bool supports(CellFunction fn) const;
+
+  // Wire parasitics per unit length (um): kOhm/um and fF/um.
+  float unitWireRes() const { return unitWireRes_; }
+  float unitWireCap() const { return unitWireCap_; }
+  /// Placement site pitch (um) — average cell footprint edge.
+  float sitePitch() const { return sitePitch_; }
+  /// Primary-input default slew (ps) and port arrival offset (ps).
+  float defaultInputSlew() const { return defaultInputSlew_; }
+
+ private:
+  CellLibrary() = default;
+
+  CellTypeId addCell(CellType cell);
+
+  TechNode node_ = TechNode::k130nm;
+  std::vector<CellType> cells_;
+  std::vector<std::vector<CellTypeId>> byFunction_;  // [function] -> ids
+  float unitWireRes_ = 0.0f;
+  float unitWireCap_ = 0.0f;
+  float sitePitch_ = 1.0f;
+  float defaultInputSlew_ = 0.0f;
+};
+
+/// Merged gate-type vocabulary across technology nodes.
+///
+/// The paper one-hot encodes gate type over "the total gate set" merged
+/// across nodes: the same logical function on different nodes is a
+/// *different* vocabulary entry — this is exactly the node-dependent
+/// information the disentangler learns to separate.
+class GateTypeVocabulary {
+ public:
+  /// Build from the libraries of the participating nodes (any subset of
+  /// TechNode, each at most once, in ascending enum order).
+  explicit GateTypeVocabulary(const std::vector<const CellLibrary*>& libs);
+
+  int size() const { return size_; }
+  /// One-hot slot for a cell type of a given node's library. The node must
+  /// be part of the vocabulary.
+  int indexOf(TechNode node, CellTypeId cellType) const;
+  /// True if the node participates in this vocabulary.
+  bool hasNode(TechNode node) const;
+  /// Extra slots for port pseudo-gates (primary input / output).
+  int primaryInputIndex() const { return size_ - 2; }
+  int primaryOutputIndex() const { return size_ - 1; }
+
+ private:
+  std::vector<int> offsets_;  // per TechNode enum value; -1 = absent
+  std::vector<int> counts_;   // per TechNode enum value
+  int size_ = 0;
+};
+
+}  // namespace dagt::netlist

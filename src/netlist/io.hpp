@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+/// Plain-text interchange formats for libraries and netlists — the
+/// miniature equivalents of Liberty and structural Verilog/DEF that let
+/// generated designs be inspected, diffed and reloaded.
+///
+/// Both formats are line-oriented and round-trip exact: reading a written
+/// file reproduces identical ids, connectivity and placement.
+namespace dagt::netlist::io {
+
+// -- Library (.dagtlib) ------------------------------------------------------
+
+void writeLibrary(const CellLibrary& library, std::ostream& out);
+void writeLibraryFile(const CellLibrary& library, const std::string& path);
+
+CellLibrary readLibrary(std::istream& in);
+CellLibrary readLibraryFile(const std::string& path);
+
+// -- Netlist (.dagtnl) -------------------------------------------------------
+
+/// The netlist format references cells by type *name*; the reader resolves
+/// them against the provided library (which must outlive the netlist).
+void writeNetlist(const Netlist& netlist, std::ostream& out);
+void writeNetlistFile(const Netlist& netlist, const std::string& path);
+
+Netlist readNetlist(std::istream& in, const CellLibrary& library);
+Netlist readNetlistFile(const std::string& path, const CellLibrary& library);
+
+}  // namespace dagt::netlist::io

@@ -1,0 +1,87 @@
+#include "nn/module.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace dagt::nn {
+
+std::vector<tensor::Tensor> Module::parameters() const {
+  std::vector<tensor::Tensor> all(ownParameters_);
+  for (const Module* child : children_) {
+    const auto childParams = child->parameters();
+    all.insert(all.end(), childParams.begin(), childParams.end());
+  }
+  return all;
+}
+
+void Module::zeroGrad() {
+  for (auto& p : parameters()) p.zeroGrad();
+}
+
+std::int64_t Module::parameterCount() const {
+  std::int64_t count = 0;
+  for (const auto& p : parameters()) count += p.numel();
+  return count;
+}
+
+void Module::copyParametersFrom(const Module& other) {
+  auto dst = parameters();
+  const auto src = other.parameters();
+  DAGT_CHECK_MSG(dst.size() == src.size(),
+                 "copyParametersFrom: parameter count mismatch "
+                     << dst.size() << " vs " << src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    DAGT_CHECK_MSG(dst[i].shape() == src[i].shape(),
+                   "copyParametersFrom: shape mismatch at parameter " << i);
+    std::copy(src[i].data(), src[i].data() + src[i].numel(), dst[i].data());
+  }
+}
+
+void Module::saveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  DAGT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const auto params = parameters();
+  const std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const std::uint64_t n = static_cast<std::uint64_t>(p.numel());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  DAGT_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void Module::loadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DAGT_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  auto params = parameters();
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  DAGT_CHECK_MSG(count == params.size(),
+                 "loadParameters: file has " << count << " tensors, model has "
+                                             << params.size());
+  for (auto& p : params) {
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    DAGT_CHECK_MSG(n == static_cast<std::uint64_t>(p.numel()),
+                   "loadParameters: tensor size mismatch");
+    in.read(reinterpret_cast<char*>(p.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    DAGT_CHECK_MSG(in.good(), "read from " << path << " failed");
+  }
+}
+
+tensor::Tensor Module::registerParameter(tensor::Tensor parameter) {
+  DAGT_CHECK(parameter.defined());
+  parameter.setRequiresGrad(true);
+  ownParameters_.push_back(parameter);
+  return parameter;
+}
+
+void Module::registerChild(Module& child) { children_.push_back(&child); }
+
+}  // namespace dagt::nn

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dagt::nn {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns its parameter tensors and may contain child modules;
+/// parameters() flattens the whole subtree in registration order, which is
+/// the order used by optimizers and by save/load, so it must be stable.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, in registration order.
+  std::vector<tensor::Tensor> parameters() const;
+
+  /// Zero the gradient buffers of every parameter in the subtree.
+  void zeroGrad();
+
+  /// Total number of scalar parameters in the subtree.
+  std::int64_t parameterCount() const;
+
+  /// Copy parameter values from another module with an identical
+  /// architecture (used by pretraining-then-finetuning).
+  void copyParametersFrom(const Module& other);
+
+  /// Serialize parameter values (binary, little-endian float32).
+  void saveParameters(const std::string& path) const;
+  /// Load values saved by saveParameters; shapes must match exactly.
+  void loadParameters(const std::string& path);
+
+ protected:
+  /// Register an owned parameter; returns the same tensor for convenience.
+  tensor::Tensor registerParameter(tensor::Tensor parameter);
+  /// Register a child module (must outlive this module; typically a member).
+  void registerChild(Module& child);
+
+ private:
+  std::vector<tensor::Tensor> ownParameters_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace dagt::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placer.hpp"
+
+namespace dagt::place {
+
+/// Rasterized layout image set — the CNN input of the paper (Section 3.1):
+/// channel 0: cell density map,
+/// channel 1: RUDY (rectangular uniform wire density) map,
+/// channel 2: macro-cell region map.
+///
+/// All channels share a resolution x resolution grid over the die area.
+/// Values are normalized to roughly [0, 1] per channel.
+class LayoutMaps {
+ public:
+  LayoutMaps(const netlist::Netlist& netlist, const PlacementResult& placement,
+             std::int32_t resolution);
+
+  std::int32_t resolution() const { return resolution_; }
+  /// Flattened [3, resolution, resolution] image (row-major, channel-first),
+  /// ready to feed a CNN.
+  const std::vector<float>& image() const { return image_; }
+
+  float cellDensityAt(std::int32_t gx, std::int32_t gy) const;
+  float rudyAt(std::int32_t gx, std::int32_t gy) const;
+  float macroAt(std::int32_t gx, std::int32_t gy) const;
+
+  /// Grid bin containing a die location (clamped to the grid).
+  std::pair<std::int32_t, std::int32_t> binOf(Point p) const;
+  /// RUDY congestion at a die location — consumed by the routing estimator
+  /// to model congestion-driven detours.
+  float congestionAt(Point p) const;
+
+ private:
+  float& at(std::int32_t channel, std::int32_t gx, std::int32_t gy);
+  float at(std::int32_t channel, std::int32_t gx, std::int32_t gy) const;
+
+  std::int32_t resolution_;
+  Rect die_;
+  std::vector<float> image_;
+};
+
+}  // namespace dagt::place

@@ -1,0 +1,255 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dagt::place {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+namespace {
+
+/// HPWL of one net under the current locations.
+float netHpwl(const Netlist& nl, NetId id) {
+  const auto& net = nl.net(id);
+  Rect box{nl.pinLocation(net.driver), nl.pinLocation(net.driver)};
+  for (const PinId sink : net.sinks) box.expand(nl.pinLocation(sink));
+  return box.halfPerimeter();
+}
+
+/// Logic depth of each cell over the cell-level DAG (registers reset to 0),
+/// used to seed a left-to-right dataflow placement.
+std::vector<std::int32_t> cellDepths(const Netlist& nl) {
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(nl.numCells()), 0);
+  // Pin topological order visits a cell's output after all its inputs.
+  for (const PinId pin : nl.topologicalPinOrder()) {
+    const auto& p = nl.pin(pin);
+    if (p.kind != netlist::PinKind::kCellOutput) continue;
+    const auto& cell = nl.cell(p.cell);
+    if (nl.library().cell(cell.type).isSequential) continue;  // depth 0
+    std::int32_t best = 0;
+    for (const PinId in : cell.inputPins) {
+      const auto& ip = nl.pin(in);
+      if (ip.net == netlist::kInvalidId) continue;
+      const PinId driver = nl.net(ip.net).driver;
+      const auto& dp = nl.pin(driver);
+      if (dp.cell != netlist::kInvalidId) {
+        best = std::max(best, depth[static_cast<std::size_t>(dp.cell)] + 1);
+      }
+    }
+    depth[static_cast<std::size_t>(p.cell)] = best;
+  }
+  return depth;
+}
+
+}  // namespace
+
+float totalHpwl(const Netlist& nl) {
+  float total = 0.0f;
+  for (NetId n = 0; n < nl.numNets(); ++n) total += netHpwl(nl, n);
+  return total;
+}
+
+PlacementResult Placer::place(Netlist& nl, const PlacerConfig& config) {
+  DAGT_CHECK(config.utilization > 0.05f && config.utilization <= 1.0f);
+  const auto& lib = nl.library();
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(nl.numCells()) << 20));
+
+  // --- Die sizing -----------------------------------------------------
+  float totalArea = 0.0f;
+  for (CellId c = 0; c < nl.numCells(); ++c) {
+    totalArea += nl.cellTypeOf(c).area;
+  }
+  const float placeable = totalArea / config.utilization;
+  float side = std::sqrt(placeable);
+  // Reserve extra room for macros before computing the site grid.
+  const std::int32_t numMacros = nl.numCells() >= 64 ? config.numMacros : 0;
+  if (numMacros > 0) side *= std::sqrt(1.0f + 0.18f * numMacros);
+  PlacementResult result;
+  result.dieArea = {{0.0f, 0.0f}, {side, side}};
+
+  // --- Macro blockages --------------------------------------------------
+  // Corner-anchored rectangles like hardened SRAM/IP blocks.
+  for (std::int32_t m = 0; m < numMacros; ++m) {
+    const float mw = side * static_cast<float>(rng.uniform(0.18, 0.30));
+    const float mh = side * static_cast<float>(rng.uniform(0.18, 0.30));
+    Point lo;
+    switch (m % 4) {
+      case 0: lo = {0.0f, 0.0f}; break;
+      case 1: lo = {side - mw, side - mh}; break;
+      case 2: lo = {0.0f, side - mh}; break;
+      default: lo = {side - mw, 0.0f}; break;
+    }
+    result.macros.push_back({lo, {lo.x + mw, lo.y + mh}});
+  }
+  auto inMacro = [&](const Point& p) {
+    for (const Rect& m : result.macros) {
+      if (m.contains(p)) return true;
+    }
+    return false;
+  };
+
+  // --- Site grid ----------------------------------------------------------
+  // Uniform sites; enough of them to host every cell outside macros.
+  std::vector<Point> sites;
+  {
+    std::int32_t perSide = static_cast<std::int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(nl.numCells()) /
+                            config.utilization)));
+    perSide = std::max<std::int32_t>(perSide, 2);
+    while (true) {
+      sites.clear();
+      const float pitch = side / static_cast<float>(perSide);
+      for (std::int32_t gy = 0; gy < perSide; ++gy) {
+        for (std::int32_t gx = 0; gx < perSide; ++gx) {
+          const Point p{(static_cast<float>(gx) + 0.5f) * pitch,
+                        (static_cast<float>(gy) + 0.5f) * pitch};
+          if (!inMacro(p)) sites.push_back(p);
+        }
+      }
+      if (static_cast<std::int64_t>(sites.size()) >= nl.numCells()) break;
+      ++perSide;  // macros ate too many sites; densify
+    }
+    (void)lib;
+  }
+
+  // --- Constructive seeding -------------------------------------------
+  // Order cells by logic depth (dataflow left to right) with random
+  // tie-breaking, then assign to sites sorted by x (then y).
+  const auto depths = cellDepths(nl);
+  std::vector<CellId> order(static_cast<std::size_t>(nl.numCells()));
+  for (CellId c = 0; c < nl.numCells(); ++c) {
+    order[static_cast<std::size_t>(c)] = c;
+  }
+  std::vector<float> sortKey(order.size());
+  for (const CellId c : order) {
+    sortKey[static_cast<std::size_t>(c)] =
+        static_cast<float>(depths[static_cast<std::size_t>(c)]) +
+        static_cast<float>(rng.uniform()) * 0.9f;
+  }
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    return sortKey[static_cast<std::size_t>(a)] <
+           sortKey[static_cast<std::size_t>(b)];
+  });
+  std::vector<Point> siteByX = sites;
+  std::sort(siteByX.begin(), siteByX.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  // cellSite[c] = index into siteByX
+  std::vector<std::int32_t> cellSite(order.size());
+  std::vector<CellId> siteCell(siteByX.size(), netlist::kInvalidId);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    cellSite[static_cast<std::size_t>(order[i])] =
+        static_cast<std::int32_t>(i);
+    siteCell[i] = order[i];
+    nl.setCellLocation(order[i], siteByX[i]);
+  }
+
+  // --- Ports along the boundary -----------------------------------------
+  {
+    const auto& pis = nl.primaryInputs();
+    const auto& pos = nl.primaryOutputs();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      const float y = side * (static_cast<float>(i) + 0.5f) /
+                      static_cast<float>(pis.size());
+      nl.setPortLocation(pis[i], {0.0f, y});  // west edge
+    }
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      const float y = side * (static_cast<float>(i) + 0.5f) /
+                      static_cast<float>(pos.size());
+      nl.setPortLocation(pos[i], {side, y});  // east edge
+    }
+  }
+
+  result.initialHpwl = totalHpwl(nl);
+
+  // --- Annealing refinement ----------------------------------------------
+  // Swap-based SA over sites. Cost delta is evaluated exactly over the nets
+  // incident to the two touched cells.
+  std::vector<std::vector<NetId>> cellNets(
+      static_cast<std::size_t>(nl.numCells()));
+  for (CellId c = 0; c < nl.numCells(); ++c) {
+    const auto& cell = nl.cell(c);
+    std::vector<NetId> nets;
+    for (const PinId in : cell.inputPins) {
+      if (nl.pin(in).net != netlist::kInvalidId) nets.push_back(nl.pin(in).net);
+    }
+    if (nl.pin(cell.outputPin).net != netlist::kInvalidId) {
+      nets.push_back(nl.pin(cell.outputPin).net);
+    }
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    cellNets[static_cast<std::size_t>(c)] = std::move(nets);
+  }
+  auto affectedCost = [&](CellId a, CellId b) {
+    float cost = 0.0f;
+    for (const NetId n : cellNets[static_cast<std::size_t>(a)]) {
+      cost += netHpwl(nl, n);
+    }
+    if (b != netlist::kInvalidId) {
+      for (const NetId n : cellNets[static_cast<std::size_t>(b)]) {
+        // Shared nets counted twice on both sides of the delta — harmless.
+        cost += netHpwl(nl, n);
+      }
+    }
+    return cost;
+  };
+
+  const std::int64_t totalMoves =
+      static_cast<std::int64_t>(config.annealMovesPerCell) * nl.numCells();
+  const float meanNetLen =
+      result.initialHpwl / std::max<float>(1.0f, static_cast<float>(nl.numNets()));
+  float temperature = config.initialTemperature * meanNetLen;
+  const float cooling =
+      totalMoves > 0
+          ? std::pow(0.02f, 1.0f / static_cast<float>(totalMoves))
+          : 1.0f;
+
+  for (std::int64_t move = 0; move < totalMoves; ++move) {
+    const CellId a =
+        static_cast<CellId>(rng.uniformInt(static_cast<std::uint64_t>(
+            nl.numCells())));
+    const std::int32_t targetSite = static_cast<std::int32_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(siteByX.size())));
+    const std::int32_t aSite = cellSite[static_cast<std::size_t>(a)];
+    if (targetSite == aSite) continue;
+    const CellId b = siteCell[static_cast<std::size_t>(targetSite)];
+    if (b == a) continue;
+
+    const float before = affectedCost(a, b);
+    nl.setCellLocation(a, siteByX[static_cast<std::size_t>(targetSite)]);
+    if (b != netlist::kInvalidId) {
+      nl.setCellLocation(b, siteByX[static_cast<std::size_t>(aSite)]);
+    }
+    const float after = affectedCost(a, b);
+    const float delta = after - before;
+    const bool accept =
+        delta <= 0.0f ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-6f));
+    if (accept) {
+      cellSite[static_cast<std::size_t>(a)] = targetSite;
+      siteCell[static_cast<std::size_t>(targetSite)] = a;
+      siteCell[static_cast<std::size_t>(aSite)] = b;
+      if (b != netlist::kInvalidId) {
+        cellSite[static_cast<std::size_t>(b)] = aSite;
+      }
+    } else {
+      nl.setCellLocation(a, siteByX[static_cast<std::size_t>(aSite)]);
+      if (b != netlist::kInvalidId) {
+        nl.setCellLocation(b, siteByX[static_cast<std::size_t>(targetSite)]);
+      }
+    }
+    temperature *= cooling;
+  }
+
+  result.finalHpwl = totalHpwl(nl);
+  return result;
+}
+
+}  // namespace dagt::place

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dagt::place {
+
+struct PlacerConfig {
+  float utilization = 0.6f;      // cell area / placeable die area
+  std::int32_t annealMovesPerCell = 24;
+  float initialTemperature = 0.8f;  // fraction of mean net HPWL
+  std::uint64_t seed = 7;
+  /// Synthetic macro blocks (memory/IP regions). Auto-sized to the die;
+  /// 0 disables. Macros create the blockages that give the macro-region
+  /// layout channel its content.
+  std::int32_t numMacros = 2;
+};
+
+/// Result of placement: die outline and macro blockages. Cell and port
+/// locations are written into the netlist itself.
+struct PlacementResult {
+  Rect dieArea;
+  std::vector<Rect> macros;
+  float finalHpwl = 0.0f;   // sum of net half-perimeters after refinement
+  float initialHpwl = 0.0f; // after the constructive pass, before annealing
+};
+
+/// Grid placer: constructive depth-ordered seeding followed by
+/// simulated-annealing swap refinement of half-perimeter wirelength.
+///
+/// Cells occupy uniform sites (cell widths are abstracted away — at the
+/// fidelity of a pre-routing predictor only relative distance and density
+/// matter). Ports are distributed along the die boundary. Macro rectangles
+/// are blocked out before site assignment.
+class Placer {
+ public:
+  static PlacementResult place(netlist::Netlist& netlist,
+                               const PlacerConfig& config = PlacerConfig{});
+};
+
+/// Total half-perimeter wirelength of the current placement.
+float totalHpwl(const netlist::Netlist& netlist);
+
+}  // namespace dagt::place

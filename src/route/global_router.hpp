@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/placer.hpp"
+
+namespace dagt::route {
+
+struct RouterConfig {
+  /// Routing-grid resolution (GCells per die edge).
+  std::int32_t gridSize = 32;
+  /// Tracks per GCell edge, scaled with GCell span; the derived capacity is
+  /// capacityScale * span_um / sitePitch (several routing layers share the
+  /// GCell boundary, hence well above one track per site).
+  float capacityScale = 20.0f;
+  /// Nets are routed shortest-first (ascending HPWL) — the classic ordering
+  /// that lets small nets lock in before long nets must detour.
+  bool sortByHpwl = true;
+};
+
+/// Per-sink routed segment.
+struct RoutedSink {
+  netlist::PinId sink = netlist::kInvalidId;
+  float length = 0.0f;  // um along the routed staircase (>= Manhattan)
+};
+
+struct RoutedNet {
+  std::vector<RoutedSink> sinks;
+};
+
+/// Result of one global-routing pass.
+struct RoutingResult {
+  std::vector<RoutedNet> nets;       // indexed by NetId
+  float totalWirelength = 0.0f;      // um
+  std::int64_t overflowEdges = 0;    // edges demanded beyond capacity
+  float maxUtilization = 0.0f;       // peak demand / capacity
+  /// Horizontal / vertical edge demand grids (for congestion maps):
+  /// hUsage[y * (G-1) + x] = demand on the edge (x,y)->(x+1,y), etc.
+  std::vector<float> hUsage;
+  std::vector<float> vUsage;
+  std::int32_t gridSize = 0;
+};
+
+/// Capacity-modeled greedy global router.
+///
+/// Each driver-sink connection is routed as a monotone staircase on the
+/// GCell grid; at every step the router picks the horizontal or vertical
+/// edge with lower utilization, and when both frontier edges are
+/// saturated it takes a perpendicular escape step — this is how congestion
+/// turns into measurable extra wirelength (the detours the pre-routing
+/// predictor has to anticipate). A deliberately small stand-in for a
+/// full maze/ripup-reroute global router, with the same observable
+/// outputs: per-sink routed lengths, edge utilization and overflow.
+class GlobalRouter {
+ public:
+  static RoutingResult route(const netlist::Netlist& netlist,
+                             const place::PlacementResult& placement,
+                             const RouterConfig& config = RouterConfig{});
+};
+
+}  // namespace dagt::route

@@ -1,0 +1,109 @@
+#include "sta/incremental_sta.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace dagt::sta {
+
+using netlist::CellId;
+using netlist::Netlist;
+using netlist::PinId;
+
+IncrementalSta::IncrementalSta(const Netlist& nl,
+                               std::vector<NetParasitics> parasitics)
+    : netlist_(&nl), parasitics_(std::move(parasitics)) {
+  evaluator_ = std::make_unique<detail::PinEvaluator>(nl, parasitics_);
+  topoOrder_ = nl.topologicalPinOrder();
+  topoPosition_.assign(static_cast<std::size_t>(nl.numPins()), 0);
+  for (std::size_t i = 0; i < topoOrder_.size(); ++i) {
+    topoPosition_[static_cast<std::size_t>(topoOrder_[i])] =
+        static_cast<std::int32_t>(i);
+  }
+  fanout_.assign(static_cast<std::size_t>(nl.numPins()), {});
+  for (PinId p = 0; p < nl.numPins(); ++p) {
+    for (const PinId f : nl.timingFanin(p)) {
+      fanout_[static_cast<std::size_t>(f)].push_back(p);
+    }
+  }
+  fullRefresh();
+}
+
+void IncrementalSta::fullRefresh() {
+  result_ = StaEngine::run(*netlist_, parasitics_);
+  lastVisited_ = netlist_->numPins();
+}
+
+void IncrementalSta::onCellResized(CellId cellId) {
+  const Netlist& nl = *netlist_;
+  const auto& cell = nl.cell(cellId);
+
+  // A resize changes this cell's input pin capacitances, hence (a) the
+  // load of every fanin net — their drivers' arrival/slew must be
+  // re-evaluated, (b) the Elmore wire delay *into each input pin* (the
+  // sink capacitance term changed even if the driver did not — e.g. a
+  // primary-input driver is load-independent), and (c) the cell's own
+  // arcs (drive resistance / intrinsic delay).
+  std::vector<PinId> seeds;
+  for (const PinId in : cell.inputPins) {
+    const auto net = nl.pin(in).net;
+    if (net == netlist::kInvalidId) continue;
+    evaluator_->refreshLoad(net, result_);
+    seeds.push_back(nl.net(net).driver);
+    seeds.push_back(in);
+  }
+  seeds.push_back(cell.outputPin);
+  propagateFrom(std::move(seeds));
+}
+
+void IncrementalSta::propagateFrom(std::vector<PinId> seeds) {
+  // Min-heap over topological position so every pin is evaluated after all
+  // of its dirty fanins — identical ordering discipline to the full sweep.
+  using Entry = std::pair<std::int32_t, PinId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<std::uint8_t> enqueued(
+      static_cast<std::size_t>(netlist_->numPins()), 0);
+  for (const PinId s : seeds) {
+    if (!enqueued[static_cast<std::size_t>(s)]) {
+      enqueued[static_cast<std::size_t>(s)] = 1;
+      queue.emplace(topoPosition_[static_cast<std::size_t>(s)], s);
+    }
+  }
+
+  lastVisited_ = 0;
+  while (!queue.empty()) {
+    const PinId pin = queue.top().second;
+    queue.pop();
+    const std::size_t pi = static_cast<std::size_t>(pin);
+    enqueued[pi] = 0;
+    ++lastVisited_;
+
+    const float oldArrival = result_.arrival[pi];
+    const float oldSlew = result_.slew[pi];
+    evaluator_->evaluatePin(pin, result_);
+    // Exact comparison: the cone is pruned only where the recomputed
+    // values are bit-identical, so the final state equals a full sweep
+    // (evaluatePin is a pure function of fanin values and loads).
+    if (result_.arrival[pi] == oldArrival && result_.slew[pi] == oldSlew) {
+      continue;
+    }
+    for (const PinId out : fanout_[pi]) {
+      if (!enqueued[static_cast<std::size_t>(out)]) {
+        enqueued[static_cast<std::size_t>(out)] = 1;
+        queue.emplace(topoPosition_[static_cast<std::size_t>(out)], out);
+      }
+    }
+  }
+  refreshWorstArrival();
+}
+
+void IncrementalSta::refreshWorstArrival() {
+  result_.worstArrival = 0.0f;
+  for (const PinId e : netlist_->endpoints()) {
+    result_.worstArrival = std::max(
+        result_.worstArrival, result_.arrival[static_cast<std::size_t>(e)]);
+  }
+}
+
+}  // namespace dagt::sta

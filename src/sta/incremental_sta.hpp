@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/pin_eval.hpp"
+#include "sta/sta_engine.hpp"
+
+namespace dagt::sta {
+
+/// Incremental static timing: after a local netlist edit (gate resize),
+/// re-evaluates only the transitive fanout cone of the changed pins
+/// instead of sweeping the whole design.
+///
+/// This is the engine primitive behind fast inner-loop optimization
+/// (resize -> query -> accept/reject): on a typical design a single
+/// resize touches a small fraction of the pins. Results are exactly equal
+/// to a full StaEngine::run because both apply the same PinEvaluator in
+/// topological order.
+///
+/// The tracked netlist must not change *structurally* (no new pins/nets)
+/// while an IncrementalSta is attached; resizing cells is the supported
+/// edit. Parasitics are fixed at construction (placement unchanged).
+class IncrementalSta {
+ public:
+  IncrementalSta(const netlist::Netlist& netlist,
+                 std::vector<NetParasitics> parasitics);
+
+  /// Current timing view (always consistent with the netlist state).
+  const TimingResult& timing() const { return result_; }
+
+  /// Notify that `cell` was resized (same function, different drive):
+  /// updates the loads of its fanin nets and re-propagates the dirty cone.
+  void onCellResized(netlist::CellId cell);
+
+  /// Pins re-evaluated by the most recent update (diagnostics / tests).
+  std::int64_t lastUpdateVisited() const { return lastVisited_; }
+
+  /// Recompute everything from scratch (reference path; also used at
+  /// construction).
+  void fullRefresh();
+
+ private:
+  void propagateFrom(std::vector<netlist::PinId> seeds);
+  void refreshWorstArrival();
+
+  const netlist::Netlist* netlist_;
+  std::vector<NetParasitics> parasitics_;
+  std::unique_ptr<detail::PinEvaluator> evaluator_;
+  TimingResult result_;
+  std::vector<std::int32_t> topoPosition_;           // pin -> order index
+  std::vector<netlist::PinId> topoOrder_;            // order index -> pin
+  std::vector<std::vector<netlist::PinId>> fanout_;  // timing-graph fanout
+  std::int64_t lastVisited_ = 0;
+};
+
+}  // namespace dagt::sta

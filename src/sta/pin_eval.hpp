@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared per-pin timing evaluation used by both the full StaEngine sweep
+// and the IncrementalSta cone updater. Keeping a single implementation
+// guarantees the two engines agree bit-for-bit.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/route_estimator.hpp"
+
+namespace dagt::sta {
+
+struct TimingResult;
+
+namespace detail {
+
+/// Evaluation context: the netlist, its parasitics, and the sink-wire
+/// lookup. Construction is O(pins); evaluatePin is O(fanin).
+class PinEvaluator {
+ public:
+  PinEvaluator(const netlist::Netlist& netlist,
+               const std::vector<NetParasitics>& parasitics);
+
+  /// Total capacitance driven by a net (wire + sink pins). Depends on the
+  /// current cell types, so it must be re-queried after a resize.
+  float netLoad(netlist::NetId net) const;
+
+  /// Write the load of every net into result.loadCap (driver-indexed).
+  void refreshLoads(TimingResult& result) const;
+  /// Refresh the load of one net only.
+  void refreshLoad(netlist::NetId net, TimingResult& result) const;
+
+  /// Recompute arrival/slew of one pin from its fanins (which must already
+  /// be up to date) and the current loads. Pure function of the inputs —
+  /// the full sweep applies it in topological order, the incremental
+  /// engine along the dirty cone.
+  void evaluatePin(netlist::PinId pin, TimingResult& result) const;
+
+  const netlist::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const netlist::Netlist* netlist_;
+  const std::vector<NetParasitics>* parasitics_;
+  std::vector<const SinkWire*> wireOfSink_;
+};
+
+}  // namespace detail
+}  // namespace dagt::sta

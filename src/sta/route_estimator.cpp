@@ -1,0 +1,61 @@
+#include "sta/route_estimator.hpp"
+
+#include "common/check.hpp"
+
+namespace dagt::sta {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+RouteEstimator::RouteEstimator(const Netlist& nl,
+                               const place::LayoutMaps* congestion,
+                               RouteConfig config)
+    : netlist_(&nl), congestion_(congestion), config_(config) {
+  if (config_.model == WireModel::kRouted) {
+    DAGT_CHECK_MSG(congestion_ != nullptr,
+                   "routed wire model needs a congestion map");
+  }
+}
+
+NetParasitics RouteEstimator::estimate(NetId netId) const {
+  const Netlist& nl = *netlist_;
+  const auto& net = nl.net(netId);
+  const auto& lib = nl.library();
+  const Point driverLoc = nl.pinLocation(net.driver);
+
+  NetParasitics result;
+  result.sinks.reserve(net.sinks.size());
+  for (const PinId sink : net.sinks) {
+    const Point sinkLoc = nl.pinLocation(sink);
+    float length = manhattan(driverLoc, sinkLoc);
+    // Minimum segment: pins of abutting cells still see local wiring.
+    length = std::max(length, lib.sitePitch() * 0.5f);
+    if (config_.model == WireModel::kRouted) {
+      const Point mid{(driverLoc.x + sinkLoc.x) * 0.5f,
+                      (driverLoc.y + sinkLoc.y) * 0.5f};
+      const float congestion = congestion_->congestionAt(mid);
+      length *= 1.0f + config_.baseDetour +
+                config_.congestionDetourFactor * congestion;
+    }
+    SinkWire wire;
+    wire.sink = sink;
+    wire.length = length;
+    wire.resistance = lib.unitWireRes() * length;
+    wire.capacitance = lib.unitWireCap() * length;
+    result.totalWireCap += wire.capacitance;
+    result.sinks.push_back(wire);
+  }
+  return result;
+}
+
+std::vector<NetParasitics> RouteEstimator::estimateAll() const {
+  std::vector<NetParasitics> all;
+  all.reserve(static_cast<std::size_t>(netlist_->numNets()));
+  for (NetId n = 0; n < netlist_->numNets(); ++n) {
+    all.push_back(estimate(n));
+  }
+  return all;
+}
+
+}  // namespace dagt::sta

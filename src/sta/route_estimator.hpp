@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "place/layout_maps.hpp"
+
+namespace dagt::sta {
+
+/// Wire-length model stage. Pre-routing lengths are plain Manhattan
+/// (star topology from the placement); routed lengths add congestion-driven
+/// detours read from the RUDY map — this gap between the two models is the
+/// information a pre-routing predictor has to learn.
+enum class WireModel : std::uint8_t { kPreRouting, kRouted };
+
+struct RouteConfig {
+  WireModel model = WireModel::kPreRouting;
+  /// Detour strength: routed length = L * (1 + factor * congestion).
+  float congestionDetourFactor = 0.6f;
+  /// Constant routed-vs-estimated inflation (vias, non-ideal topology).
+  float baseDetour = 0.12f;
+};
+
+/// Per-sink wire parasitics of one net.
+struct SinkWire {
+  netlist::PinId sink = netlist::kInvalidId;
+  float length = 0.0f;      // um
+  float resistance = 0.0f;  // kOhm
+  float capacitance = 0.0f; // fF
+};
+
+/// Parasitics of a net under a wire model.
+struct NetParasitics {
+  std::vector<SinkWire> sinks;
+  float totalWireCap = 0.0f;  // fF, all segments
+};
+
+/// Computes net parasitics from placement (and, for the routed model, the
+/// congestion map). A thin, deterministic stand-in for a global router +
+/// RC extractor.
+class RouteEstimator {
+ public:
+  RouteEstimator(const netlist::Netlist& netlist,
+                 const place::LayoutMaps* congestion, RouteConfig config);
+
+  /// Parasitics of one net (star topology, per-sink segments).
+  NetParasitics estimate(netlist::NetId net) const;
+
+  /// Parasitics for every net, indexed by NetId.
+  std::vector<NetParasitics> estimateAll() const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  const place::LayoutMaps* congestion_;  // may be null for kPreRouting
+  RouteConfig config_;
+};
+
+}  // namespace dagt::sta

@@ -1,0 +1,159 @@
+#include "sta/sta_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sta/pin_eval.hpp"
+
+namespace dagt::sta {
+
+using netlist::Netlist;
+using netlist::PinId;
+using netlist::PinKind;
+
+namespace detail {
+
+PinEvaluator::PinEvaluator(const Netlist& nl,
+                           const std::vector<NetParasitics>& parasitics)
+    : netlist_(&nl), parasitics_(&parasitics) {
+  DAGT_CHECK_MSG(static_cast<std::int64_t>(parasitics.size()) == nl.numNets(),
+                 "parasitics size mismatch");
+  wireOfSink_.assign(static_cast<std::size_t>(nl.numPins()), nullptr);
+  for (netlist::NetId netId = 0; netId < nl.numNets(); ++netId) {
+    for (const SinkWire& w :
+         parasitics[static_cast<std::size_t>(netId)].sinks) {
+      wireOfSink_[static_cast<std::size_t>(w.sink)] = &w;
+    }
+  }
+}
+
+float PinEvaluator::netLoad(netlist::NetId netId) const {
+  const Netlist& nl = *netlist_;
+  const auto& net = nl.net(netId);
+  float load = (*parasitics_)[static_cast<std::size_t>(netId)].totalWireCap;
+  for (const PinId sink : net.sinks) {
+    const auto& sp = nl.pin(sink);
+    if (sp.kind == PinKind::kCellInput) {
+      load += nl.cellTypeOf(sp.cell).inputCap;
+    } else {
+      load += 2.0f;  // PO port: modest fixed external load (fF)
+    }
+  }
+  return load;
+}
+
+void PinEvaluator::refreshLoads(TimingResult& result) const {
+  for (netlist::NetId netId = 0; netId < netlist_->numNets(); ++netId) {
+    refreshLoad(netId, result);
+  }
+}
+
+void PinEvaluator::refreshLoad(netlist::NetId netId,
+                               TimingResult& result) const {
+  result.loadCap[static_cast<std::size_t>(netlist_->net(netId).driver)] =
+      netLoad(netId);
+}
+
+void PinEvaluator::evaluatePin(PinId pinId, TimingResult& res) const {
+  const Netlist& nl = *netlist_;
+  const auto& lib = nl.library();
+  const auto& pin = nl.pin(pinId);
+  const std::size_t pi = static_cast<std::size_t>(pinId);
+  switch (pin.kind) {
+    case PinKind::kPrimaryInput:
+      res.arrival[pi] = 0.0f;
+      res.slew[pi] = lib.defaultInputSlew();
+      break;
+    case PinKind::kCellInput:
+    case PinKind::kPrimaryOutput: {
+      // Net sink: driver arrival + Elmore wire delay of this segment.
+      DAGT_CHECK(pin.net != netlist::kInvalidId);
+      const PinId driver = nl.net(pin.net).driver;
+      const SinkWire* wire = wireOfSink_[pi];
+      DAGT_CHECK(wire != nullptr);
+      const float sinkCap = pin.kind == PinKind::kCellInput
+                                ? nl.cellTypeOf(pin.cell).inputCap
+                                : 2.0f;
+      // Star Elmore: R_w * (C_w / 2 + C_sink).
+      const float wireDelay =
+          wire->resistance * (wire->capacitance * 0.5f + sinkCap);
+      res.arrival[pi] =
+          res.arrival[static_cast<std::size_t>(driver)] + wireDelay;
+      // RC wires degrade the transition; ln(9) * RC is the 10-90 ramp.
+      res.slew[pi] = res.slew[static_cast<std::size_t>(driver)] +
+                     2.2f * wire->resistance *
+                         (wire->capacitance * 0.5f + sinkCap);
+      break;
+    }
+    case PinKind::kCellOutput: {
+      const auto& cell = nl.cell(pin.cell);
+      const auto& type = lib.cell(cell.type);
+      const float load = res.loadCap[pi];
+      if (type.isSequential) {
+        // Register Q: a fresh clock-launched startpoint.
+        res.arrival[pi] = type.clkToQ + type.driveRes * load;
+        res.slew[pi] = type.slewIntrinsic + type.slewRes * load;
+        break;
+      }
+      float worst = 0.0f;
+      float worstInSlew = lib.defaultInputSlew();
+      for (const PinId in : cell.inputPins) {
+        const std::size_t ii = static_cast<std::size_t>(in);
+        const float arcDelay = type.intrinsicDelay + type.driveRes * load +
+                               type.slewSens * res.slew[ii];
+        const float cand = res.arrival[ii] + arcDelay;
+        if (cand > worst) {
+          worst = cand;
+          worstInSlew = res.slew[ii];
+        }
+      }
+      res.arrival[pi] = worst;
+      // Output slew: load-dominated with a mild input-slew influence.
+      res.slew[pi] =
+          type.slewIntrinsic + type.slewRes * load + 0.1f * worstInSlew;
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+std::vector<float> TimingResult::endpointArrivals(const Netlist& nl) const {
+  std::vector<float> result;
+  for (const PinId e : nl.endpoints()) {
+    result.push_back(arrival[static_cast<std::size_t>(e)]);
+  }
+  return result;
+}
+
+TimingResult StaEngine::run(const Netlist& nl,
+                            const std::vector<NetParasitics>& parasitics) {
+  const auto& lib = nl.library();
+  const std::size_t n = static_cast<std::size_t>(nl.numPins());
+
+  TimingResult res;
+  res.arrival.assign(n, 0.0f);
+  res.slew.assign(n, lib.defaultInputSlew());
+  res.loadCap.assign(n, 0.0f);
+
+  const detail::PinEvaluator evaluator(nl, parasitics);
+  evaluator.refreshLoads(res);
+  for (const PinId pinId : nl.topologicalPinOrder()) {
+    evaluator.evaluatePin(pinId, res);
+  }
+
+  for (const PinId e : nl.endpoints()) {
+    res.worstArrival =
+        std::max(res.worstArrival, res.arrival[static_cast<std::size_t>(e)]);
+  }
+  return res;
+}
+
+TimingResult StaEngine::run(const Netlist& nl,
+                            const place::LayoutMaps* congestion,
+                            const RouteConfig& routeConfig) {
+  const RouteEstimator estimator(nl, congestion, routeConfig);
+  return run(nl, estimator.estimateAll());
+}
+
+}  // namespace dagt::sta

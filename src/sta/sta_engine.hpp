@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/route_estimator.hpp"
+
+namespace dagt::sta {
+
+/// Result of one static timing analysis pass. All vectors are indexed by
+/// PinId; times in ps, capacitances in fF.
+struct TimingResult {
+  std::vector<float> arrival;   // worst (latest) arrival time
+  std::vector<float> slew;      // transition time
+  std::vector<float> loadCap;   // driver pins: total driven capacitance
+  float worstArrival = 0.0f;    // max over endpoints
+
+  /// Arrival at each endpoint, ordered like Netlist::endpoints().
+  std::vector<float> endpointArrivals(const netlist::Netlist& nl) const;
+};
+
+/// Levelized block-based static timing engine.
+///
+/// Propagates arrival time and slew from startpoints (primary inputs at
+/// t=0, register Q pins at clk-to-Q) to endpoints in one topological pass,
+/// with a linear NLDM-surrogate cell model and Elmore star wire delays from
+/// the RouteEstimator. This is the tool that produces both the optimistic
+/// pre-routing estimates and the sign-off ground-truth labels.
+class StaEngine {
+ public:
+  /// Run STA with the given (pre-computed) net parasitics.
+  static TimingResult run(const netlist::Netlist& netlist,
+                          const std::vector<NetParasitics>& parasitics);
+
+  /// Convenience: estimate parasitics then run.
+  static TimingResult run(const netlist::Netlist& netlist,
+                          const place::LayoutMaps* congestion,
+                          const RouteConfig& routeConfig);
+};
+
+}  // namespace dagt::sta

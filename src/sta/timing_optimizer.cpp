@@ -1,0 +1,157 @@
+#include "sta/timing_optimizer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace dagt::sta {
+
+using netlist::CellId;
+using netlist::CellTypeId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+using netlist::PinKind;
+
+namespace {
+
+/// Next-larger drive variant of the same function, or kInvalidCellType.
+CellTypeId upsizedVariant(const Netlist& nl, CellId cellId) {
+  const auto& lib = nl.library();
+  const auto& type = lib.cell(nl.cell(cellId).type);
+  CellTypeId best = netlist::kInvalidCellType;
+  for (const CellTypeId candidate : lib.cellsForFunction(type.function)) {
+    const int drive = lib.cell(candidate).driveStrength;
+    if (drive > type.driveStrength &&
+        (best == netlist::kInvalidCellType ||
+         drive < lib.cell(best).driveStrength)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+/// Walk back from an endpoint along the worst-arrival fanin chain,
+/// collecting the combinational cells on the critical path.
+std::vector<CellId> traceCriticalCells(const Netlist& nl,
+                                       const TimingResult& timing,
+                                       PinId endpoint) {
+  std::vector<CellId> cells;
+  PinId cursor = endpoint;
+  // Bounded walk: a path cannot be longer than the pin count.
+  for (std::int64_t guard = 0; guard < nl.numPins(); ++guard) {
+    const auto fanin = nl.timingFanin(cursor);
+    if (fanin.empty()) break;
+    PinId worst = fanin.front();
+    for (const PinId f : fanin) {
+      if (timing.arrival[static_cast<std::size_t>(f)] >
+          timing.arrival[static_cast<std::size_t>(worst)]) {
+        worst = f;
+      }
+    }
+    const auto& p = nl.pin(worst);
+    if (p.kind == PinKind::kCellOutput) {
+      const auto& type = nl.library().cell(nl.cell(p.cell).type);
+      if (type.isSequential) break;  // reached the launching register
+      cells.push_back(p.cell);
+    }
+    cursor = worst;
+  }
+  return cells;
+}
+
+/// Split a high-fanout net: the half of sinks farthest from the driver is
+/// moved behind a new buffer placed at their centroid.
+void insertBuffer(Netlist& nl, NetId netId, OptimizerReport& report) {
+  const auto& lib = nl.library();
+  const auto& variants = lib.cellsForFunction(netlist::CellFunction::kBuf);
+  if (variants.empty()) return;
+  const auto& net = nl.net(netId);
+  if (static_cast<std::int32_t>(net.sinks.size()) < 4) return;
+
+  const Point driverLoc = nl.pinLocation(net.driver);
+  std::vector<PinId> sinks = net.sinks;
+  std::sort(sinks.begin(), sinks.end(), [&](PinId a, PinId b) {
+    return manhattan(nl.pinLocation(a), driverLoc) >
+           manhattan(nl.pinLocation(b), driverLoc);
+  });
+  const std::size_t moveCount = sinks.size() / 2;
+
+  // Strongest available buffer for the far group.
+  const CellTypeId bufType = variants.back();
+  const CellId buf = nl.addCell(bufType);
+  Point centroid{0.0f, 0.0f};
+  for (std::size_t i = 0; i < moveCount; ++i) {
+    const Point loc = nl.pinLocation(sinks[i]);
+    centroid.x += loc.x;
+    centroid.y += loc.y;
+  }
+  centroid.x /= static_cast<float>(moveCount);
+  centroid.y /= static_cast<float>(moveCount);
+  // Bias the buffer toward the driver so it actually splits the route.
+  centroid.x = 0.5f * (centroid.x + driverLoc.x);
+  centroid.y = 0.5f * (centroid.y + driverLoc.y);
+  nl.setCellLocation(buf, centroid);
+
+  const NetId bufNet = nl.addNet(nl.cell(buf).outputPin);
+  for (std::size_t i = 0; i < moveCount; ++i) {
+    nl.moveSink(sinks[i], bufNet);
+  }
+  nl.connectSink(netId, nl.cell(buf).inputPins[0]);
+  ++report.buffersInserted;
+}
+
+}  // namespace
+
+OptimizerReport TimingOptimizer::optimize(Netlist& nl,
+                                          const place::LayoutMaps& congestion,
+                                          const OptimizerConfig& config) {
+  OptimizerReport report;
+  TimingResult timing = StaEngine::run(nl, &congestion, config.routeConfig);
+  report.worstArrivalBefore = timing.worstArrival;
+  float previousWorst = timing.worstArrival;
+
+  for (std::int32_t pass = 0; pass < config.passes; ++pass) {
+    const float threshold = config.criticalThreshold * timing.worstArrival;
+    std::unordered_set<CellId> toUpsize;
+    std::unordered_set<NetId> toBuffer;
+    for (const PinId endpoint : nl.endpoints()) {
+      if (timing.arrival[static_cast<std::size_t>(endpoint)] < threshold) {
+        continue;
+      }
+      for (const CellId cell : traceCriticalCells(nl, timing, endpoint)) {
+        toUpsize.insert(cell);
+        const PinId out = nl.cell(cell).outputPin;
+        const NetId net = nl.pin(out).net;
+        if (net != netlist::kInvalidId &&
+            static_cast<std::int32_t>(nl.net(net).sinks.size()) >
+                config.maxFanout) {
+          toBuffer.insert(net);
+        }
+      }
+    }
+    for (const CellId cell : toUpsize) {
+      const CellTypeId bigger = upsizedVariant(nl, cell);
+      if (bigger != netlist::kInvalidCellType) {
+        nl.resizeCell(cell, bigger);
+        ++report.cellsResized;
+      }
+    }
+    for (const NetId net : toBuffer) {
+      insertBuffer(nl, net, report);
+    }
+
+    timing = StaEngine::run(nl, &congestion, config.routeConfig);
+    if (timing.worstArrival >= previousWorst - 1e-3f &&
+        toUpsize.empty() && toBuffer.empty()) {
+      break;  // converged: nothing changed and timing is flat
+    }
+    previousWorst = timing.worstArrival;
+  }
+
+  report.worstArrivalAfter = timing.worstArrival;
+  return report;
+}
+
+}  // namespace dagt::sta

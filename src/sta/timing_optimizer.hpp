@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "place/layout_maps.hpp"
+#include "sta/sta_engine.hpp"
+
+namespace dagt::sta {
+
+struct OptimizerConfig {
+  std::int32_t passes = 4;
+  /// Endpoints with arrival >= criticalThreshold * worst are optimized.
+  float criticalThreshold = 0.65f;
+  /// Nets with more sinks than this on a critical path get a buffer.
+  std::int32_t maxFanout = 6;
+  /// Wire model used to evaluate timing during optimization.
+  RouteConfig routeConfig{WireModel::kRouted, 1.0f, 0.15f};
+};
+
+struct OptimizerReport {
+  std::int32_t cellsResized = 0;
+  std::int32_t buffersInserted = 0;
+  float worstArrivalBefore = 0.0f;
+  float worstArrivalAfter = 0.0f;
+};
+
+/// Post-placement timing optimization: critical-path gate upsizing and
+/// high-fanout buffering.
+///
+/// This pass *restructures* the netlist (new cells, rewired nets) between
+/// the pre-routing snapshot the predictor sees and the sign-off netlist the
+/// labels come from — the optimization-awareness challenge of DAC'23 [4]
+/// that the paper inherits. Endpoints (register D pins, primary outputs)
+/// are never created or destroyed, so endpoint-level labels stay aligned.
+class TimingOptimizer {
+ public:
+  static OptimizerReport optimize(netlist::Netlist& netlist,
+                                  const place::LayoutMaps& congestion,
+                                  const OptimizerConfig& config =
+                                      OptimizerConfig{});
+};
+
+}  // namespace dagt::sta

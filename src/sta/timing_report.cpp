@@ -1,0 +1,123 @@
+#include "sta/timing_report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dagt::sta {
+
+using netlist::Netlist;
+using netlist::PinId;
+using netlist::PinKind;
+
+TimingConstraints TimingConstraints::fromEstimate(float worstArrival,
+                                                  float tightening) {
+  DAGT_CHECK(worstArrival > 0.0f && tightening > 0.0f);
+  TimingConstraints c;
+  c.clockPeriod = worstArrival * tightening;
+  c.setupTime = worstArrival * 0.02f;
+  c.outputDelay = worstArrival * 0.05f;
+  return c;
+}
+
+SlackReport computeSlack(const Netlist& nl, const TimingResult& timing,
+                         const TimingConstraints& constraints) {
+  DAGT_CHECK(constraints.clockPeriod > 0.0f);
+  SlackReport report;
+  report.endpoints = nl.endpoints();
+  report.slack.reserve(report.endpoints.size());
+  for (const PinId e : report.endpoints) {
+    const auto& pin = nl.pin(e);
+    const float required =
+        pin.kind == PinKind::kPrimaryOutput
+            ? constraints.clockPeriod - constraints.outputDelay
+            : constraints.clockPeriod - constraints.setupTime;
+    const float slack = required - timing.arrival[static_cast<std::size_t>(e)];
+    report.slack.push_back(slack);
+    if (slack < 0.0f) {
+      ++report.violatingEndpoints;
+      report.totalNegativeSlack += slack;
+      report.worstNegativeSlack = std::min(report.worstNegativeSlack, slack);
+    }
+  }
+  return report;
+}
+
+std::vector<PathArc> traceCriticalPath(const Netlist& nl,
+                                       const TimingResult& timing,
+                                       PinId endpoint) {
+  if (endpoint == netlist::kInvalidId) {
+    // Worst endpoint by arrival.
+    float worst = -1.0f;
+    for (const PinId e : nl.endpoints()) {
+      if (timing.arrival[static_cast<std::size_t>(e)] > worst) {
+        worst = timing.arrival[static_cast<std::size_t>(e)];
+        endpoint = e;
+      }
+    }
+  }
+  DAGT_CHECK_MSG(endpoint != netlist::kInvalidId, "netlist has no endpoints");
+
+  // Walk back along the worst-arrival fanin chain.
+  std::vector<PathArc> reversed;
+  PinId cursor = endpoint;
+  for (std::int64_t guard = 0; guard <= nl.numPins(); ++guard) {
+    PathArc arc;
+    arc.pin = cursor;
+    arc.arrival = timing.arrival[static_cast<std::size_t>(cursor)];
+    const auto& pin = nl.pin(cursor);
+    switch (pin.kind) {
+      case PinKind::kPrimaryInput: arc.description = "primary input"; break;
+      case PinKind::kPrimaryOutput: arc.description = "primary output"; break;
+      case PinKind::kCellInput:
+        arc.description = nl.cellTypeOf(pin.cell).name + " input (net wire)";
+        break;
+      case PinKind::kCellOutput:
+        arc.description = nl.cellTypeOf(pin.cell).name +
+                          (nl.cellTypeOf(pin.cell).isSequential
+                               ? " clk->q"
+                               : " cell arc");
+        break;
+    }
+    const auto fanin = nl.timingFanin(cursor);
+    if (fanin.empty()) {
+      arc.incrementalDelay = arc.arrival;
+      reversed.push_back(arc);
+      break;
+    }
+    PinId worstFanin = fanin.front();
+    for (const PinId f : fanin) {
+      if (timing.arrival[static_cast<std::size_t>(f)] >
+          timing.arrival[static_cast<std::size_t>(worstFanin)]) {
+        worstFanin = f;
+      }
+    }
+    arc.incrementalDelay =
+        arc.arrival - timing.arrival[static_cast<std::size_t>(worstFanin)];
+    reversed.push_back(arc);
+    cursor = worstFanin;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+std::string formatPathReport(const Netlist& nl,
+                             const std::vector<PathArc>& path) {
+  std::ostringstream os;
+  os << "critical path (" << nl.name() << " @ "
+     << netlist::techNodeName(nl.library().node()) << "), " << path.size()
+     << " pins:\n";
+  os << std::fixed << std::setprecision(1);
+  os << "  " << std::setw(8) << "incr" << std::setw(10) << "arrival"
+     << "  pin  description\n";
+  for (const PathArc& arc : path) {
+    os << "  " << std::setw(8) << arc.incrementalDelay << std::setw(10)
+       << arc.arrival << "  " << std::setw(4) << arc.pin << "  "
+       << arc.description << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dagt::sta

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta_engine.hpp"
+
+namespace dagt::sta {
+
+/// Clocking context for slack computation: a single ideal clock with the
+/// given period; register D pins must meet period - setup, primary outputs
+/// period - outputDelay.
+struct TimingConstraints {
+  float clockPeriod = 0.0f;   // ps
+  float setupTime = 0.0f;     // ps, register setup requirement
+  float outputDelay = 0.0f;   // ps, external margin at primary outputs
+
+  /// A constraint like the paper's flow derives from synthesis estimates:
+  /// the worst pre-optimization arrival tightened by `tightening`.
+  static TimingConstraints fromEstimate(float worstArrival,
+                                        float tightening = 0.95f);
+};
+
+/// Slack view over a timing result.
+struct SlackReport {
+  std::vector<netlist::PinId> endpoints;
+  std::vector<float> slack;       // per endpoint, ps (negative = violated)
+  float worstNegativeSlack = 0.0f;  // WNS (0 if all met)
+  float totalNegativeSlack = 0.0f;  // TNS (sum of negative slacks)
+  std::int64_t violatingEndpoints = 0;
+};
+
+/// Compute endpoint slacks from arrivals and constraints.
+SlackReport computeSlack(const netlist::Netlist& netlist,
+                         const TimingResult& timing,
+                         const TimingConstraints& constraints);
+
+/// One arc of a traced critical path.
+struct PathArc {
+  netlist::PinId pin = netlist::kInvalidId;
+  float arrival = 0.0f;        // ps at this pin
+  float incrementalDelay = 0.0f;  // ps contributed by the hop into this pin
+  std::string description;     // e.g. "NAND2_X2 cell arc" / "net wire"
+};
+
+/// Critical-path trace from the worst endpoint (or a chosen endpoint)
+/// back to its startpoint, in startpoint-to-endpoint order.
+std::vector<PathArc> traceCriticalPath(const netlist::Netlist& netlist,
+                                       const TimingResult& timing,
+                                       netlist::PinId endpoint
+                                       = netlist::kInvalidId);
+
+/// Human-readable single-path timing report (classic STA tool style).
+std::string formatPathReport(const netlist::Netlist& netlist,
+                             const std::vector<PathArc>& path);
+
+}  // namespace dagt::sta

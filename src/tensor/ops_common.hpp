@@ -1,0 +1,56 @@
+#pragma once
+
+// Internal helpers shared by the op implementation files. Not installed as
+// public API; include only from src/tensor/*.cpp.
+
+#include <initializer_list>
+#include <memory>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::tensor::detail {
+
+/// True when this op should record a backward closure.
+inline bool tapeActive(std::initializer_list<const Tensor*> inputs) {
+  if (!NoGradGuard::gradEnabled()) return false;
+  for (const Tensor* t : inputs) {
+    if (t->defined() && t->requiresGrad()) return true;
+  }
+  return false;
+}
+
+/// Fresh output node with the given shape (zero-filled).
+inline std::shared_ptr<TensorImpl> makeOut(Shape shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<std::size_t>(numelOf(impl->shape)), 0.0f);
+  return impl;
+}
+
+/// Attach tape metadata: mark the output grad-requiring and register the
+/// grad-requiring inputs as parents for the topological sweep.
+inline void attachTape(const std::shared_ptr<TensorImpl>& out,
+                       std::initializer_list<const Tensor*> inputs,
+                       std::function<void(TensorImpl&)> backwardFn) {
+  out->requiresGrad = true;
+  for (const Tensor* t : inputs) {
+    if (t->defined() && t->requiresGrad()) out->parents.push_back(t->impl());
+  }
+  out->backwardFn = std::move(backwardFn);
+}
+
+inline void checkSameShape(const Tensor& a, const Tensor& b,
+                           const char* opName) {
+  DAGT_CHECK_MSG(a.shape() == b.shape(), opName << ": shape mismatch");
+}
+
+/// Accumulate src into dst->grad (allocating it first), elementwise.
+inline void accumulate(const std::shared_ptr<TensorImpl>& dst,
+                       const std::vector<float>& src) {
+  dst->ensureGrad();
+  DAGT_CHECK(dst->grad.size() == src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst->grad[i] += src[i];
+}
+
+}  // namespace dagt::tensor::detail

@@ -1,0 +1,272 @@
+#include <limits>
+
+#include "common/parallel.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::makeOut;
+using detail::tapeActive;
+
+namespace {
+
+struct ConvDims {
+  std::int64_t n, c, h, w;        // input
+  std::int64_t f, kh, kw;         // filter
+  std::int64_t stride, pad;
+  std::int64_t oh, ow;            // output spatial
+  std::int64_t colRows;           // c*kh*kw
+  std::int64_t colCols;           // oh*ow
+};
+
+ConvDims convDims(const Tensor& input, const Tensor& weight,
+                  std::int64_t stride, std::int64_t pad) {
+  DAGT_CHECK(input.ndim() == 4 && weight.ndim() == 4);
+  ConvDims d{};
+  d.n = input.dim(0);
+  d.c = input.dim(1);
+  d.h = input.dim(2);
+  d.w = input.dim(3);
+  d.f = weight.dim(0);
+  DAGT_CHECK_MSG(weight.dim(1) == d.c, "conv2d: channel mismatch");
+  d.kh = weight.dim(2);
+  d.kw = weight.dim(3);
+  d.stride = stride;
+  d.pad = pad;
+  DAGT_CHECK(stride >= 1 && pad >= 0);
+  d.oh = (d.h + 2 * pad - d.kh) / stride + 1;
+  d.ow = (d.w + 2 * pad - d.kw) / stride + 1;
+  DAGT_CHECK_MSG(d.oh >= 1 && d.ow >= 1, "conv2d: kernel larger than input");
+  d.colRows = d.c * d.kh * d.kw;
+  d.colCols = d.oh * d.ow;
+  return d;
+}
+
+/// Expand one sample (channels-first) into the im2col matrix
+/// [colRows, colCols]; out-of-bounds (padding) entries are zero.
+void im2col(const float* img, const ConvDims& d, float* col) {
+  for (std::int64_t ch = 0; ch < d.c; ++ch) {
+    for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+        const std::int64_t row = (ch * d.kh + ky) * d.kw + kx;
+        float* dst = col + row * d.colCols;
+        for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+          const std::int64_t iy = oy * d.stride + ky - d.pad;
+          for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+            const std::int64_t ix = ox * d.stride + kx - d.pad;
+            const bool inside = iy >= 0 && iy < d.h && ix >= 0 && ix < d.w;
+            dst[oy * d.ow + ox] =
+                inside ? img[(ch * d.h + iy) * d.w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-add the im2col gradient back into the image gradient.
+void col2imAcc(const float* col, const ConvDims& d, float* imgGrad) {
+  for (std::int64_t ch = 0; ch < d.c; ++ch) {
+    for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+      for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+        const std::int64_t row = (ch * d.kh + ky) * d.kw + kx;
+        const float* src = col + row * d.colCols;
+        for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+          const std::int64_t iy = oy * d.stride + ky - d.pad;
+          if (iy < 0 || iy >= d.h) continue;
+          for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+            const std::int64_t ix = ox * d.stride + kx - d.pad;
+            if (ix < 0 || ix >= d.w) continue;
+            imgGrad[(ch * d.h + iy) * d.w + ix] += src[oy * d.ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              std::int64_t stride, std::int64_t padding) {
+  const ConvDims d = convDims(input, weight, stride, padding);
+  if (bias.defined()) {
+    DAGT_CHECK(bias.ndim() == 1 && bias.dim(0) == d.f);
+  }
+  auto out = makeOut({d.n, d.f, d.oh, d.ow});
+
+  const float* wp = weight.data();
+  const float* bp = bias.defined() ? bias.data() : nullptr;
+  const float* ip = input.data();
+  const std::int64_t imgSize = d.c * d.h * d.w;
+  const std::int64_t outSize = d.f * d.colCols;
+
+  parallelFor(0, static_cast<std::size_t>(d.n), [&](std::size_t s) {
+    std::vector<float> col(
+        static_cast<std::size_t>(d.colRows * d.colCols));
+    im2col(ip + static_cast<std::int64_t>(s) * imgSize, d, col.data());
+    float* op = out->data.data() + static_cast<std::int64_t>(s) * outSize;
+    // out[f, :] = sum_r W[f, r] * col[r, :] (+ bias)
+    for (std::int64_t f = 0; f < d.f; ++f) {
+      float* orow = op + f * d.colCols;
+      if (bp) {
+        for (std::int64_t j = 0; j < d.colCols; ++j) orow[j] = bp[f];
+      }
+      const float* wrow = wp + f * d.colRows;
+      for (std::int64_t r = 0; r < d.colRows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* crow = col.data() + r * d.colCols;
+        for (std::int64_t j = 0; j < d.colCols; ++j) orow[j] += wv * crow[j];
+      }
+    }
+  }, /*grainSize=*/1);
+
+  if (tapeActive({&input, &weight, &bias})) {
+    auto ii = input.impl();
+    auto wi = weight.impl();
+    auto bi = bias.defined() ? bias.impl() : nullptr;
+    attachTape(out, {&input, &weight, &bias},
+               [ii, wi, bi, d, imgSize, outSize](TensorImpl& self) {
+                 if (wi->requiresGrad) wi->ensureGrad();
+                 if (bi && bi->requiresGrad) bi->ensureGrad();
+                 if (ii->requiresGrad) ii->ensureGrad();
+                 std::vector<float> col(
+                     static_cast<std::size_t>(d.colRows * d.colCols));
+                 std::vector<float> colGrad(col.size());
+                 // Serial over samples: weight-grad accumulation is shared.
+                 for (std::int64_t s = 0; s < d.n; ++s) {
+                   const float* go = self.grad.data() + s * outSize;
+                   im2col(ii->data.data() + s * imgSize, d, col.data());
+                   if (wi->requiresGrad) {
+                     // dW[f, r] += sum_j go[f, j] * col[r, j]
+                     for (std::int64_t f = 0; f < d.f; ++f) {
+                       const float* grow = go + f * d.colCols;
+                       float* wgrow = wi->grad.data() + f * d.colRows;
+                       for (std::int64_t r = 0; r < d.colRows; ++r) {
+                         const float* crow = col.data() + r * d.colCols;
+                         double acc = 0.0;
+                         for (std::int64_t j = 0; j < d.colCols; ++j) {
+                           acc += grow[j] * crow[j];
+                         }
+                         wgrow[r] += static_cast<float>(acc);
+                       }
+                     }
+                   }
+                   if (bi && bi->requiresGrad) {
+                     for (std::int64_t f = 0; f < d.f; ++f) {
+                       const float* grow = go + f * d.colCols;
+                       double acc = 0.0;
+                       for (std::int64_t j = 0; j < d.colCols; ++j) {
+                         acc += grow[j];
+                       }
+                       bi->grad[static_cast<std::size_t>(f)] +=
+                           static_cast<float>(acc);
+                     }
+                   }
+                   if (ii->requiresGrad) {
+                     // dcol[r, j] = sum_f W[f, r] * go[f, j]; then col2im.
+                     std::fill(colGrad.begin(), colGrad.end(), 0.0f);
+                     for (std::int64_t f = 0; f < d.f; ++f) {
+                       const float* wrow = wi->data.data() + f * d.colRows;
+                       const float* grow = go + f * d.colCols;
+                       for (std::int64_t r = 0; r < d.colRows; ++r) {
+                         const float wv = wrow[r];
+                         if (wv == 0.0f) continue;
+                         float* cgrow = colGrad.data() + r * d.colCols;
+                         for (std::int64_t j = 0; j < d.colCols; ++j) {
+                           cgrow[j] += wv * grow[j];
+                         }
+                       }
+                     }
+                     col2imAcc(colGrad.data(), d,
+                               ii->grad.data() + s * imgSize);
+                   }
+                 }
+               });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor maxPool2d(const Tensor& input) {
+  DAGT_CHECK(input.ndim() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = h / 2;
+  const std::int64_t ow = w / 2;
+  DAGT_CHECK_MSG(oh >= 1 && ow >= 1, "maxPool2d: input too small");
+  auto out = makeOut({n, c, oh, ow});
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(n * c * oh * ow));
+  const float* p = input.data();
+  std::size_t o = 0;
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* img = p + plane * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++o) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t bestIdx = -1;
+        for (std::int64_t dy = 0; dy < 2; ++dy) {
+          for (std::int64_t dx = 0; dx < 2; ++dx) {
+            const std::int64_t iy = oy * 2 + dy;
+            const std::int64_t ix = ox * 2 + dx;
+            const float v = img[iy * w + ix];
+            if (v > best) {
+              best = v;
+              bestIdx = plane * h * w + iy * w + ix;
+            }
+          }
+        }
+        out->data[o] = best;
+        (*argmax)[o] = bestIdx;
+      }
+    }
+  }
+  if (tapeActive({&input})) {
+    auto ii = input.impl();
+    attachTape(out, {&input}, [ii, argmax](TensorImpl& self) {
+      ii->ensureGrad();
+      for (std::size_t i = 0; i < self.data.size(); ++i) {
+        ii->grad[static_cast<std::size_t>((*argmax)[i])] += self.grad[i];
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor globalAvgPool(const Tensor& input) {
+  DAGT_CHECK(input.ndim() == 4);
+  const std::int64_t n = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t spatial = input.dim(2) * input.dim(3);
+  DAGT_CHECK(spatial > 0);
+  auto out = makeOut({n, c});
+  const float* p = input.data();
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < spatial; ++i) acc += p[plane * spatial + i];
+    out->data[static_cast<std::size_t>(plane)] =
+        static_cast<float>(acc / static_cast<double>(spatial));
+  }
+  if (tapeActive({&input})) {
+    auto ii = input.impl();
+    attachTape(out, {&input}, [ii, spatial](TensorImpl& self) {
+      ii->ensureGrad();
+      const float inv = 1.0f / static_cast<float>(spatial);
+      for (std::size_t plane = 0; plane < self.data.size(); ++plane) {
+        const float g = self.grad[plane] * inv;
+        for (std::int64_t i = 0; i < spatial; ++i) {
+          ii->grad[plane * static_cast<std::size_t>(spatial) +
+                   static_cast<std::size_t>(i)] += g;
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace dagt::tensor

@@ -1,0 +1,339 @@
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::checkSameShape;
+using detail::makeOut;
+using detail::tapeActive;
+
+namespace {
+
+/// Shared scaffolding for elementwise binary ops.
+/// fwd(a, b) computes the output element; dA / dB give the local partials
+/// as functions of (a, b, outGrad).
+template <typename Fwd, typename DA, typename DB>
+Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
+                DA dA, DB dB) {
+  checkSameShape(a, b, name);
+  auto out = makeOut(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = out->data.size();
+  for (std::size_t i = 0; i < n; ++i) out->data[i] = fwd(pa[i], pb[i]);
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi, dA, dB](TensorImpl& self) {
+      const std::size_t count = self.data.size();
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        for (std::size_t i = 0; i < count; ++i) {
+          ai->grad[i] += dA(ai->data[i], bi->data[i], self.grad[i]);
+        }
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        for (std::size_t i = 0; i < count; ++i) {
+          bi->grad[i] += dB(ai->data[i], bi->data[i], self.grad[i]);
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+/// Shared scaffolding for unary ops. dX(input, output, outGrad) -> inGrad.
+template <typename Fwd, typename DX>
+Tensor unaryOp(const Tensor& t, Fwd fwd, DX dX) {
+  auto out = makeOut(t.shape());
+  const float* p = t.data();
+  const std::size_t n = out->data.size();
+  for (std::size_t i = 0; i < n; ++i) out->data[i] = fwd(p[i]);
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    auto outRaw = out;  // captured to read forward outputs in backward
+    attachTape(out, {&t}, [ti, dX](TensorImpl& self) {
+      ti->ensureGrad();
+      const std::size_t count = self.data.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        ti->grad[i] += dX(ti->data[i], self.data[i], self.grad[i]);
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float, float y, float g) { return g * y; },
+      [](float x, float, float g) { return g * x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "div", [](float x, float y) { return x / y; },
+      [](float, float y, float g) { return g / y; },
+      [](float x, float y, float g) { return -g * x / (y * y); });
+}
+
+Tensor addBias(const Tensor& matrix, const Tensor& bias) {
+  DAGT_CHECK(matrix.ndim() == 2 && bias.ndim() == 1);
+  const std::int64_t rows = matrix.dim(0);
+  const std::int64_t cols = matrix.dim(1);
+  DAGT_CHECK_MSG(bias.dim(0) == cols, "addBias: bias length " << bias.dim(0)
+                                                              << " != cols "
+                                                              << cols);
+  auto out = makeOut(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pb = bias.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(r * cols + c)] =
+          pm[r * cols + c] + pb[c];
+    }
+  }
+  if (tapeActive({&matrix, &bias})) {
+    auto mi = matrix.impl();
+    auto bi = bias.impl();
+    attachTape(out, {&matrix, &bias}, [mi, bi, rows, cols](TensorImpl& self) {
+      if (mi->requiresGrad) detail::accumulate(mi, self.grad);
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            bi->grad[static_cast<std::size_t>(c)] +=
+                self.grad[static_cast<std::size_t>(r * cols + c)];
+          }
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
+  DAGT_CHECK(matrix.ndim() == 2 && colVec.ndim() == 1);
+  const std::int64_t rows = matrix.dim(0);
+  const std::int64_t cols = matrix.dim(1);
+  DAGT_CHECK_MSG(colVec.dim(0) == rows, "addColVec: vector length "
+                                            << colVec.dim(0) << " != rows "
+                                            << rows);
+  auto out = makeOut(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pv = colVec.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(r * cols + c)] =
+          pm[r * cols + c] + pv[r];
+    }
+  }
+  if (tapeActive({&matrix, &colVec})) {
+    auto mi = matrix.impl();
+    auto vi = colVec.impl();
+    attachTape(out, {&matrix, &colVec},
+               [mi, vi, rows, cols](TensorImpl& self) {
+                 if (mi->requiresGrad) detail::accumulate(mi, self.grad);
+                 if (vi->requiresGrad) {
+                   vi->ensureGrad();
+                   for (std::int64_t r = 0; r < rows; ++r) {
+                     float acc = 0.0f;
+                     for (std::int64_t c = 0; c < cols; ++c) {
+                       acc += self.grad[static_cast<std::size_t>(r * cols + c)];
+                     }
+                     vi->grad[static_cast<std::size_t>(r)] += acc;
+                   }
+                 }
+               });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
+  DAGT_CHECK(matrix.ndim() == 2 && colVec.ndim() == 1);
+  const std::int64_t rows = matrix.dim(0);
+  const std::int64_t cols = matrix.dim(1);
+  DAGT_CHECK_MSG(colVec.dim(0) == rows, "mulColVec: vector length "
+                                            << colVec.dim(0) << " != rows "
+                                            << rows);
+  auto out = makeOut(matrix.shape());
+  const float* pm = matrix.data();
+  const float* pv = colVec.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(r * cols + c)] =
+          pm[r * cols + c] * pv[r];
+    }
+  }
+  if (tapeActive({&matrix, &colVec})) {
+    auto mi = matrix.impl();
+    auto vi = colVec.impl();
+    attachTape(out, {&matrix, &colVec},
+               [mi, vi, rows, cols](TensorImpl& self) {
+                 if (mi->requiresGrad) {
+                   mi->ensureGrad();
+                   for (std::int64_t r = 0; r < rows; ++r) {
+                     for (std::int64_t c = 0; c < cols; ++c) {
+                       mi->grad[static_cast<std::size_t>(r * cols + c)] +=
+                           self.grad[static_cast<std::size_t>(r * cols + c)] *
+                           vi->data[static_cast<std::size_t>(r)];
+                     }
+                   }
+                 }
+                 if (vi->requiresGrad) {
+                   vi->ensureGrad();
+                   for (std::int64_t r = 0; r < rows; ++r) {
+                     float acc = 0.0f;
+                     for (std::int64_t c = 0; c < cols; ++c) {
+                       acc += self.grad[static_cast<std::size_t>(r * cols +
+                                                                 c)] *
+                              mi->data[static_cast<std::size_t>(r * cols + c)];
+                     }
+                     vi->grad[static_cast<std::size_t>(r)] += acc;
+                   }
+                 }
+               });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor repeatRows(const Tensor& row, std::int64_t n) {
+  DAGT_CHECK(row.ndim() == 2);
+  DAGT_CHECK_MSG(row.dim(0) == 1, "repeatRows expects a [1,D] tensor");
+  DAGT_CHECK(n >= 1);
+  const std::int64_t cols = row.dim(1);
+  auto out = makeOut({n, cols});
+  const float* p = row.data();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(r * cols + c)] = p[c];
+    }
+  }
+  if (tapeActive({&row})) {
+    auto ri = row.impl();
+    attachTape(out, {&row}, [ri, n, cols](TensorImpl& self) {
+      ri->ensureGrad();
+      for (std::int64_t r = 0; r < n; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ri->grad[static_cast<std::size_t>(c)] +=
+              self.grad[static_cast<std::size_t>(r * cols + c)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor addScalar(const Tensor& t, float s) {
+  return unaryOp(
+      t, [s](float x) { return x + s; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor mulScalar(const Tensor& t, float s) {
+  return unaryOp(
+      t, [s](float x) { return x * s; },
+      [s](float, float, float g) { return g * s; });
+}
+
+Tensor neg(const Tensor& t) { return mulScalar(t, -1.0f); }
+
+Tensor relu(const Tensor& t) {
+  return unaryOp(
+      t, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor leakyRelu(const Tensor& t, float slope) {
+  return unaryOp(
+      t, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float, float g) { return x > 0.0f ? g : slope * g; });
+}
+
+Tensor tanhOp(const Tensor& t) {
+  return unaryOp(
+      t, [](float x) { return std::tanh(x); },
+      [](float, float y, float g) { return g * (1.0f - y * y); });
+}
+
+Tensor sigmoid(const Tensor& t) {
+  return unaryOp(
+      t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y, float g) { return g * y * (1.0f - y); });
+}
+
+Tensor expOp(const Tensor& t) {
+  return unaryOp(
+      t, [](float x) { return std::exp(x); },
+      [](float, float y, float g) { return g * y; });
+}
+
+Tensor logOp(const Tensor& t, float eps) {
+  return unaryOp(
+      t, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float, float g) { return g / std::max(x, eps); });
+}
+
+Tensor sqrtOp(const Tensor& t, float eps) {
+  return unaryOp(
+      t, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x, float y, float g) {
+        return x <= eps ? 0.0f : g / (2.0f * y);
+      });
+}
+
+Tensor square(const Tensor& t) {
+  return unaryOp(
+      t, [](float x) { return x * x; },
+      [](float x, float, float g) { return 2.0f * x * g; });
+}
+
+Tensor softplus(const Tensor& t) {
+  // Stable softplus: max(x,0) + log1p(exp(-|x|)); derivative is sigmoid(x).
+  return unaryOp(
+      t,
+      [](float x) {
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](float x, float, float g) {
+        return g / (1.0f + std::exp(-x));
+      });
+}
+
+Tensor powInt(const Tensor& t, int k) {
+  DAGT_CHECK_MSG(k >= 1, "powInt exponent must be >= 1");
+  return unaryOp(
+      t,
+      [k](float x) {
+        float y = x;
+        for (int i = 1; i < k; ++i) y *= x;
+        return y;
+      },
+      [k](float x, float, float g) {
+        float y = 1.0f;
+        for (int i = 1; i < k; ++i) y *= x;
+        return g * static_cast<float>(k) * y;
+      });
+}
+
+}  // namespace dagt::tensor

@@ -1,0 +1,177 @@
+#include <cstring>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::makeOut;
+using detail::tapeActive;
+
+Tensor indexSelect0(const Tensor& t, const std::vector<std::int64_t>& index) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  const std::int64_t outRows = static_cast<std::int64_t>(index.size());
+  auto out = makeOut({outRows, cols});
+  const float* p = t.data();
+  for (std::int64_t r = 0; r < outRows; ++r) {
+    const std::int64_t src = index[static_cast<std::size_t>(r)];
+    DAGT_CHECK_MSG(src >= 0 && src < rows,
+                   "indexSelect0: index " << src << " out of " << rows);
+    std::memcpy(out->data.data() + r * cols, p + src * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, index, cols](TensorImpl& self) {
+      ti->ensureGrad();
+      const std::int64_t outCount = static_cast<std::int64_t>(index.size());
+      for (std::int64_t r = 0; r < outCount; ++r) {
+        const std::int64_t dst = index[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ti->grad[static_cast<std::size_t>(dst * cols + c)] +=
+              self.grad[static_cast<std::size_t>(r * cols + c)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor gatherRowsMulti(
+    const std::vector<Tensor>& mats,
+    const std::vector<std::pair<std::int32_t, std::int64_t>>& index) {
+  DAGT_CHECK(!mats.empty());
+  const std::int64_t cols = mats.front().dim(1);
+  for (const auto& m : mats) {
+    DAGT_CHECK(m.ndim() == 2);
+    DAGT_CHECK_MSG(m.dim(1) == cols, "gatherRowsMulti: column mismatch");
+  }
+  const std::int64_t outRows = static_cast<std::int64_t>(index.size());
+  auto out = makeOut({outRows, cols});
+  for (std::int64_t r = 0; r < outRows; ++r) {
+    const auto [ord, row] = index[static_cast<std::size_t>(r)];
+    DAGT_CHECK_MSG(ord >= 0 && ord < static_cast<std::int32_t>(mats.size()),
+                   "gatherRowsMulti: tensor ordinal " << ord);
+    const Tensor& m = mats[static_cast<std::size_t>(ord)];
+    DAGT_CHECK_MSG(row >= 0 && row < m.dim(0),
+                   "gatherRowsMulti: row " << row << " out of " << m.dim(0));
+    std::memcpy(out->data.data() + r * cols, m.data() + row * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
+  }
+
+  bool anyGrad = false;
+  for (const auto& m : mats) anyGrad = anyGrad || m.requiresGrad();
+  if (anyGrad && NoGradGuard::gradEnabled()) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(mats.size());
+    for (const auto& m : mats) impls.push_back(m.impl());
+    out->requiresGrad = true;
+    for (const auto& m : mats) {
+      if (m.requiresGrad()) out->parents.push_back(m.impl());
+    }
+    out->backwardFn = [impls, index, cols](TensorImpl& self) {
+      const std::int64_t outCount = static_cast<std::int64_t>(index.size());
+      for (std::int64_t r = 0; r < outCount; ++r) {
+        const auto [ord, row] = index[static_cast<std::size_t>(r)];
+        auto& impl = impls[static_cast<std::size_t>(ord)];
+        if (!impl->requiresGrad) continue;
+        impl->ensureGrad();
+        for (std::int64_t c = 0; c < cols; ++c) {
+          impl->grad[static_cast<std::size_t>(row * cols + c)] +=
+              self.grad[static_cast<std::size_t>(r * cols + c)];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor segmentSum(const Tensor& src, const std::vector<std::int64_t>& segment,
+                  std::int64_t numSegments) {
+  DAGT_CHECK(src.ndim() == 2);
+  const std::int64_t rows = src.dim(0);
+  const std::int64_t cols = src.dim(1);
+  DAGT_CHECK_MSG(static_cast<std::int64_t>(segment.size()) == rows,
+                 "segmentSum: segment size mismatch");
+  auto out = makeOut({numSegments, cols});
+  const float* p = src.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t s = segment[static_cast<std::size_t>(r)];
+    DAGT_CHECK_MSG(s >= 0 && s < numSegments,
+                   "segmentSum: segment " << s << " out of " << numSegments);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(s * cols + c)] += p[r * cols + c];
+    }
+  }
+  if (tapeActive({&src})) {
+    auto si = src.impl();
+    attachTape(out, {&src}, [si, segment, cols](TensorImpl& self) {
+      si->ensureGrad();
+      const std::int64_t rowCount =
+          static_cast<std::int64_t>(segment.size());
+      for (std::int64_t r = 0; r < rowCount; ++r) {
+        const std::int64_t s = segment[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols; ++c) {
+          si->grad[static_cast<std::size_t>(r * cols + c)] +=
+              self.grad[static_cast<std::size_t>(s * cols + c)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor segmentMax(const Tensor& src, const std::vector<std::int64_t>& segment,
+                  std::int64_t numSegments) {
+  DAGT_CHECK(src.ndim() == 2);
+  const std::int64_t rows = src.dim(0);
+  const std::int64_t cols = src.dim(1);
+  DAGT_CHECK_MSG(static_cast<std::int64_t>(segment.size()) == rows,
+                 "segmentMax: segment size mismatch");
+  auto out = makeOut({numSegments, cols});
+  // argmax[s*cols + c] = source row achieving the max (-1 = empty segment).
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(numSegments * cols), -1);
+  std::fill(out->data.begin(), out->data.end(),
+            -std::numeric_limits<float>::infinity());
+  const float* p = src.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t s = segment[static_cast<std::size_t>(r)];
+    DAGT_CHECK_MSG(s >= 0 && s < numSegments,
+                   "segmentMax: segment " << s << " out of " << numSegments);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float v = p[r * cols + c];
+      const std::size_t o = static_cast<std::size_t>(s * cols + c);
+      if (v > out->data[o]) {
+        out->data[o] = v;
+        (*argmax)[o] = r;
+      }
+    }
+  }
+  // Empty segments: -inf would poison downstream math; define them as 0.
+  for (std::size_t i = 0; i < out->data.size(); ++i) {
+    if ((*argmax)[i] < 0) out->data[i] = 0.0f;
+  }
+  if (tapeActive({&src})) {
+    auto si = src.impl();
+    attachTape(out, {&src}, [si, argmax, cols](TensorImpl& self) {
+      si->ensureGrad();
+      const std::int64_t outCount =
+          static_cast<std::int64_t>(self.data.size());
+      for (std::int64_t i = 0; i < outCount; ++i) {
+        const std::int64_t r = (*argmax)[static_cast<std::size_t>(i)];
+        if (r < 0) continue;
+        const std::int64_t c = i % cols;
+        si->grad[static_cast<std::size_t>(r * cols + c)] +=
+            self.grad[static_cast<std::size_t>(i)];
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace dagt::tensor

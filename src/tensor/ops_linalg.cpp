@@ -1,0 +1,118 @@
+#include "common/parallel.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::makeOut;
+using detail::tapeActive;
+
+namespace {
+
+/// C[n,m] += A[n,k] * B[k,m] with ikj loop order (B row reuse, contiguous
+/// inner writes). Parallel over rows of A.
+void gemmAcc(const float* a, const float* b, float* c, std::int64_t n,
+             std::int64_t k, std::int64_t m) {
+  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t i) {
+    float* crow = c + static_cast<std::int64_t>(i) * m;
+    const float* arow = a + static_cast<std::int64_t>(i) * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }, /*grainSize=*/16);
+}
+
+/// C[n,m] += A^T where A is [k,n]: C = A^T * B, A [k,n], B [k,m].
+void gemmTransAAcc(const float* a, const float* b, float* c, std::int64_t k,
+                   std::int64_t n, std::int64_t m) {
+  // Serial over k (accumulation across k rows would race under parallelFor
+  // on rows of C); n*m writes per k-row keep this cache-friendly.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * n;
+    const float* brow = b + p * m;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[n,k] += A[n,m] * B^T where B is [k,m].
+void gemmTransBAcc(const float* a, const float* b, float* c, std::int64_t n,
+                   std::int64_t m, std::int64_t k) {
+  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t i) {
+    const float* arow = a + static_cast<std::int64_t>(i) * m;
+    float* crow = c + static_cast<std::int64_t>(i) * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * m;
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < m; ++j) acc += arow[j] * brow[j];
+      crow[p] += static_cast<float>(acc);
+    }
+  }, /*grainSize=*/16);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DAGT_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  const std::int64_t n = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t m = b.dim(1);
+  DAGT_CHECK_MSG(b.dim(0) == k, "matmul: inner dims " << k << " vs "
+                                                      << b.dim(0));
+  auto out = makeOut({n, m});
+  gemmAcc(a.data(), b.data(), out->data.data(), n, k, m);
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi, n, k, m](TensorImpl& self) {
+      // dA = dC * B^T ; dB = A^T * dC
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        gemmTransBAcc(self.grad.data(), bi->data.data(), ai->grad.data(), n,
+                      m, k);
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        gemmTransAAcc(ai->data.data(), self.grad.data(), bi->grad.data(), n,
+                      k, m);
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor transpose2d(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  auto out = makeOut({cols, rows});
+  const float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(c * rows + r)] = p[r * cols + c];
+    }
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
+      ti->ensureGrad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ti->grad[static_cast<std::size_t>(r * cols + c)] +=
+              self.grad[static_cast<std::size_t>(c * rows + r)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace dagt::tensor

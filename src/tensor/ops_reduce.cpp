@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::makeOut;
+using detail::tapeActive;
+
+Tensor sumAll(const Tensor& t) {
+  auto out = makeOut({1});
+  const float* p = t.data();
+  double acc = 0.0;  // accumulate in double to keep long sums stable
+  const std::size_t n = static_cast<std::size_t>(t.numel());
+  for (std::size_t i = 0; i < n; ++i) acc += p[i];
+  out->data[0] = static_cast<float>(acc);
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti](TensorImpl& self) {
+      ti->ensureGrad();
+      const float g = self.grad[0];
+      for (auto& v : ti->grad) v += g;
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor meanAll(const Tensor& t) {
+  DAGT_CHECK(t.numel() > 0);
+  return mulScalar(sumAll(t), 1.0f / static_cast<float>(t.numel()));
+}
+
+Tensor sumDim0(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  auto out = makeOut({cols});
+  const float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out->data[static_cast<std::size_t>(c)] += p[r * cols + c];
+    }
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
+      ti->ensureGrad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ti->grad[static_cast<std::size_t>(r * cols + c)] +=
+              self.grad[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor meanDim0(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2 && t.dim(0) > 0);
+  return mulScalar(sumDim0(t), 1.0f / static_cast<float>(t.dim(0)));
+}
+
+Tensor sumDim1(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  auto out = makeOut({rows});
+  const float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) acc += p[r * cols + c];
+    out->data[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
+      ti->ensureGrad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float g = self.grad[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols; ++c) {
+          ti->grad[static_cast<std::size_t>(r * cols + c)] += g;
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor meanDim1(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2 && t.dim(1) > 0);
+  return mulScalar(sumDim1(t), 1.0f / static_cast<float>(t.dim(1)));
+}
+
+Tensor logSumExpDim1(const Tensor& t) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  DAGT_CHECK(cols > 0);
+  auto out = makeOut({rows});
+  const float* p = t.data();
+  // Store the row softmax implicitly via recomputation in backward; the
+  // forward keeps only the LSE values. Backward: d/dx_ij = softmax_ij * g_i.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float rowMax = p[r * cols];
+    for (std::int64_t c = 1; c < cols; ++c) {
+      rowMax = std::max(rowMax, p[r * cols + c]);
+    }
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      acc += std::exp(static_cast<double>(p[r * cols + c] - rowMax));
+    }
+    out->data[static_cast<std::size_t>(r)] =
+        rowMax + static_cast<float>(std::log(acc));
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
+      ti->ensureGrad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float lse = self.data[static_cast<std::size_t>(r)];
+        const float g = self.grad[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const float soft = std::exp(ti->data[r * cols + c] - lse);
+          ti->grad[static_cast<std::size_t>(r * cols + c)] += g * soft;
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace dagt::tensor

@@ -1,0 +1,190 @@
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "tensor/ops_common.hpp"
+
+namespace dagt::tensor {
+
+using detail::attachTape;
+using detail::makeOut;
+using detail::tapeActive;
+
+Tensor reshape(const Tensor& t, const Shape& shape) {
+  DAGT_CHECK_MSG(numelOf(shape) == t.numel(),
+                 "reshape: numel mismatch " << numelOf(shape) << " vs "
+                                            << t.numel());
+  auto out = makeOut(shape);
+  out->data = t.impl()->data;
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti](TensorImpl& self) {
+      detail::accumulate(ti, self.grad);
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor concat0(const std::vector<Tensor>& parts) {
+  DAGT_CHECK(!parts.empty());
+  Shape restShape = parts.front().shape();
+  DAGT_CHECK(!restShape.empty());
+  std::int64_t totalRows = 0;
+  std::int64_t rowNumel = 1;
+  for (std::size_t i = 1; i < restShape.size(); ++i) rowNumel *= restShape[i];
+  for (const auto& p : parts) {
+    DAGT_CHECK_MSG(p.ndim() == static_cast<int>(restShape.size()),
+                   "concat0: rank mismatch");
+    for (std::size_t d = 1; d < restShape.size(); ++d) {
+      DAGT_CHECK_MSG(p.shape()[d] == restShape[d],
+                     "concat0: trailing dim mismatch");
+    }
+    totalRows += p.dim(0);
+  }
+  Shape outShape = restShape;
+  outShape[0] = totalRows;
+  auto out = makeOut(outShape);
+  std::int64_t offset = 0;
+  for (const auto& p : parts) {
+    const std::int64_t count = p.dim(0) * rowNumel;
+    std::memcpy(out->data.data() + offset, p.data(),
+                static_cast<std::size_t>(count) * sizeof(float));
+    offset += count;
+  }
+
+  bool anyGrad = false;
+  for (const auto& p : parts) anyGrad = anyGrad || p.requiresGrad();
+  if (anyGrad && NoGradGuard::gradEnabled()) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const auto& p : parts) impls.push_back(p.impl());
+    out->requiresGrad = true;
+    for (const auto& p : parts) {
+      if (p.requiresGrad()) out->parents.push_back(p.impl());
+    }
+    out->backwardFn = [impls, rowNumel](TensorImpl& self) {
+      std::int64_t off = 0;
+      for (const auto& impl : impls) {
+        const std::int64_t count = impl->shape[0] * rowNumel;
+        if (impl->requiresGrad) {
+          impl->ensureGrad();
+          for (std::int64_t i = 0; i < count; ++i) {
+            impl->grad[static_cast<std::size_t>(i)] +=
+                self.grad[static_cast<std::size_t>(off + i)];
+          }
+        }
+        off += count;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor concat1(const std::vector<Tensor>& parts) {
+  DAGT_CHECK(!parts.empty());
+  const std::int64_t rows = parts.front().dim(0);
+  std::int64_t totalCols = 0;
+  for (const auto& p : parts) {
+    DAGT_CHECK(p.ndim() == 2);
+    DAGT_CHECK_MSG(p.dim(0) == rows, "concat1: row count mismatch");
+    totalCols += p.dim(1);
+  }
+  auto out = makeOut({rows, totalCols});
+  std::int64_t colOffset = 0;
+  for (const auto& p : parts) {
+    const std::int64_t cols = p.dim(1);
+    const float* src = p.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::memcpy(out->data.data() + r * totalCols + colOffset,
+                  src + r * cols, static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    colOffset += cols;
+  }
+
+  bool anyGrad = false;
+  for (const auto& p : parts) anyGrad = anyGrad || p.requiresGrad();
+  if (anyGrad && NoGradGuard::gradEnabled()) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    impls.reserve(parts.size());
+    for (const auto& p : parts) impls.push_back(p.impl());
+    out->requiresGrad = true;
+    for (const auto& p : parts) {
+      if (p.requiresGrad()) out->parents.push_back(p.impl());
+    }
+    out->backwardFn = [impls, rows, totalCols](TensorImpl& self) {
+      std::int64_t colOff = 0;
+      for (const auto& impl : impls) {
+        const std::int64_t cols = impl->shape[1];
+        if (impl->requiresGrad) {
+          impl->ensureGrad();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              impl->grad[static_cast<std::size_t>(r * cols + c)] +=
+                  self.grad[static_cast<std::size_t>(r * totalCols + colOff +
+                                                     c)];
+            }
+          }
+        }
+        colOff += cols;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor sliceCols(const Tensor& t, std::int64_t begin, std::int64_t end) {
+  DAGT_CHECK(t.ndim() == 2);
+  const std::int64_t rows = t.dim(0);
+  const std::int64_t cols = t.dim(1);
+  DAGT_CHECK_MSG(0 <= begin && begin < end && end <= cols,
+                 "sliceCols [" << begin << "," << end << ") of " << cols);
+  const std::int64_t width = end - begin;
+  auto out = makeOut({rows, width});
+  const float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::memcpy(out->data.data() + r * width, p + r * cols + begin,
+                static_cast<std::size_t>(width) * sizeof(float));
+  }
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, rows, cols, begin, width](TensorImpl& self) {
+      ti->ensureGrad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < width; ++c) {
+          ti->grad[static_cast<std::size_t>(r * cols + begin + c)] +=
+              self.grad[static_cast<std::size_t>(r * width + c)];
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor sliceRows(const Tensor& t, std::int64_t begin, std::int64_t end) {
+  DAGT_CHECK(t.ndim() >= 1);
+  const std::int64_t rows = t.dim(0);
+  DAGT_CHECK_MSG(0 <= begin && begin < end && end <= rows,
+                 "sliceRows [" << begin << "," << end << ") of " << rows);
+  std::int64_t rowNumel = 1;
+  for (int d = 1; d < t.ndim(); ++d) rowNumel *= t.dim(d);
+  Shape outShape = t.shape();
+  outShape[0] = end - begin;
+  auto out = makeOut(outShape);
+  std::memcpy(out->data.data(), t.data() + begin * rowNumel,
+              static_cast<std::size_t>((end - begin) * rowNumel) *
+                  sizeof(float));
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, begin, rowNumel](TensorImpl& self) {
+      ti->ensureGrad();
+      const std::int64_t count =
+          static_cast<std::int64_t>(self.data.size());
+      for (std::int64_t i = 0; i < count; ++i) {
+        ti->grad[static_cast<std::size_t>(begin * rowNumel + i)] +=
+            self.grad[static_cast<std::size_t>(i)];
+      }
+    });
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace dagt::tensor

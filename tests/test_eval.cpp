@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "eval/kde.hpp"
+
+namespace dagt::eval {
+namespace {
+
+TEST(Kde, IntegratesToApproximatelyOne) {
+  std::vector<float> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(std::sin(static_cast<float>(i)) * 2.0f + 5.0f);
+  }
+  const KdeSeries kde = kernelDensity(samples, 256);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < kde.x.size(); ++i) {
+    integral += 0.5 * (kde.density[i] + kde.density[i - 1]) *
+                (kde.x[i] - kde.x[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeaksNearTheMode) {
+  // Tight cluster at 10 with a few outliers at 0.
+  std::vector<float> samples(100, 10.0f);
+  for (int i = 0; i < 100; ++i) {
+    samples[static_cast<std::size_t>(i)] +=
+        0.01f * std::sin(static_cast<float>(i * 37));
+  }
+  samples.push_back(0.0f);
+  const KdeSeries kde = kernelDensity(samples, 128);
+  double bestX = 0.0, bestDensity = -1.0;
+  for (std::size_t i = 0; i < kde.x.size(); ++i) {
+    if (kde.density[i] > bestDensity) {
+      bestDensity = kde.density[i];
+      bestX = kde.x[i];
+    }
+  }
+  EXPECT_NEAR(bestX, 10.0, 0.5);
+}
+
+TEST(Kde, BimodalInputYieldsTwoModes) {
+  // The Figure-6 situation: 7nm arrivals near 0.3, 130nm near 5.0.
+  std::vector<float> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(0.3f + 0.02f * std::sin(static_cast<float>(i)));
+    samples.push_back(5.0f + 0.05f * std::cos(static_cast<float>(i)));
+  }
+  const KdeSeries kde = kernelDensity(samples, 256, 0.25);
+  // Count strict local maxima above 10% of the global peak.
+  double peak = 0.0;
+  for (const double d : kde.density) peak = std::max(peak, d);
+  int modes = 0;
+  for (std::size_t i = 1; i + 1 < kde.density.size(); ++i) {
+    if (kde.density[i] > kde.density[i - 1] &&
+        kde.density[i] > kde.density[i + 1] &&
+        kde.density[i] > 0.1 * peak) {
+      ++modes;
+    }
+  }
+  EXPECT_EQ(modes, 2);
+}
+
+TEST(Kde, CustomBandwidthIsRespected) {
+  const std::vector<float> samples = {0.0f, 1.0f, 2.0f};
+  const KdeSeries wide = kernelDensity(samples, 64, 5.0);
+  const KdeSeries narrow = kernelDensity(samples, 64, 0.05);
+  // Wider bandwidth -> flatter curve (lower max density).
+  const auto maxOf = [](const KdeSeries& k) {
+    double m = 0.0;
+    for (const double d : k.density) m = std::max(m, d);
+    return m;
+  };
+  EXPECT_LT(maxOf(wide), maxOf(narrow));
+}
+
+TEST(Kde, RejectsEmptyInput) {
+  const std::vector<float> empty;
+  EXPECT_THROW(kernelDensity(empty), CheckError);
+}
+
+TEST(Kde, SilvermanScalesWithSpread) {
+  std::vector<float> tight, loose;
+  for (int i = 0; i < 50; ++i) {
+    tight.push_back(static_cast<float>(i % 5) * 0.01f);
+    loose.push_back(static_cast<float>(i % 5) * 10.0f);
+  }
+  EXPECT_LT(silvermanBandwidth(tight), silvermanBandwidth(loose));
+}
+
+}  // namespace
+}  // namespace dagt::eval

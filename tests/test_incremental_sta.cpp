@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "designgen/design_suite.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental_sta.hpp"
+#include "sta/sta_engine.hpp"
+
+namespace dagt::sta {
+namespace {
+
+using netlist::CellId;
+using netlist::CellLibrary;
+using netlist::CellTypeId;
+using netlist::Netlist;
+using netlist::TechNode;
+
+struct Fixture {
+  CellLibrary lib = CellLibrary::makeNode(TechNode::k7nm);
+  Netlist nl;
+  std::vector<NetParasitics> parasitics;
+
+  explicit Fixture(const char* name = "or1200", float scale = 0.3f)
+      : nl([&] {
+          const designgen::DesignSuite suite(scale);
+          return suite.buildNetlist(suite.entry(name), lib);
+        }()) {
+    place::Placer::place(nl);
+    const RouteEstimator estimator(
+        nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+    parasitics = estimator.estimateAll();
+  }
+
+  /// A combinational cell with an available larger drive variant.
+  CellId findResizableCell(int skip = 0) const {
+    for (CellId c = 0; c < nl.numCells(); ++c) {
+      const auto& type = nl.cellTypeOf(c);
+      if (type.isSequential) continue;
+      const auto& variants = lib.cellsForFunction(type.function);
+      if (lib.cell(variants.back()).driveStrength > type.driveStrength) {
+        if (skip-- == 0) return c;
+      }
+    }
+    return netlist::kInvalidId;
+  }
+
+  CellTypeId biggerVariant(CellId cell) const {
+    const auto& type = nl.cellTypeOf(cell);
+    return lib.cellsForFunction(type.function).back();
+  }
+};
+
+void expectIdentical(const TimingResult& a, const TimingResult& b) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    ASSERT_EQ(a.arrival[i], b.arrival[i]) << "arrival of pin " << i;
+    ASSERT_EQ(a.slew[i], b.slew[i]) << "slew of pin " << i;
+    ASSERT_EQ(a.loadCap[i], b.loadCap[i]) << "load of pin " << i;
+  }
+  EXPECT_EQ(a.worstArrival, b.worstArrival);
+}
+
+TEST(IncrementalSta, InitialStateMatchesFullRun) {
+  Fixture f;
+  IncrementalSta inc(f.nl, f.parasitics);
+  expectIdentical(inc.timing(), StaEngine::run(f.nl, f.parasitics));
+}
+
+TEST(IncrementalSta, SingleResizeMatchesFullRerun) {
+  Fixture f;
+  IncrementalSta inc(f.nl, f.parasitics);
+  const CellId cell = f.findResizableCell();
+  ASSERT_NE(cell, netlist::kInvalidId);
+  f.nl.resizeCell(cell, f.biggerVariant(cell));
+  inc.onCellResized(cell);
+  expectIdentical(inc.timing(), StaEngine::run(f.nl, f.parasitics));
+}
+
+TEST(IncrementalSta, ManySequentialResizesStayExact) {
+  Fixture f;
+  IncrementalSta inc(f.nl, f.parasitics);
+  for (int i = 0; i < 25; ++i) {
+    const CellId cell = f.findResizableCell(i * 7);
+    if (cell == netlist::kInvalidId) break;
+    f.nl.resizeCell(cell, f.biggerVariant(cell));
+    inc.onCellResized(cell);
+  }
+  expectIdentical(inc.timing(), StaEngine::run(f.nl, f.parasitics));
+}
+
+TEST(IncrementalSta, VisitsOnlyAFractionOfTheDesign) {
+  Fixture f;
+  IncrementalSta inc(f.nl, f.parasitics);
+  std::int64_t total = 0;
+  int updates = 0;
+  for (int i = 0; i < 10; ++i) {
+    const CellId cell = f.findResizableCell(i * 13);
+    if (cell == netlist::kInvalidId) break;
+    f.nl.resizeCell(cell, f.biggerVariant(cell));
+    inc.onCellResized(cell);
+    total += inc.lastUpdateVisited();
+    ++updates;
+  }
+  ASSERT_GT(updates, 0);
+  // On a multi-thousand-pin design a single resize should touch well under
+  // half the pins on average — that is the whole point of incrementality.
+  EXPECT_LT(total / updates, f.nl.numPins() / 2)
+      << "average visited " << total / updates << " of " << f.nl.numPins();
+}
+
+TEST(IncrementalSta, NoOpResizeVisitsAlmostNothing) {
+  Fixture f;
+  IncrementalSta inc(f.nl, f.parasitics);
+  const CellId cell = f.findResizableCell();
+  ASSERT_NE(cell, netlist::kInvalidId);
+  // "Resize" to the same type: loads and arcs unchanged, so propagation
+  // must die out immediately after the seed pins.
+  f.nl.resizeCell(cell, f.nl.cell(cell).type);
+  inc.onCellResized(cell);
+  EXPECT_LE(inc.lastUpdateVisited(),
+            static_cast<std::int64_t>(
+                2 * f.nl.cell(cell).inputPins.size() + 1));
+}
+
+TEST(IncrementalSta, FullRefreshRestoresReference) {
+  Fixture f("arm9", 0.4f);
+  IncrementalSta inc(f.nl, f.parasitics);
+  const CellId cell = f.findResizableCell();
+  ASSERT_NE(cell, netlist::kInvalidId);
+  f.nl.resizeCell(cell, f.biggerVariant(cell));
+  inc.fullRefresh();
+  expectIdentical(inc.timing(), StaEngine::run(f.nl, f.parasitics));
+}
+
+}  // namespace
+}  // namespace dagt::sta

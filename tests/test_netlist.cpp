@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dagt::netlist {
+namespace {
+
+class CellLibraryTest : public ::testing::TestWithParam<TechNode> {};
+
+TEST_P(CellLibraryTest, OffersCoreFunctions) {
+  const CellLibrary lib = CellLibrary::makeNode(GetParam());
+  for (const CellFunction fn :
+       {CellFunction::kInv, CellFunction::kBuf, CellFunction::kNand2,
+        CellFunction::kNor2, CellFunction::kAnd2, CellFunction::kOr2,
+        CellFunction::kXor2, CellFunction::kMux2, CellFunction::kDff}) {
+    EXPECT_TRUE(lib.supports(fn)) << cellFunctionName(fn);
+  }
+}
+
+TEST_P(CellLibraryTest, DriveVariantsAreAscendingAndFaster) {
+  const CellLibrary lib = CellLibrary::makeNode(GetParam());
+  const auto& variants = lib.cellsForFunction(CellFunction::kNand2);
+  ASSERT_GE(variants.size(), 3u);
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    const CellType& smaller = lib.cell(variants[i - 1]);
+    const CellType& larger = lib.cell(variants[i]);
+    EXPECT_LT(smaller.driveStrength, larger.driveStrength);
+    // Bigger drive -> lower resistance, more input cap, more area.
+    EXPECT_GT(smaller.driveRes, larger.driveRes);
+    EXPECT_LT(smaller.inputCap, larger.inputCap);
+    EXPECT_LT(smaller.area, larger.area);
+  }
+}
+
+TEST_P(CellLibraryTest, SequentialCellsHaveClkToQ) {
+  const CellLibrary lib = CellLibrary::makeNode(GetParam());
+  const auto& dffs = lib.cellsForFunction(CellFunction::kDff);
+  ASSERT_FALSE(dffs.empty());
+  for (const CellTypeId id : dffs) {
+    EXPECT_TRUE(lib.cell(id).isSequential);
+    EXPECT_GT(lib.cell(id).clkToQ, 0.0f);
+  }
+}
+
+TEST_P(CellLibraryTest, FindCellMatchesDrive) {
+  const CellLibrary lib = CellLibrary::makeNode(GetParam());
+  const CellTypeId id = lib.findCell(CellFunction::kInv, 2);
+  ASSERT_NE(id, kInvalidCellType);
+  EXPECT_EQ(lib.cell(id).driveStrength, 2);
+  EXPECT_EQ(lib.cell(id).function, CellFunction::kInv);
+  EXPECT_EQ(lib.findCell(CellFunction::kInv, 3), kInvalidCellType);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, CellLibraryTest,
+                         ::testing::Values(TechNode::k130nm, TechNode::k7nm,
+                                           TechNode::k45nm),
+                         [](const auto& info) {
+                           return techNodeName(info.param);
+                         });
+
+TEST(CellLibrary, NodeScaleGapIsAboutAnOrderOfMagnitude) {
+  const CellLibrary mature = CellLibrary::makeNode(TechNode::k130nm);
+  const CellLibrary advanced = CellLibrary::makeNode(TechNode::k7nm);
+  const CellType& inv130 = mature.cell(mature.findCell(CellFunction::kInv, 1));
+  const CellType& inv7 = advanced.cell(advanced.findCell(CellFunction::kInv, 1));
+  EXPECT_GT(inv130.intrinsicDelay / inv7.intrinsicDelay, 5.0f);
+  EXPECT_LT(inv130.intrinsicDelay / inv7.intrinsicDelay, 20.0f);
+  EXPECT_GT(inv130.inputCap / inv7.inputCap, 3.0f);
+}
+
+TEST(CellLibrary, AdvancedNodeLacksComplexGates) {
+  const CellLibrary advanced = CellLibrary::makeNode(TechNode::k7nm);
+  EXPECT_FALSE(advanced.supports(CellFunction::kNand3));
+  EXPECT_FALSE(advanced.supports(CellFunction::kMaj3));
+  EXPECT_FALSE(advanced.supports(CellFunction::kAoi21));
+  const CellLibrary mature = CellLibrary::makeNode(TechNode::k130nm);
+  EXPECT_TRUE(mature.supports(CellFunction::kNand3));
+  EXPECT_TRUE(mature.supports(CellFunction::kMaj3));
+}
+
+TEST(CellLibrary, IntermediateNodeSitsBetweenTheOthers) {
+  const CellLibrary n130 = CellLibrary::makeNode(TechNode::k130nm);
+  const CellLibrary n45 = CellLibrary::makeNode(TechNode::k45nm);
+  const CellLibrary n7 = CellLibrary::makeNode(TechNode::k7nm);
+  const auto invDelay = [](const CellLibrary& lib) {
+    return lib.cell(lib.findCell(CellFunction::kInv, 1)).intrinsicDelay;
+  };
+  EXPECT_GT(invDelay(n130), invDelay(n45));
+  EXPECT_GT(invDelay(n45), invDelay(n7));
+  // 45nm keeps NAND3 but drops MAJ3 — between the other menus.
+  EXPECT_TRUE(n45.supports(CellFunction::kNand3));
+  EXPECT_FALSE(n45.supports(CellFunction::kMaj3));
+}
+
+TEST(GateTypeVocabulary, SubsetVocabularyRejectsAbsentNode) {
+  const CellLibrary lib130 = CellLibrary::makeNode(TechNode::k130nm);
+  const CellLibrary lib7 = CellLibrary::makeNode(TechNode::k7nm);
+  const GateTypeVocabulary vocab({&lib130, &lib7});
+  EXPECT_TRUE(vocab.hasNode(TechNode::k130nm));
+  EXPECT_FALSE(vocab.hasNode(TechNode::k45nm));
+  EXPECT_THROW(vocab.indexOf(TechNode::k45nm, 0), CheckError);
+}
+
+TEST(GateTypeVocabulary, ThreeNodeVocabularyIsDisjoint) {
+  const CellLibrary lib130 = CellLibrary::makeNode(TechNode::k130nm);
+  const CellLibrary lib7 = CellLibrary::makeNode(TechNode::k7nm);
+  const CellLibrary lib45 = CellLibrary::makeNode(TechNode::k45nm);
+  const GateTypeVocabulary vocab({&lib130, &lib7, &lib45});
+  EXPECT_EQ(vocab.size(),
+            lib130.numCells() + lib7.numCells() + lib45.numCells() + 2);
+  std::set<int> slots;
+  for (netlist::CellTypeId c = 0; c < lib130.numCells(); ++c) {
+    EXPECT_TRUE(slots.insert(vocab.indexOf(TechNode::k130nm, c)).second);
+  }
+  for (netlist::CellTypeId c = 0; c < lib7.numCells(); ++c) {
+    EXPECT_TRUE(slots.insert(vocab.indexOf(TechNode::k7nm, c)).second);
+  }
+  for (netlist::CellTypeId c = 0; c < lib45.numCells(); ++c) {
+    EXPECT_TRUE(slots.insert(vocab.indexOf(TechNode::k45nm, c)).second);
+  }
+}
+
+TEST(GateTypeVocabulary, MergesBothNodesPlusPorts) {
+  const CellLibrary lib130 = CellLibrary::makeNode(TechNode::k130nm);
+  const CellLibrary lib7 = CellLibrary::makeNode(TechNode::k7nm);
+  const GateTypeVocabulary vocab({&lib130, &lib7});
+  EXPECT_EQ(vocab.size(), lib130.numCells() + lib7.numCells() + 2);
+  // Slots for the two nodes must not collide.
+  EXPECT_NE(vocab.indexOf(TechNode::k130nm, 0), vocab.indexOf(TechNode::k7nm, 0));
+  EXPECT_EQ(vocab.indexOf(TechNode::k7nm, 0), lib130.numCells());
+  EXPECT_EQ(vocab.primaryInputIndex(), vocab.size() - 2);
+  EXPECT_THROW(vocab.indexOf(TechNode::k7nm, lib7.numCells()), CheckError);
+}
+
+/// Hand-built 2-gate netlist: PI -> INV -> NAND2 -> PO, with a DFF.
+struct TinyNetlist {
+  CellLibrary lib = CellLibrary::makeNode(TechNode::k7nm);
+  Netlist nl{&lib, "tiny"};
+  PinId pi1, pi2, po;
+  CellId inv, nand, dff;
+
+  TinyNetlist() {
+    pi1 = nl.addPrimaryInput();
+    pi2 = nl.addPrimaryInput();
+    inv = nl.addCell(lib.findCell(CellFunction::kInv, 1));
+    nand = nl.addCell(lib.findCell(CellFunction::kNand2, 1));
+    dff = nl.addCell(lib.findCell(CellFunction::kDff, 1));
+    po = nl.addPrimaryOutput();
+
+    const NetId n1 = nl.addNet(pi1);
+    nl.connectSink(n1, nl.cell(inv).inputPins[0]);
+    const NetId n2 = nl.addNet(nl.cell(inv).outputPin);
+    nl.connectSink(n2, nl.cell(nand).inputPins[0]);
+    const NetId n3 = nl.addNet(pi2);
+    nl.connectSink(n3, nl.cell(nand).inputPins[1]);
+    const NetId n4 = nl.addNet(nl.cell(nand).outputPin);
+    nl.connectSink(n4, nl.cell(dff).inputPins[0]);
+    const NetId n5 = nl.addNet(nl.cell(dff).outputPin);
+    nl.connectSink(n5, po);
+  }
+};
+
+TEST(Netlist, TinyConstructionIsValid) {
+  TinyNetlist t;
+  EXPECT_NO_THROW(t.nl.validate());
+  EXPECT_EQ(t.nl.numCells(), 3);
+  EXPECT_EQ(t.nl.numNets(), 5);
+  // Pins: 2 PI + 1 PO + inv(2) + nand(3) + dff(2) = 10.
+  EXPECT_EQ(t.nl.numPins(), 10);
+}
+
+TEST(Netlist, EndpointsAreDffDAndPrimaryOutputs) {
+  TinyNetlist t;
+  const auto endpoints = t.nl.endpoints();
+  ASSERT_EQ(endpoints.size(), 2u);  // PO + DFF D pin
+  const auto startpoints = t.nl.startpoints();
+  ASSERT_EQ(startpoints.size(), 3u);  // 2 PIs + DFF Q
+}
+
+TEST(Netlist, StatsMatchHandCount) {
+  TinyNetlist t;
+  const auto s = t.nl.stats();
+  EXPECT_EQ(s.numPins, 10);
+  EXPECT_EQ(s.numEndpoints, 2);
+  EXPECT_EQ(s.numNetEdges, 5);   // each net has exactly one sink
+  EXPECT_EQ(s.numCellEdges, 3);  // inv 1 + nand 2; DFF excluded
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  TinyNetlist t;
+  const auto order = t.nl.topologicalPinOrder();
+  ASSERT_EQ(order.size(), 10u);
+  std::vector<std::int64_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  }
+  for (PinId p = 0; p < t.nl.numPins(); ++p) {
+    for (const PinId f : t.nl.timingFanin(p)) {
+      EXPECT_LT(position[static_cast<std::size_t>(f)],
+                position[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(Netlist, ResizePreservesFunctionAndRejectsOthers) {
+  TinyNetlist t;
+  const CellTypeId inv2 = t.lib.findCell(CellFunction::kInv, 2);
+  t.nl.resizeCell(t.inv, inv2);
+  EXPECT_EQ(t.nl.cell(t.inv).type, inv2);
+  const CellTypeId nand2 = t.lib.findCell(CellFunction::kNand2, 2);
+  EXPECT_THROW(t.nl.resizeCell(t.inv, nand2), CheckError);
+}
+
+TEST(Netlist, MoveSinkRewires) {
+  TinyNetlist t;
+  // Move the PO from the DFF's Q net onto the NAND output net.
+  const NetId nandNet = t.nl.pin(t.nl.cell(t.nand).outputPin).net;
+  t.nl.moveSink(t.po, nandNet);
+  EXPECT_EQ(t.nl.pin(t.po).net, nandNet);
+  EXPECT_EQ(t.nl.net(nandNet).sinks.size(), 2u);
+  // The DFF Q net lost its only sink -> validate should now fail.
+  EXPECT_THROW(t.nl.validate(), CheckError);
+}
+
+TEST(Netlist, DoubleConnectThrows) {
+  TinyNetlist t;
+  const NetId n1 = t.nl.pin(t.pi1).net;
+  EXPECT_THROW(t.nl.connectSink(n1, t.nl.cell(t.inv).inputPins[0]),
+               CheckError);
+}
+
+TEST(Netlist, PinLocationFollowsCellAndPort) {
+  TinyNetlist t;
+  t.nl.setCellLocation(t.inv, {3.0f, 4.0f});
+  const PinId invOut = t.nl.cell(t.inv).outputPin;
+  EXPECT_FLOAT_EQ(t.nl.pinLocation(invOut).x, 3.0f);
+  t.nl.setPortLocation(t.pi1, {0.0f, 9.0f});
+  EXPECT_FLOAT_EQ(t.nl.pinLocation(t.pi1).y, 9.0f);
+  EXPECT_THROW(t.nl.setPortLocation(invOut, {1.0f, 1.0f}), CheckError);
+}
+
+}  // namespace
+}  // namespace dagt::netlist

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace dagt::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::randn({5, 4}, rng);
+  Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{5, 3}));
+  EXPECT_EQ(layer.parameterCount(), 4 * 3 + 3);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::randn({5, 6}, rng);
+  EXPECT_THROW(layer.forward(x), CheckError);
+}
+
+TEST(Mlp, AppliesOutputActivation) {
+  Rng rng(2);
+  Mlp mlp({4, 8, 2}, rng, Activation::kRelu, Activation::kTanh);
+  Tensor x = Tensor::randn({16, 4}, rng, 3.0f);
+  Tensor y = mlp.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.data()[i], -1.0f);
+    EXPECT_LE(y.data()[i], 1.0f);
+  }
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(3);
+  LayerNorm norm(8);
+  Tensor x = Tensor::randn({4, 8}, rng, 50.0f);  // wildly scaled input
+  Tensor y = norm.forward(x);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8.0;
+    for (std::int64_t c = 0; c < 8; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GradientFlowsThroughNormalization) {
+  Rng rng(4);
+  LayerNorm norm(6);
+  Tensor x = Tensor::randn({3, 6}, rng, 1.0f, /*requiresGrad=*/true);
+  Tensor loss = tensor::sumAll(tensor::square(norm.forward(x)));
+  loss.backward();
+  ASSERT_TRUE(x.grad().defined());
+}
+
+TEST(Conv2dLayer, OutputShape) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, 2, 1, rng, Activation::kRelu);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 8, 8, 8}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.data()[i], 0.0f);  // relu applied
+  }
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(w) = ||w - target||^2 has a unique minimum Adam must find.
+  Rng rng(6);
+  Tensor w = Tensor::randn({4}, rng, 1.0f, true);
+  Tensor target = Tensor::fromVector({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  Adam::Options opts;
+  opts.learningRate = 0.05f;
+  Adam adam({w}, opts);
+  for (int step = 0; step < 400; ++step) {
+    adam.zeroGrad();
+    Tensor loss = tensor::sumAll(tensor::square(tensor::sub(w, target)));
+    loss.backward();
+    adam.step();
+  }
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.data()[i], target.data()[i], 1e-2f);
+  }
+}
+
+TEST(Adam, ClipGradNormScalesDown) {
+  Tensor w = Tensor::fromVector({2}, {0.0f, 0.0f}, true);
+  Adam adam({w}, {});
+  Tensor loss =
+      tensor::sumAll(tensor::mul(w, Tensor::fromVector({2}, {30.0f, 40.0f})));
+  loss.backward();
+  const float norm = adam.clipGradNorm(5.0f);
+  EXPECT_FLOAT_EQ(norm, 50.0f);  // 3-4-5 triangle
+  const Tensor g = w.grad();
+  EXPECT_NEAR(std::hypot(g.data()[0], g.data()[1]), 5.0f, 1e-4f);
+}
+
+TEST(Adam, SkipsParametersWithoutGrad) {
+  Rng rng(7);
+  Tensor used = Tensor::randn({2}, rng, 1.0f, true);
+  Tensor unused = Tensor::randn({2}, rng, 1.0f, true);
+  const std::vector<float> before = unused.toVector();
+  Adam adam({used, unused}, {});
+  Tensor loss = tensor::sumAll(tensor::square(used));
+  loss.backward();
+  adam.step();
+  EXPECT_EQ(unused.toVector(), before);
+}
+
+/// Two-layer module used by serialization and copy tests.
+struct TinyNet : Module {
+  Linear a;
+  Linear b;
+  explicit TinyNet(Rng& rng) : a(3, 5, rng, Activation::kRelu), b(5, 1, rng) {
+    registerChild(a);
+    registerChild(b);
+  }
+  Tensor forward(const Tensor& x) const { return b.forward(a.forward(x)); }
+};
+
+TEST(Module, CopyParametersReproducesOutputs) {
+  Rng rng1(8), rng2(9);
+  TinyNet src(rng1), dst(rng2);
+  Tensor x = Tensor::randn({4, 3}, rng1);
+  EXPECT_NE(src.forward(x).toVector(), dst.forward(x).toVector());
+  dst.copyParametersFrom(src);
+  EXPECT_EQ(src.forward(x).toVector(), dst.forward(x).toVector());
+}
+
+TEST(Module, SaveLoadRoundTrip) {
+  Rng rng1(10), rng2(11);
+  TinyNet src(rng1), dst(rng2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dagt_tinynet.bin").string();
+  src.saveParameters(path);
+  dst.loadParameters(path);
+  Tensor x = Tensor::randn({4, 3}, rng1);
+  EXPECT_EQ(src.forward(x).toVector(), dst.forward(x).toVector());
+  std::remove(path.c_str());
+}
+
+TEST(Module, ZeroGradClearsAllGradients) {
+  Rng rng(12);
+  TinyNet net(rng);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  Tensor loss = tensor::sumAll(net.forward(x));
+  loss.backward();
+  bool anyNonZero = false;
+  for (auto& p : net.parameters()) {
+    if (p.grad().defined()) {
+      for (std::int64_t i = 0; i < p.grad().numel(); ++i) {
+        anyNonZero = anyNonZero || p.grad().data()[i] != 0.0f;
+      }
+    }
+  }
+  ASSERT_TRUE(anyNonZero);
+  net.zeroGrad();
+  for (auto& p : net.parameters()) {
+    if (!p.grad().defined()) continue;
+    for (std::int64_t i = 0; i < p.grad().numel(); ++i) {
+      EXPECT_EQ(p.grad().data()[i], 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagt::nn

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "designgen/design_suite.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+
+namespace dagt::route {
+namespace {
+
+using netlist::CellLibrary;
+using netlist::Netlist;
+using netlist::TechNode;
+
+struct RoutedDesign {
+  CellLibrary lib = CellLibrary::makeNode(TechNode::k7nm);
+  Netlist nl;
+  place::PlacementResult placement;
+  RoutingResult routing;
+
+  explicit RoutedDesign(const char* name = "or1200", float scale = 0.3f)
+      : nl([&] {
+          const designgen::DesignSuite suite(scale);
+          return suite.buildNetlist(suite.entry(name), lib);
+        }()) {
+    placement = place::Placer::place(nl);
+    routing = GlobalRouter::route(nl, placement);
+  }
+};
+
+TEST(GlobalRouter, EverySinkRouted) {
+  RoutedDesign d;
+  ASSERT_EQ(d.routing.nets.size(), static_cast<std::size_t>(d.nl.numNets()));
+  for (netlist::NetId n = 0; n < d.nl.numNets(); ++n) {
+    const auto& net = d.nl.net(n);
+    const auto& routed = d.routing.nets[static_cast<std::size_t>(n)];
+    ASSERT_EQ(routed.sinks.size(), net.sinks.size()) << "net " << n;
+    for (std::size_t i = 0; i < routed.sinks.size(); ++i) {
+      EXPECT_EQ(routed.sinks[i].sink, net.sinks[i]);
+      EXPECT_GT(routed.sinks[i].length, 0.0f);
+    }
+  }
+}
+
+TEST(GlobalRouter, RoutedLengthDominatesGridManhattan) {
+  // A staircase route can never be shorter than the GCell-quantized
+  // Manhattan distance (minus the one-cell quantization slack).
+  RoutedDesign d;
+  const float cellSpan =
+      (d.placement.dieArea.width() + d.placement.dieArea.height()) /
+      static_cast<float>(d.routing.gridSize);
+  for (netlist::NetId n = 0; n < d.nl.numNets(); ++n) {
+    const auto& net = d.nl.net(n);
+    const Point driver = d.nl.pinLocation(net.driver);
+    const auto& routed = d.routing.nets[static_cast<std::size_t>(n)];
+    for (const auto& rs : routed.sinks) {
+      const float direct = manhattan(driver, d.nl.pinLocation(rs.sink));
+      EXPECT_GE(rs.length + 2.0f * cellSpan, direct)
+          << "net " << n << " sink " << rs.sink;
+    }
+  }
+}
+
+TEST(GlobalRouter, TotalsAreConsistent) {
+  RoutedDesign d;
+  double sum = 0.0;
+  for (const auto& net : d.routing.nets) {
+    for (const auto& rs : net.sinks) sum += rs.length;
+  }
+  EXPECT_NEAR(d.routing.totalWirelength, sum, 1e-2 * sum);
+  EXPECT_GE(d.routing.maxUtilization, 0.0f);
+  EXPECT_EQ(d.routing.hUsage.size(),
+            static_cast<std::size_t>((d.routing.gridSize - 1) *
+                                     d.routing.gridSize));
+}
+
+TEST(GlobalRouter, TighterCapacityForcesDetoursOrOverflow) {
+  RoutedDesign base;
+  RouterConfig scarce;
+  scarce.capacityScale = 0.1f;  // starve the routing resources
+  const auto congested =
+      GlobalRouter::route(base.nl, base.placement, scarce);
+  // With one tenth the capacity the router must either detour (longer
+  // wires) or overflow — usually both.
+  EXPECT_TRUE(congested.totalWirelength >
+                  base.routing.totalWirelength * 1.001f ||
+              congested.overflowEdges > base.routing.overflowEdges);
+  EXPECT_GT(congested.maxUtilization, base.routing.maxUtilization);
+}
+
+TEST(GlobalRouter, DeterministicAcrossRuns) {
+  RoutedDesign a("arm9", 0.3f);
+  const auto again = GlobalRouter::route(a.nl, a.placement);
+  EXPECT_EQ(a.routing.totalWirelength, again.totalWirelength);
+  EXPECT_EQ(a.routing.overflowEdges, again.overflowEdges);
+}
+
+TEST(GlobalRouter, RejectsDegenerateGrid) {
+  RoutedDesign d("arm9", 0.3f);
+  RouterConfig bad;
+  bad.gridSize = 1;
+  EXPECT_THROW(GlobalRouter::route(d.nl, d.placement, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace dagt::route

@@ -1,0 +1,291 @@
+// Property-style parameterized sweeps over the tensor engine: reference
+// implementations, algebraic identities and gradient checks across a grid
+// of shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::tensor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matmul properties over a shape grid
+// ---------------------------------------------------------------------------
+
+struct MatmulShape {
+  std::int64_t n, k, m;
+};
+
+class MatmulProperty : public ::testing::TestWithParam<MatmulShape> {};
+
+TEST_P(MatmulProperty, MatchesNaiveReference) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(n * 100 + k * 10 + m);
+  const Tensor a = Tensor::randn({n, k}, rng);
+  const Tensor b = Tensor::randn({k, m}, rng);
+  const Tensor c = matmul(a, b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3 * std::max(1.0, std::abs(acc)));
+    }
+  }
+}
+
+TEST_P(MatmulProperty, DistributesOverAddition) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(n * 7 + k * 5 + m * 3);
+  const Tensor a = Tensor::randn({n, k}, rng);
+  const Tensor b1 = Tensor::randn({k, m}, rng);
+  const Tensor b2 = Tensor::randn({k, m}, rng);
+  const Tensor lhs = matmul(a, add(b1, b2));
+  const Tensor rhs = add(matmul(a, b1), matmul(a, b2));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i],
+                1e-3f * std::max(1.0f, std::abs(rhs.data()[i])));
+  }
+}
+
+TEST_P(MatmulProperty, TransposeIdentity) {
+  // (A B)^T == B^T A^T
+  const auto [n, k, m] = GetParam();
+  Rng rng(n + k + m);
+  const Tensor a = Tensor::randn({n, k}, rng);
+  const Tensor b = Tensor::randn({k, m}, rng);
+  const Tensor lhs = transpose2d(matmul(a, b));
+  const Tensor rhs = matmul(transpose2d(b), transpose2d(a));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i],
+                1e-3f * std::max(1.0f, std::abs(rhs.data()[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, MatmulProperty,
+    ::testing::Values(MatmulShape{1, 1, 1}, MatmulShape{2, 3, 4},
+                      MatmulShape{5, 1, 7}, MatmulShape{8, 8, 8},
+                      MatmulShape{17, 33, 9}, MatmulShape{64, 32, 16}),
+    [](const auto& info) {
+      return std::to_string(info.param.n) + "x" +
+             std::to_string(info.param.k) + "x" +
+             std::to_string(info.param.m);
+    });
+
+// ---------------------------------------------------------------------------
+// Conv2d against a naive reference over parameter grid
+// ---------------------------------------------------------------------------
+
+struct ConvCase {
+  std::int64_t channels, size, filters, kernel, stride, pad;
+};
+
+class ConvProperty : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvProperty, MatchesNaiveReference) {
+  const auto p = GetParam();
+  Rng rng(p.size * 13 + p.kernel);
+  const Tensor x = Tensor::randn({2, p.channels, p.size, p.size}, rng);
+  const Tensor w =
+      Tensor::randn({p.filters, p.channels, p.kernel, p.kernel}, rng);
+  const Tensor b = Tensor::randn({p.filters}, rng);
+  const Tensor out = conv2d(x, w, b, p.stride, p.pad);
+
+  const std::int64_t oh = (p.size + 2 * p.pad - p.kernel) / p.stride + 1;
+  ASSERT_EQ(out.shape(), (Shape{2, p.filters, oh, oh}));
+  const float* xp = x.data();
+  const float* wp = w.data();
+  for (std::int64_t s = 0; s < 2; ++s) {
+    for (std::int64_t f = 0; f < p.filters; ++f) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < oh; ++ox) {
+          double acc = b.data()[f];
+          for (std::int64_t c = 0; c < p.channels; ++c) {
+            for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+                const std::int64_t iy = oy * p.stride + ky - p.pad;
+                const std::int64_t ix = ox * p.stride + kx - p.pad;
+                if (iy < 0 || iy >= p.size || ix < 0 || ix >= p.size) {
+                  continue;
+                }
+                acc += static_cast<double>(
+                           xp[((s * p.channels + c) * p.size + iy) * p.size +
+                              ix]) *
+                       wp[((f * p.channels + c) * p.kernel + ky) * p.kernel +
+                          kx];
+              }
+            }
+          }
+          const float got =
+              out.data()[((s * p.filters + f) * oh + oy) * oh + ox];
+          EXPECT_NEAR(got, acc, 1e-3 * std::max(1.0, std::abs(acc)));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, ConvProperty,
+    ::testing::Values(ConvCase{1, 6, 1, 1, 1, 0}, ConvCase{2, 8, 3, 3, 1, 1},
+                      ConvCase{3, 8, 4, 3, 2, 1}, ConvCase{2, 7, 2, 5, 2, 2},
+                      ConvCase{4, 12, 8, 3, 3, 0}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "c" + std::to_string(p.channels) + "s" + std::to_string(p.size) +
+             "f" + std::to_string(p.filters) + "k" + std::to_string(p.kernel) +
+             "st" + std::to_string(p.stride) + "p" + std::to_string(p.pad);
+    });
+
+// ---------------------------------------------------------------------------
+// Gradient sweep across composite expressions and sizes
+// ---------------------------------------------------------------------------
+
+class GradSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GradSweep, CompositeExpressionGradcheck) {
+  const std::int64_t n = GetParam();
+  Rng rng(n * 31);
+  Tensor x = Tensor::randn({n, 3}, rng, 0.6f, true);
+  const Tensor w = Tensor::randn({3, 3}, rng, 0.5f);
+
+  auto loss = [&] {
+    const Tensor h = tanhOp(matmul(x, w));
+    const Tensor g = sigmoid(sumDim1(square(h)));
+    return meanAll(mul(g, g));
+  };
+  x.zeroGrad();
+  Tensor l = loss();
+  l.backward();
+  const Tensor analytic = x.grad();
+  ASSERT_TRUE(analytic.defined());
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); i += std::max<std::int64_t>(1, n / 4)) {
+    const float saved = x.data()[i];
+    x.data()[i] = saved + eps;
+    const float up = loss().item();
+    x.data()[i] = saved - eps;
+    const float down = loss().item();
+    x.data()[i] = saved;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                2e-2f * std::max(1.0f, std::abs(numeric)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GradSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// ---------------------------------------------------------------------------
+// Segment / gather identities
+// ---------------------------------------------------------------------------
+
+class SegmentProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SegmentProperty, SegmentSumOfOnesCountsRows) {
+  const std::int64_t rows = GetParam();
+  Rng rng(rows);
+  const Tensor src = Tensor::ones({rows, 2});
+  std::vector<std::int64_t> seg(static_cast<std::size_t>(rows));
+  const std::int64_t numSeg = std::max<std::int64_t>(1, rows / 3);
+  std::vector<std::int64_t> expect(static_cast<std::size_t>(numSeg), 0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    seg[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(rng.uniformInt(
+            static_cast<std::uint64_t>(numSeg)));
+    ++expect[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
+  }
+  const Tensor out = segmentSum(src, seg, numSeg);
+  for (std::int64_t s = 0; s < numSeg; ++s) {
+    EXPECT_FLOAT_EQ(out.at(s, 0),
+                    static_cast<float>(expect[static_cast<std::size_t>(s)]));
+  }
+}
+
+TEST_P(SegmentProperty, SegmentMaxDominatesSegmentMean) {
+  const std::int64_t rows = GetParam();
+  Rng rng(rows * 7);
+  const Tensor src = Tensor::randn({rows, 3}, rng);
+  std::vector<std::int64_t> seg(static_cast<std::size_t>(rows));
+  const std::int64_t numSeg = std::max<std::int64_t>(1, rows / 4);
+  std::vector<float> count(static_cast<std::size_t>(numSeg), 0.0f);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    seg[static_cast<std::size_t>(i)] = i % numSeg;
+    count[static_cast<std::size_t>(i % numSeg)] += 1.0f;
+  }
+  const Tensor sums = segmentSum(src, seg, numSeg);
+  const Tensor maxs = segmentMax(src, seg, numSeg);
+  for (std::int64_t s = 0; s < numSeg; ++s) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      const float mean = sums.at(s, c) / count[static_cast<std::size_t>(s)];
+      EXPECT_GE(maxs.at(s, c) + 1e-6f, mean);
+    }
+  }
+}
+
+TEST_P(SegmentProperty, IndexSelectThenSegmentSumRoundTrip) {
+  // Scattering back what was gathered reproduces row sums.
+  const std::int64_t rows = GetParam();
+  Rng rng(rows * 11);
+  const Tensor base = Tensor::randn({rows, 2}, rng);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    idx.push_back(i);
+    idx.push_back(i);  // duplicate every row
+  }
+  const Tensor gathered = indexSelect0(base, idx);
+  const Tensor back = segmentSum(gathered, idx, rows);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(back.at(i, c), 2.0f * base.at(i, c), 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RowCounts, SegmentProperty,
+                         ::testing::Values(1, 3, 8, 20, 64));
+
+// ---------------------------------------------------------------------------
+// Reduction identities
+// ---------------------------------------------------------------------------
+
+class ReduceProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ReduceProperty, SumDimsCompose) {
+  const std::int64_t n = GetParam();
+  Rng rng(n * 3);
+  const Tensor x = Tensor::randn({n, 5}, rng);
+  const float viaDim0 = sumAll(sumDim0(x)).item();
+  const float viaDim1 = sumAll(sumDim1(x)).item();
+  const float direct = sumAll(x).item();
+  EXPECT_NEAR(viaDim0, direct, 1e-3f * std::max(1.0f, std::abs(direct)));
+  EXPECT_NEAR(viaDim1, direct, 1e-3f * std::max(1.0f, std::abs(direct)));
+}
+
+TEST_P(ReduceProperty, LogSumExpBounds) {
+  // max(row) <= lse(row) <= max(row) + log(cols)
+  const std::int64_t n = GetParam();
+  Rng rng(n * 17);
+  const Tensor x = Tensor::randn({n, 6}, rng, 3.0f);
+  const Tensor lse = logSumExpDim1(x);
+  for (std::int64_t r = 0; r < n; ++r) {
+    float rowMax = x.at(r, 0);
+    for (std::int64_t c = 1; c < 6; ++c) rowMax = std::max(rowMax, x.at(r, c));
+    EXPECT_GE(lse.data()[r] + 1e-4f, rowMax);
+    EXPECT_LE(lse.data()[r], rowMax + std::log(6.0f) + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RowCounts, ReduceProperty,
+                         ::testing::Values(1, 2, 7, 31));
+
+}  // namespace
+}  // namespace dagt::tensor

@@ -1,0 +1,256 @@
+// dagt — command-line front end to the library.
+//
+//   dagt gen <design> [--scale S] [--nl out.dagtnl] [--lib out.dagtlib]
+//       Generate a named suite design, map it to its node, place it and
+//       write the netlist / library interchange files.
+//
+//   dagt stats <netlist.dagtnl> <lib.dagtlib>
+//       Table-1 style statistics of a netlist file.
+//
+//   dagt sta <netlist.dagtnl> <lib.dagtlib> [--routed]
+//       Static timing analysis: worst arrival, slack summary against an
+//       auto-derived constraint, and the critical-path report.
+//
+//   dagt opt <netlist.dagtnl> <lib.dagtlib> [--out optimized.dagtnl]
+//       Timing optimization (sizing + buffering); reports the improvement.
+//
+//   dagt train [--scale S] [--epochs E] [--strategy NAME]
+//       Train a predictor on the paper's split and print test R^2 rows.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "features/design_data.hpp"
+#include "netlist/io.hpp"
+#include "place/layout_maps.hpp"
+#include "place/placer.hpp"
+#include "sta/sta_engine.hpp"
+#include "sta/timing_optimizer.hpp"
+#include "sta/timing_report.hpp"
+
+namespace {
+
+using namespace dagt;
+
+/// Minimal flag parser: positional args plus --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          args.flags[key] = argv[++i];
+        } else {
+          args.flags[key] = "1";
+        }
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  std::string flagOr(const std::string& key, std::string fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  float floatFlag(const std::string& key, float fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtof(it->second.c_str(),
+                                                      nullptr);
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dagt <gen|stats|sta|opt|train> [args]\n"
+               "run 'dagt' with a command to see its flags in the header "
+               "of tools/dagt_cli.cpp\n");
+  return 2;
+}
+
+int cmdGen(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string name = args.positional[0];
+  const float scale = args.floatFlag("scale", 1.0f);
+
+  const designgen::DesignSuite suite(scale);
+  const auto& entry = suite.entry(name);
+  const auto lib = netlist::CellLibrary::makeNode(entry.node);
+  auto nl = suite.buildNetlist(entry, lib);
+  const auto placement = place::Placer::place(nl);
+
+  const std::string nlPath = args.flagOr("nl", name + ".dagtnl");
+  const std::string libPath = args.flagOr(
+      "lib", netlist::techNodeName(entry.node) + ".dagtlib");
+  netlist::io::writeNetlistFile(nl, nlPath);
+  netlist::io::writeLibraryFile(lib, libPath);
+  const auto stats = nl.stats();
+  std::printf("%s @ %s: %lld pins, %lld endpoints, die %.1fx%.1f um\n",
+              name.c_str(), netlist::techNodeName(entry.node).c_str(),
+              static_cast<long long>(stats.numPins),
+              static_cast<long long>(stats.numEndpoints),
+              placement.dieArea.width(), placement.dieArea.height());
+  std::printf("wrote %s and %s\n", nlPath.c_str(), libPath.c_str());
+  return 0;
+}
+
+int cmdStats(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto lib = netlist::io::readLibraryFile(args.positional[1]);
+  const auto nl = netlist::io::readNetlistFile(args.positional[0], lib);
+  const auto s = nl.stats();
+  TextTable table({"design", "tech node", "#pin", "#edp", "#e_n", "#e_c"});
+  table.addRow({nl.name(), netlist::techNodeName(lib.node()),
+                std::to_string(s.numPins), std::to_string(s.numEndpoints),
+                std::to_string(s.numNetEdges),
+                std::to_string(s.numCellEdges)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmdSta(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto lib = netlist::io::readLibraryFile(args.positional[1]);
+  const auto nl = netlist::io::readNetlistFile(args.positional[0], lib);
+
+  sta::TimingResult timing;
+  if (args.has("routed")) {
+    // Routed model needs a congestion map; derive the die from locations.
+    Rect die{{0, 0}, {0, 0}};
+    for (netlist::PinId p = 0; p < nl.numPins(); ++p) {
+      die.expand(nl.pinLocation(p));
+    }
+    place::PlacementResult placement;
+    placement.dieArea = die;
+    const place::LayoutMaps maps(nl, placement, 32);
+    timing = sta::StaEngine::run(
+        nl, &maps, sta::RouteConfig{sta::WireModel::kRouted, 1.0f, 0.15f});
+  } else {
+    timing = sta::StaEngine::run(
+        nl, nullptr,
+        sta::RouteConfig{sta::WireModel::kPreRouting, 0.0f, 0.0f});
+  }
+
+  const auto constraints =
+      sta::TimingConstraints::fromEstimate(timing.worstArrival);
+  const auto slack = sta::computeSlack(nl, timing, constraints);
+  std::printf("worst arrival %.1f ps over %zu endpoints\n",
+              timing.worstArrival, slack.endpoints.size());
+  std::printf("auto constraint: clock %.1f ps -> WNS %.1f ps, TNS %.1f ps, "
+              "%lld violations\n",
+              constraints.clockPeriod, slack.worstNegativeSlack,
+              slack.totalNegativeSlack,
+              static_cast<long long>(slack.violatingEndpoints));
+  const auto path = sta::traceCriticalPath(nl, timing);
+  std::printf("%s", sta::formatPathReport(nl, path).c_str());
+  return 0;
+}
+
+int cmdOpt(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto lib = netlist::io::readLibraryFile(args.positional[1]);
+  auto nl = netlist::io::readNetlistFile(args.positional[0], lib);
+
+  Rect die{{0, 0}, {0, 0}};
+  for (netlist::PinId p = 0; p < nl.numPins(); ++p) {
+    die.expand(nl.pinLocation(p));
+  }
+  place::PlacementResult placement;
+  placement.dieArea = die;
+  const place::LayoutMaps maps(nl, placement, 32);
+  const auto report = sta::TimingOptimizer::optimize(nl, maps);
+  std::printf("resized %d cells, inserted %d buffers: worst arrival "
+              "%.1f -> %.1f ps\n",
+              report.cellsResized, report.buffersInserted,
+              report.worstArrivalBefore, report.worstArrivalAfter);
+  if (args.has("out")) {
+    netlist::io::writeNetlistFile(nl, args.flagOr("out", "optimized.dagtnl"));
+    std::printf("wrote %s\n", args.flagOr("out", "optimized.dagtnl").c_str());
+  }
+  return 0;
+}
+
+int cmdTrain(const Args& args) {
+  Log::threshold() = LogLevel::kInfo;
+  const float scale = args.floatFlag("scale", 0.5f);
+  const int epochs = static_cast<int>(args.floatFlag("epochs", 24.0f));
+  const std::string strategyName = args.flagOr("strategy", "ours");
+
+  core::Strategy strategy = core::Strategy::kOurs;
+  if (strategyName == "advonly") strategy = core::Strategy::kAdvOnly;
+  else if (strategyName == "simplemerge") strategy = core::Strategy::kSimpleMerge;
+  else if (strategyName == "paramshare") strategy = core::Strategy::kParamShare;
+  else if (strategyName == "ptft") strategy = core::Strategy::kPretrainFinetune;
+  else if (strategyName != "ours") {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategyName.c_str());
+    return 2;
+  }
+
+  features::DataConfig dataConfig;
+  dataConfig.designScale = scale;
+  const features::DataPipeline pipeline(dataConfig);
+  std::vector<features::DesignData> train, test;
+  for (const char* n :
+       {"smallboom", "jpeg", "linkruncca", "spiMaster", "usbf_device"}) {
+    train.push_back(pipeline.build(n));
+  }
+  for (const char* n : {"arm9", "chacha", "hwacha", "or1200", "sha3"}) {
+    test.push_back(pipeline.build(n));
+  }
+  auto pointers = [](const std::vector<features::DesignData>& v) {
+    std::vector<const features::DesignData*> p;
+    for (const auto& d : v) p.push_back(&d);
+    return p;
+  };
+  core::TimingDataset trainSet(pointers(train));
+  const core::TimingDataset testSet(pointers(test));
+  trainSet.restrictEndpoints(train.front(), 48, 99);
+
+  core::TrainConfig config;
+  config.epochs = epochs;
+  config.learningRate = 5e-3f;
+  const core::Trainer trainer(trainSet, config);
+  core::TrainStats stats;
+  auto model = trainer.train(strategy, &stats);
+
+  TextTable table({"design", "R2", "runtime (s)"});
+  for (const auto& eval : core::evaluateModel(*model, testSet)) {
+    table.addRow({eval.design, TextTable::num(eval.r2),
+                  TextTable::num(eval.runtimeSeconds)});
+  }
+  std::printf("%s trained in %.1fs\n%s", core::strategyName(strategy).c_str(),
+              stats.trainSeconds, table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = Args::parse(argc, argv);
+  try {
+    if (command == "gen") return cmdGen(args);
+    if (command == "stats") return cmdStats(args);
+    if (command == "sta") return cmdSta(args);
+    if (command == "opt") return cmdOpt(args);
+    if (command == "train") return cmdTrain(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
