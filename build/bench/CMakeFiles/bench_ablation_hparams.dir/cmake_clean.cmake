@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hparams.dir/bench_ablation_hparams.cpp.o"
+  "CMakeFiles/bench_ablation_hparams.dir/bench_ablation_hparams.cpp.o.d"
+  "bench_ablation_hparams"
+  "bench_ablation_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

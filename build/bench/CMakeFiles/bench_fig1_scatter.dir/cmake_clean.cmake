@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_scatter.dir/bench_fig1_scatter.cpp.o"
+  "CMakeFiles/bench_fig1_scatter.dir/bench_fig1_scatter.cpp.o.d"
+  "bench_fig1_scatter"
+  "bench_fig1_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kde.dir/bench_fig6_kde.cpp.o"
+  "CMakeFiles/bench_fig6_kde.dir/bench_fig6_kde.cpp.o.d"
+  "bench_fig6_kde"
+  "bench_fig6_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

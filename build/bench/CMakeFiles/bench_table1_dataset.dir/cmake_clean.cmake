@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dataset.dir/bench_table1_dataset.cpp.o"
+  "CMakeFiles/bench_table1_dataset.dir/bench_table1_dataset.cpp.o.d"
+  "bench_table1_dataset"
+  "bench_table1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_main.dir/bench_table2_main.cpp.o"
+  "CMakeFiles/bench_table2_main.dir/bench_table2_main.cpp.o.d"
+  "bench_table2_main"
+  "bench_table2_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

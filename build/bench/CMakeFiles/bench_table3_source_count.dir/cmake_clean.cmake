@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_source_count.dir/bench_table3_source_count.cpp.o"
+  "CMakeFiles/bench_table3_source_count.dir/bench_table3_source_count.cpp.o.d"
+  "bench_table3_source_count"
+  "bench_table3_source_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_source_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dagt_bench_harness.dir/harness.cpp.o.d"
+  "libdagt_bench_harness.a"
+  "libdagt_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_node_transfer.dir/cross_node_transfer.cpp.o"
+  "CMakeFiles/cross_node_transfer.dir/cross_node_transfer.cpp.o.d"
+  "cross_node_transfer"
+  "cross_node_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_node_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

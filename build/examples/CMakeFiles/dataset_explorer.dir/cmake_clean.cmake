@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_explorer.dir/dataset_explorer.cpp.o"
+  "CMakeFiles/dataset_explorer.dir/dataset_explorer.cpp.o.d"
+  "dataset_explorer"
+  "dataset_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

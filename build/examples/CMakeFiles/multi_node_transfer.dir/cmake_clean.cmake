@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_node_transfer.dir/multi_node_transfer.cpp.o"
+  "CMakeFiles/multi_node_transfer.dir/multi_node_transfer.cpp.o.d"
+  "multi_node_transfer"
+  "multi_node_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_node_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sta_flow.cpp" "examples/CMakeFiles/sta_flow.dir/sta_flow.cpp.o" "gcc" "examples/CMakeFiles/sta_flow.dir/sta_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dagt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dagt_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dagt_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dagt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/designgen/CMakeFiles/dagt_designgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dagt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dagt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dagt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_flow.dir/sta_flow.cpp.o"
+  "CMakeFiles/sta_flow.dir/sta_flow.cpp.o.d"
+  "sta_flow"
+  "sta_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_common.dir/logging.cpp.o"
+  "CMakeFiles/dagt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dagt_common.dir/parallel.cpp.o"
+  "CMakeFiles/dagt_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/dagt_common.dir/rng.cpp.o"
+  "CMakeFiles/dagt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dagt_common.dir/table.cpp.o"
+  "CMakeFiles/dagt_common.dir/table.cpp.o.d"
+  "libdagt_common.a"
+  "libdagt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bayesian_head.cpp" "src/core/CMakeFiles/dagt_core.dir/bayesian_head.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/bayesian_head.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/dagt_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/disentangler.cpp" "src/core/CMakeFiles/dagt_core.dir/disentangler.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/disentangler.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/dagt_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/losses.cpp" "src/core/CMakeFiles/dagt_core.dir/losses.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/losses.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/dagt_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/path_cnn.cpp" "src/core/CMakeFiles/dagt_core.dir/path_cnn.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/path_cnn.cpp.o.d"
+  "/root/repo/src/core/timing_gnn.cpp" "src/core/CMakeFiles/dagt_core.dir/timing_gnn.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/timing_gnn.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/dagt_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/dagt_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/dagt_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dagt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dagt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dagt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dagt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/designgen/CMakeFiles/dagt_designgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

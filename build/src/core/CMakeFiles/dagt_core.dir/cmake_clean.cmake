@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_core.dir/bayesian_head.cpp.o"
+  "CMakeFiles/dagt_core.dir/bayesian_head.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/dataset.cpp.o"
+  "CMakeFiles/dagt_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/disentangler.cpp.o"
+  "CMakeFiles/dagt_core.dir/disentangler.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/extractor.cpp.o"
+  "CMakeFiles/dagt_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/losses.cpp.o"
+  "CMakeFiles/dagt_core.dir/losses.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/models.cpp.o"
+  "CMakeFiles/dagt_core.dir/models.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/path_cnn.cpp.o"
+  "CMakeFiles/dagt_core.dir/path_cnn.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/timing_gnn.cpp.o"
+  "CMakeFiles/dagt_core.dir/timing_gnn.cpp.o.d"
+  "CMakeFiles/dagt_core.dir/trainer.cpp.o"
+  "CMakeFiles/dagt_core.dir/trainer.cpp.o.d"
+  "libdagt_core.a"
+  "libdagt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designgen/design_suite.cpp" "src/designgen/CMakeFiles/dagt_designgen.dir/design_suite.cpp.o" "gcc" "src/designgen/CMakeFiles/dagt_designgen.dir/design_suite.cpp.o.d"
+  "/root/repo/src/designgen/logic_network.cpp" "src/designgen/CMakeFiles/dagt_designgen.dir/logic_network.cpp.o" "gcc" "src/designgen/CMakeFiles/dagt_designgen.dir/logic_network.cpp.o.d"
+  "/root/repo/src/designgen/tech_mapper.cpp" "src/designgen/CMakeFiles/dagt_designgen.dir/tech_mapper.cpp.o" "gcc" "src/designgen/CMakeFiles/dagt_designgen.dir/tech_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_designgen.dir/design_suite.cpp.o"
+  "CMakeFiles/dagt_designgen.dir/design_suite.cpp.o.d"
+  "CMakeFiles/dagt_designgen.dir/logic_network.cpp.o"
+  "CMakeFiles/dagt_designgen.dir/logic_network.cpp.o.d"
+  "CMakeFiles/dagt_designgen.dir/tech_mapper.cpp.o"
+  "CMakeFiles/dagt_designgen.dir/tech_mapper.cpp.o.d"
+  "libdagt_designgen.a"
+  "libdagt_designgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_designgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdagt_designgen.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dagt_designgen.
+# This may be replaced when dependencies are built.

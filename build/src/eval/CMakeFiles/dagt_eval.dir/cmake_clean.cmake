@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_eval.dir/kde.cpp.o"
+  "CMakeFiles/dagt_eval.dir/kde.cpp.o.d"
+  "libdagt_eval.a"
+  "libdagt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

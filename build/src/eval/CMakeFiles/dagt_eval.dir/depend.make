@@ -1,0 +1,2 @@
+# Empty dependencies file for dagt_eval.
+# This may be replaced when dependencies are built.

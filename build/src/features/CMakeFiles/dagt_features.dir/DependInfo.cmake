@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/design_data.cpp" "src/features/CMakeFiles/dagt_features.dir/design_data.cpp.o" "gcc" "src/features/CMakeFiles/dagt_features.dir/design_data.cpp.o.d"
+  "/root/repo/src/features/feature_builder.cpp" "src/features/CMakeFiles/dagt_features.dir/feature_builder.cpp.o" "gcc" "src/features/CMakeFiles/dagt_features.dir/feature_builder.cpp.o.d"
+  "/root/repo/src/features/path_extractor.cpp" "src/features/CMakeFiles/dagt_features.dir/path_extractor.cpp.o" "gcc" "src/features/CMakeFiles/dagt_features.dir/path_extractor.cpp.o.d"
+  "/root/repo/src/features/pin_graph.cpp" "src/features/CMakeFiles/dagt_features.dir/pin_graph.cpp.o" "gcc" "src/features/CMakeFiles/dagt_features.dir/pin_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/dagt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dagt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/designgen/CMakeFiles/dagt_designgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dagt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_features.dir/design_data.cpp.o"
+  "CMakeFiles/dagt_features.dir/design_data.cpp.o.d"
+  "CMakeFiles/dagt_features.dir/feature_builder.cpp.o"
+  "CMakeFiles/dagt_features.dir/feature_builder.cpp.o.d"
+  "CMakeFiles/dagt_features.dir/path_extractor.cpp.o"
+  "CMakeFiles/dagt_features.dir/path_extractor.cpp.o.d"
+  "CMakeFiles/dagt_features.dir/pin_graph.cpp.o"
+  "CMakeFiles/dagt_features.dir/pin_graph.cpp.o.d"
+  "libdagt_features.a"
+  "libdagt_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/dagt_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/dagt_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/netlist/CMakeFiles/dagt_netlist.dir/io.cpp.o" "gcc" "src/netlist/CMakeFiles/dagt_netlist.dir/io.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/dagt_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/dagt_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

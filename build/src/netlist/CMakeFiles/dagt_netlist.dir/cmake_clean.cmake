@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/dagt_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/dagt_netlist.dir/io.cpp.o"
+  "CMakeFiles/dagt_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/dagt_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dagt_netlist.dir/netlist.cpp.o.d"
+  "libdagt_netlist.a"
+  "libdagt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/dagt_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/dagt_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dagt_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dagt_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/dagt_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/dagt_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dagt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_nn.dir/layers.cpp.o"
+  "CMakeFiles/dagt_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/dagt_nn.dir/module.cpp.o"
+  "CMakeFiles/dagt_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dagt_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dagt_nn.dir/optimizer.cpp.o.d"
+  "libdagt_nn.a"
+  "libdagt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_place.dir/layout_maps.cpp.o"
+  "CMakeFiles/dagt_place.dir/layout_maps.cpp.o.d"
+  "CMakeFiles/dagt_place.dir/placer.cpp.o"
+  "CMakeFiles/dagt_place.dir/placer.cpp.o.d"
+  "libdagt_place.a"
+  "libdagt_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_route.dir/global_router.cpp.o"
+  "CMakeFiles/dagt_route.dir/global_router.cpp.o.d"
+  "libdagt_route.a"
+  "libdagt_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

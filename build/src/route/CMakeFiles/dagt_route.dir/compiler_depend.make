@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dagt_route.
+# This may be replaced when dependencies are built.

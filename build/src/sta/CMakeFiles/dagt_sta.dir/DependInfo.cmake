@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/incremental_sta.cpp" "src/sta/CMakeFiles/dagt_sta.dir/incremental_sta.cpp.o" "gcc" "src/sta/CMakeFiles/dagt_sta.dir/incremental_sta.cpp.o.d"
+  "/root/repo/src/sta/route_estimator.cpp" "src/sta/CMakeFiles/dagt_sta.dir/route_estimator.cpp.o" "gcc" "src/sta/CMakeFiles/dagt_sta.dir/route_estimator.cpp.o.d"
+  "/root/repo/src/sta/sta_engine.cpp" "src/sta/CMakeFiles/dagt_sta.dir/sta_engine.cpp.o" "gcc" "src/sta/CMakeFiles/dagt_sta.dir/sta_engine.cpp.o.d"
+  "/root/repo/src/sta/timing_optimizer.cpp" "src/sta/CMakeFiles/dagt_sta.dir/timing_optimizer.cpp.o" "gcc" "src/sta/CMakeFiles/dagt_sta.dir/timing_optimizer.cpp.o.d"
+  "/root/repo/src/sta/timing_report.cpp" "src/sta/CMakeFiles/dagt_sta.dir/timing_report.cpp.o" "gcc" "src/sta/CMakeFiles/dagt_sta.dir/timing_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/dagt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

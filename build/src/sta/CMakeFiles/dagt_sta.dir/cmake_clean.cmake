@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_sta.dir/incremental_sta.cpp.o"
+  "CMakeFiles/dagt_sta.dir/incremental_sta.cpp.o.d"
+  "CMakeFiles/dagt_sta.dir/route_estimator.cpp.o"
+  "CMakeFiles/dagt_sta.dir/route_estimator.cpp.o.d"
+  "CMakeFiles/dagt_sta.dir/sta_engine.cpp.o"
+  "CMakeFiles/dagt_sta.dir/sta_engine.cpp.o.d"
+  "CMakeFiles/dagt_sta.dir/timing_optimizer.cpp.o"
+  "CMakeFiles/dagt_sta.dir/timing_optimizer.cpp.o.d"
+  "CMakeFiles/dagt_sta.dir/timing_report.cpp.o"
+  "CMakeFiles/dagt_sta.dir/timing_report.cpp.o.d"
+  "libdagt_sta.a"
+  "libdagt_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ops_conv.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_conv.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_conv.cpp.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_elementwise.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_elementwise.cpp.o.d"
+  "/root/repo/src/tensor/ops_index.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_index.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_index.cpp.o.d"
+  "/root/repo/src/tensor/ops_linalg.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_linalg.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_linalg.cpp.o.d"
+  "/root/repo/src/tensor/ops_reduce.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_reduce.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_reduce.cpp.o.d"
+  "/root/repo/src/tensor/ops_shape.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_shape.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/ops_shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/dagt_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/dagt_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_tensor.dir/ops_conv.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_conv.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/ops_elementwise.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_elementwise.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/ops_index.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_index.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/ops_linalg.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_linalg.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/ops_reduce.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_reduce.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/ops_shape.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/ops_shape.cpp.o.d"
+  "CMakeFiles/dagt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dagt_tensor.dir/tensor.cpp.o.d"
+  "libdagt_tensor.a"
+  "libdagt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dagt_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/dagt_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_designgen.cpp" "tests/CMakeFiles/dagt_tests.dir/test_designgen.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_designgen.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/dagt_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/dagt_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_incremental_sta.cpp" "tests/CMakeFiles/dagt_tests.dir/test_incremental_sta.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_incremental_sta.cpp.o.d"
+  "/root/repo/tests/test_io_report.cpp" "tests/CMakeFiles/dagt_tests.dir/test_io_report.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_io_report.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/dagt_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/dagt_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_place_sta.cpp" "tests/CMakeFiles/dagt_tests.dir/test_place_sta.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_place_sta.cpp.o.d"
+  "/root/repo/tests/test_route.cpp" "tests/CMakeFiles/dagt_tests.dir/test_route.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_route.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/dagt_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_tensor_properties.cpp" "tests/CMakeFiles/dagt_tests.dir/test_tensor_properties.cpp.o" "gcc" "tests/CMakeFiles/dagt_tests.dir/test_tensor_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dagt_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dagt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dagt_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/dagt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dagt_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/designgen/CMakeFiles/dagt_designgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dagt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dagt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

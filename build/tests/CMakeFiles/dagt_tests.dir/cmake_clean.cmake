@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt_tests.dir/test_common.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_core.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_designgen.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_designgen.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_eval.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_eval.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_features.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_features.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_incremental_sta.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_incremental_sta.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_io_report.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_io_report.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_netlist.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_netlist.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_nn.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_nn.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_place_sta.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_place_sta.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_route.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_route.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_tensor.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/dagt_tests.dir/test_tensor_properties.cpp.o"
+  "CMakeFiles/dagt_tests.dir/test_tensor_properties.cpp.o.d"
+  "dagt_tests"
+  "dagt_tests.pdb"
+  "dagt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

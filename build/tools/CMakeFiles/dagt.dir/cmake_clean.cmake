@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagt.dir/dagt_cli.cpp.o"
+  "CMakeFiles/dagt.dir/dagt_cli.cpp.o.d"
+  "dagt"
+  "dagt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
