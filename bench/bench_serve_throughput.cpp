@@ -1,0 +1,150 @@
+// Serving-engine throughput: batched, multi-threaded prediction vs the
+// single-request baseline.
+//
+// Trains a small predictor, exports it as a model bundle, loads it into
+// two PredictionEngines — one with request batching disabled (every call
+// runs its own forward) and one with the coalescing queue enabled — and
+// fires single-endpoint queries at both. Because the GNN encodes the whole
+// pin graph once per forward, coalescing N concurrent queries into one
+// batch amortizes that pass over all of them; the batched engine should
+// clear >= 3x the baseline QPS. Reports QPS for both and the batched
+// engine's p50/p95/p99 request latency, and writes
+// BENCH_serve_throughput.json.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace {
+
+using namespace dagt;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kCallerThreads = 8;
+constexpr int kRequestsPerCaller = 40;
+constexpr int kBaselineRequests = 40;
+
+double secondsSince(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fire single-endpoint queries from `threads` callers; returns QPS.
+double fire(serve::PredictionEngine& engine, int threads, int perCaller,
+            std::int64_t numEndpoints) {
+  const auto start = Clock::now();
+  std::vector<std::thread> callers;
+  for (int t = 0; t < threads; ++t) {
+    callers.emplace_back([&engine, t, perCaller, numEndpoints] {
+      for (int i = 0; i < perCaller; ++i) {
+        const std::int64_t endpoint =
+            (static_cast<std::int64_t>(t) * 31 + i * 7) % numEndpoints;
+        engine.predictEndpoint("bench", endpoint);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  return static_cast<double>(threads) * perCaller / secondsSince(start);
+}
+
+}  // namespace
+
+int main() {
+  // -- Train a small model and export it as a bundle -------------------------
+  features::DataConfig dataConfig;
+  dataConfig.designScale = 0.3f;
+  const features::DataPipeline pipeline(dataConfig);
+  std::vector<features::DesignData> trainDesigns;
+  for (const char* name : {"smallboom", "jpeg", "linkruncca"}) {
+    trainDesigns.push_back(pipeline.build(name));
+  }
+  std::vector<const features::DesignData*> pointers;
+  for (const auto& d : trainDesigns) pointers.push_back(&d);
+  const core::TimingDataset trainSet(pointers);
+
+  core::TrainConfig config;
+  config.epochs = 4;
+  config.finetuneEpochs = 2;
+  const core::Trainer trainer(trainSet, config);
+  const auto model = trainer.train(core::Strategy::kOurs);
+
+  serve::BundleManifest manifest;
+  manifest.strategy = core::strategyName(core::Strategy::kOurs);
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig.nodes;
+  manifest.pinFeatureDim = pipeline.featureDim();
+  manifest.model = config.model;
+  manifest.model.imageResolution = dataConfig.imageResolution;
+  manifest.features = dataConfig.features;
+  const std::string bundleDir = "dagt_serve_bench_bundle";
+  serve::ModelBundle::save(*model, manifest, bundleDir);
+
+  const auto serveDesign = pipeline.build("or1200");
+  const std::int64_t numEndpoints = serveDesign.numEndpoints();
+  std::fprintf(stderr, "serving %s: %lld endpoints\n",
+               serveDesign.name.c_str(),
+               static_cast<long long>(numEndpoints));
+
+  // -- Baseline: batching off, one forward per request, one caller -----------
+  serve::EngineConfig baselineConfig;
+  baselineConfig.batching = false;
+  serve::PredictionEngine baseline(baselineConfig);
+  baseline.addBundleFromDir(bundleDir);
+  baseline.loadDesign("bench", serveDesign.netlist, serveDesign.node,
+                      serveDesign.placement);
+  baseline.predictEndpoint("bench", 0);  // warm up
+  const double baselineQps = fire(baseline, 1, kBaselineRequests,
+                                  numEndpoints);
+  const auto baselineMetrics = baseline.metrics();
+
+  // -- Batched: coalescing queue, concurrent callers -------------------------
+  serve::EngineConfig batchedConfig;
+  batchedConfig.maxBatch = 64;
+  batchedConfig.maxWaitUs = 2000;
+  serve::PredictionEngine batched(batchedConfig);
+  batched.addBundleFromDir(bundleDir);
+  batched.loadDesign("bench", serveDesign.netlist, serveDesign.node,
+                     serveDesign.placement);
+  batched.predictEndpoint("bench", 0);  // warm up
+  const double batchedQps =
+      fire(batched, kCallerThreads, kRequestsPerCaller, numEndpoints);
+  const auto metrics = batched.metrics();
+  const double speedup = batchedQps / baselineQps;
+
+  TextTable table({"engine", "callers", "QPS", "p50 (us)", "p95 (us)",
+                   "p99 (us)", "mean batch"});
+  table.addRow({"single-request", "1", TextTable::num(baselineQps, 1),
+                TextTable::num(baselineMetrics.p50Us, 1),
+                TextTable::num(baselineMetrics.p95Us, 1),
+                TextTable::num(baselineMetrics.p99Us, 1),
+                TextTable::num(baselineMetrics.meanBatchSize, 2)});
+  table.addRow({"batched", std::to_string(kCallerThreads),
+                TextTable::num(batchedQps, 1),
+                TextTable::num(metrics.p50Us, 1),
+                TextTable::num(metrics.p95Us, 1),
+                TextTable::num(metrics.p99Us, 1),
+                TextTable::num(metrics.meanBatchSize, 2)});
+  std::printf("serve throughput (%lld-endpoint %s)\n%s",
+              static_cast<long long>(numEndpoints),
+              serveDesign.name.c_str(), table.render().c_str());
+  std::printf("batched/baseline speedup: %.2fx %s\n", speedup,
+              speedup >= 3.0 ? "(>= 3x target met)" : "(below 3x target)");
+
+  JsonValue doc = JsonValue::object();
+  doc.set("design", serveDesign.name);
+  doc.set("endpoints", numEndpoints);
+  doc.set("baseline_qps", baselineQps);
+  doc.set("batched_qps", batchedQps);
+  doc.set("speedup", speedup);
+  doc.set("caller_threads", kCallerThreads);
+  doc.set("batched_metrics", metrics.toJson());
+  doc.set("baseline_metrics", baselineMetrics.toJson());
+  const auto path = bench::writeBenchJson("serve_throughput", doc);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return speedup >= 3.0 ? 0 : 1;
+}

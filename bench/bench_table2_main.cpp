@@ -63,5 +63,17 @@ int main() {
   std::printf("Table 2: evaluation results on 7nm netlist data "
               "(R2 score / inference runtime in seconds)\n%s",
               table.render().c_str());
+
+  JsonValue doc = JsonValue::object();
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    JsonValue rows = JsonValue::array();
+    for (const auto& eval : results[s]) rows.push(bench::evalToJson(eval));
+    JsonValue entry = JsonValue::object();
+    entry.set("rows", std::move(rows));
+    entry.set("mean_r2", sumR2[s] / static_cast<double>(designs.size()));
+    doc.set(core::strategyName(strategies[s]), std::move(entry));
+  }
+  const auto path = bench::writeBenchJson("table2_main", doc);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -8,6 +10,27 @@
 namespace dagt::bench {
 
 using designgen::DesignRole;
+
+std::string writeBenchJson(const std::string& name, const JsonValue& payload) {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("DAGT_BENCH_DIR")) {
+    if (*env != '\0') {
+      dir = env;
+      std::filesystem::create_directories(dir);
+    }
+  }
+  const std::string path = (dir / ("BENCH_" + name + ".json")).string();
+  writeJsonFile(payload, path);
+  return path;
+}
+
+JsonValue evalToJson(const core::DesignEval& eval) {
+  JsonValue row = JsonValue::object();
+  row.set("design", eval.design);
+  row.set("r2", eval.r2);
+  row.set("runtime_s", eval.runtimeSeconds);
+  return row;
+}
 
 Experiment::Experiment(float scale, std::vector<std::string> sourceNames,
                        std::int64_t targetEndpointBudget) {

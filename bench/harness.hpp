@@ -9,10 +9,19 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "core/trainer.hpp"
 #include "features/design_data.hpp"
 
 namespace dagt::bench {
+
+/// Write a bench result document to BENCH_<name>.json in the current
+/// working directory (or under $DAGT_BENCH_DIR when set), so perf tracking
+/// can diff runs without scraping tables. Returns the path written.
+std::string writeBenchJson(const std::string& name, const JsonValue& payload);
+
+/// One eval row as JSON: {"design": ..., "r2": ..., "runtime_s": ...}.
+JsonValue evalToJson(const core::DesignEval& eval);
 
 /// Everything a reproduction bench needs, built once.
 class Experiment {

@@ -1,0 +1,167 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace dagt {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue::JsonValue() = default;
+JsonValue::JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+JsonValue::JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+JsonValue::JsonValue(std::int64_t value)
+    : kind_(Kind::kNumber),
+      number_(static_cast<double>(value)),
+      integral_(true) {}
+JsonValue::JsonValue(std::uint64_t value)
+    : kind_(Kind::kNumber),
+      number_(static_cast<double>(value)),
+      integral_(true) {}
+JsonValue::JsonValue(int value)
+    : JsonValue(static_cast<std::int64_t>(value)) {}
+JsonValue::JsonValue(const char* value)
+    : kind_(Kind::kString), string_(value) {}
+JsonValue::JsonValue(std::string value)
+    : kind_(Kind::kString), string_(std::move(value)) {}
+
+bool JsonValue::isObject() const { return kind_ == Kind::kObject; }
+bool JsonValue::isArray() const { return kind_ == Kind::kArray; }
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  DAGT_CHECK_MSG(kind_ == Kind::kObject, "set() on a non-object JSON value");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  DAGT_CHECK_MSG(kind_ == Kind::kArray, "push() on a non-array JSON value");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonValue::quote(const std::string& raw) {
+  std::string out = "\"";
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::render(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      char buf[64];
+      if (integral_) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+      } else if (!std::isfinite(number_)) {
+        std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", number_);
+      }
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += quote(string_);
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        newline(out, indent, depth + 1);
+        out += quote(members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.render(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+      }
+      newline(out, indent, depth);
+      out += '}';
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        newline(out, indent, depth + 1);
+        elements_[i].render(out, indent, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+      }
+      newline(out, indent, depth);
+      out += ']';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+void writeJsonFile(const JsonValue& value, const std::string& path) {
+  std::ofstream out(path);
+  DAGT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << value.dump(2) << '\n';
+  DAGT_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace dagt

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dagt {
+
+/// Minimal JSON document builder — enough for the machine-readable outputs
+/// of the bench harness and the serving metrics (objects, arrays, strings,
+/// numbers, booleans). Write-only by design: the repo's interchange formats
+/// stay line-oriented text; JSON is used where external tooling (perf
+/// trackers, dashboards) consumes the numbers.
+///
+/// Usage:
+///   JsonValue doc = JsonValue::object();
+///   doc.set("requests", 128);
+///   doc.set("p50_us", 83.5);
+///   JsonValue rows = JsonValue::array();
+///   rows.push(JsonValue::object().set("design", "arm9").set("r2", 0.86));
+///   doc.set("rows", std::move(rows));
+///   std::string text = doc.dump(2);
+class JsonValue {
+ public:
+  static JsonValue object();
+  static JsonValue array();
+  JsonValue();  // null
+  JsonValue(bool value);
+  JsonValue(double value);
+  JsonValue(std::int64_t value);
+  JsonValue(std::uint64_t value);
+  JsonValue(int value);
+  JsonValue(const char* value);
+  JsonValue(std::string value);
+
+  bool isObject() const;
+  bool isArray() const;
+
+  /// Set a key of an object (insertion order preserved). Returns *this so
+  /// calls chain.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Append an element to an array.
+  JsonValue& push(JsonValue value);
+
+  /// Serialize. indent <= 0 renders compact single-line JSON.
+  std::string dump(int indent = 0) const;
+
+  /// Escape a string per the JSON grammar (quotes included).
+  static std::string quote(const std::string& raw);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Write a JSON document to a file; throws CheckError on I/O failure.
+void writeJsonFile(const JsonValue& value, const std::string& path);
+
+}  // namespace dagt

@@ -14,6 +14,14 @@ BayesianHead::BayesianHead(std::int64_t featureDim, std::int64_t hidden,
              nn::Activation::kNone),
       logvarNet_({featureDim, hidden, featureDim}, rng,
                  nn::Activation::kRelu, nn::Activation::kNone) {
+  // The amortization MLPs are frozen at their seeded random init: the
+  // extractor/disentangler learn *through* this fixed random readout
+  // (extreme-learning-machine style), which is what the reproduction's
+  // recorded accuracy was tuned around. Frozen registration keeps them out
+  // of the optimizer while still serializing them, so a saved model
+  // round-trips exactly.
+  registerChild(muNet_, /*trainable=*/false);
+  registerChild(logvarNet_, /*trainable=*/false);
   bias_ = registerParameter(Tensor::zeros({1}));
 }
 

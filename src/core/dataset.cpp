@@ -72,6 +72,11 @@ DesignBatch TimingDataset::makeBatch(
   return batch;
 }
 
+DesignBatch TimingDataset::batchFor(
+    const DesignData& design, std::vector<std::int64_t> endpointIdx) const {
+  return makeBatch(design, std::move(endpointIdx));
+}
+
 DesignBatch TimingDataset::fullBatch(const DesignData& design) const {
   std::vector<std::int64_t> all(static_cast<std::size_t>(design.numEndpoints()));
   for (std::int64_t i = 0; i < design.numEndpoints(); ++i) {

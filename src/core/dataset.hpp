@@ -43,6 +43,10 @@ class TimingDataset {
   /// All endpoints of a design, in endpoint order (ignores restriction;
   /// used for evaluation).
   DesignBatch fullBatch(const features::DesignData& design) const;
+  /// An explicit endpoint subset, in the given order (ignores restriction;
+  /// used by the serving engine to assemble coalesced request batches).
+  DesignBatch batchFor(const features::DesignData& design,
+                       std::vector<std::int64_t> endpointIdx) const;
   /// Up to `cap` endpoints sampled without replacement from the design's
   /// available (possibly restricted) endpoint pool.
   DesignBatch sampleBatch(const features::DesignData& design,

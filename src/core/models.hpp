@@ -36,6 +36,9 @@ class Dac23Model : public TimingModel, public nn::Module {
   /// Predictions in ns (label scale) for one batch.
   tensor::Tensor forwardBatch(const DesignBatch& batch) const;
 
+  /// Whether this instance carries the per-node (ParamShare) readout pair.
+  bool perNodeReadout() const { return readoutTarget_ != nullptr; }
+
   nn::Module& module() override { return *this; }
   std::vector<float> predictDesign(const TimingDataset& dataset,
                                    const features::DesignData& design)

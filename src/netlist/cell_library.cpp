@@ -15,6 +15,13 @@ std::string techNodeName(TechNode node) {
   DAGT_CHECK_MSG(false, "unknown tech node");
 }
 
+TechNode techNodeFromName(const std::string& name) {
+  if (name == "130nm") return TechNode::k130nm;
+  if (name == "7nm") return TechNode::k7nm;
+  if (name == "45nm") return TechNode::k45nm;
+  DAGT_CHECK_MSG(false, "unknown tech node name '" << name << "'");
+}
+
 std::string cellFunctionName(CellFunction fn) {
   switch (fn) {
     case CellFunction::kInv: return "INV";

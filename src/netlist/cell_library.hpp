@@ -17,6 +17,10 @@ constexpr int kNumTechNodes = 3;
 /// Short printable name ("130nm" / "7nm").
 std::string techNodeName(TechNode node);
 
+/// Inverse of techNodeName; throws CheckError on an unknown name. Used by
+/// the serving layer to resolve manifest entries back to nodes.
+TechNode techNodeFromName(const std::string& name);
+
 /// Technology-independent logic function of a cell. The design generator
 /// emits networks over these functions; the technology mapper picks a
 /// node-specific CellType realizing each one.

@@ -19,8 +19,15 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
-  /// All parameters of this module and its children, in registration order.
+  /// Trainable parameters of this module and its trainable children, in
+  /// registration order (what optimizers see).
   std::vector<tensor::Tensor> parameters() const;
+
+  /// Every value tensor of the subtree, in registration order: trainable
+  /// parameters plus the subtrees of frozen children. This is the
+  /// serialization set — a model round-trips through save/load even when
+  /// part of it is deliberately left untrained.
+  std::vector<tensor::Tensor> stateTensors() const;
 
   /// Zero the gradient buffers of every parameter in the subtree.
   void zeroGrad();
@@ -40,12 +47,15 @@ class Module {
  protected:
   /// Register an owned parameter; returns the same tensor for convenience.
   tensor::Tensor registerParameter(tensor::Tensor parameter);
-  /// Register a child module (must outlive this module; typically a member).
-  void registerChild(Module& child);
+  /// Register a child module (must outlive this module; typically a
+  /// member). trainable=false freezes the child's whole subtree: its
+  /// tensors are serialized and copied but hidden from parameters(), so
+  /// optimizers leave them at their seeded initialization.
+  void registerChild(Module& child, bool trainable = true);
 
  private:
   std::vector<tensor::Tensor> ownParameters_;
-  std::vector<Module*> children_;
+  std::vector<std::pair<Module*, bool>> children_;  // (child, trainable)
 };
 
 }  // namespace dagt::nn

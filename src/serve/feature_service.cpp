@@ -1,0 +1,231 @@
+#include "serve/feature_service.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "features/path_extractor.hpp"
+#include "netlist/io.hpp"
+#include "sta/sta_engine.hpp"
+
+namespace dagt::serve {
+
+namespace {
+
+/// %.9g round-trips float exactly through text.
+void writeRect(std::ostream& out, const char* tag, const Rect& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.9g %.9g %.9g %.9g", tag,
+                static_cast<double>(r.lo.x), static_cast<double>(r.lo.y),
+                static_cast<double>(r.hi.x), static_cast<double>(r.hi.y));
+  out << buf << '\n';
+}
+
+Rect parseRect(std::istringstream& ls, const std::string& path) {
+  Rect r;
+  ls >> r.lo.x >> r.lo.y >> r.hi.x >> r.hi.y;
+  DAGT_CHECK_MSG(!ls.fail(), path << ": malformed rect line");
+  return r;
+}
+
+/// FNV-1a over a file's bytes — the cache fingerprint. Collisions are
+/// astronomically unlikely at the "did the netlist change" granularity.
+std::string fileFingerprint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DAGT_CHECK_MSG(in.good(), "cannot open " << path);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h = (h ^ static_cast<unsigned char>(buf[i])) * 0x100000001b3ULL;
+    }
+    if (in.eof()) break;
+  }
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
+}  // namespace
+
+void writePlacementFile(const place::PlacementResult& placement,
+                        const std::string& path) {
+  std::ofstream out(path);
+  DAGT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "dagtpl 1\n";
+  writeRect(out, "die", placement.dieArea);
+  for (const Rect& macro : placement.macros) {
+    writeRect(out, "macro", macro);
+  }
+  DAGT_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+place::PlacementResult readPlacementFile(const std::string& path) {
+  std::ifstream in(path);
+  DAGT_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string line;
+  DAGT_CHECK_MSG(std::getline(in, line) && line.rfind("dagtpl 1", 0) == 0,
+                 path << " is not a dagtpl v1 placement file");
+  place::PlacementResult placement;
+  bool sawDie = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "die") {
+      placement.dieArea = parseRect(ls, path);
+      sawDie = true;
+    } else if (tag == "macro") {
+      placement.macros.push_back(parseRect(ls, path));
+    } else {
+      DAGT_CHECK_MSG(false, path << ": unknown line tag '" << tag << "'");
+    }
+  }
+  DAGT_CHECK_MSG(sawDie, path << " lacks a die line");
+  return placement;
+}
+
+FeatureService::FeatureService(const BundleManifest& manifest)
+    : manifest_(manifest) {
+  libraries_.resize(netlist::kNumTechNodes);
+  std::vector<const netlist::CellLibrary*> libPtrs;
+  for (const auto node : manifest_.vocabularyNodes) {
+    auto& slot = libraries_[static_cast<std::size_t>(node)];
+    DAGT_CHECK_MSG(slot == nullptr,
+                   "duplicate node in manifest vocabulary list");
+    slot = std::make_unique<netlist::CellLibrary>(
+        netlist::CellLibrary::makeNode(node));
+    libPtrs.push_back(slot.get());
+  }
+  vocab_ = std::make_unique<netlist::GateTypeVocabulary>(libPtrs);
+  featureBuilder_ = std::make_unique<features::FeatureBuilder>(
+      vocab_.get(), manifest_.features);
+  DAGT_CHECK_MSG(featureBuilder_->featureDim() == manifest_.pinFeatureDim,
+                 "manifest pin_feature_dim " << manifest_.pinFeatureDim
+                     << " does not match the reconstructed pipeline's "
+                     << featureBuilder_->featureDim()
+                     << " (vocabulary nodes differ from training?)");
+}
+
+const netlist::CellLibrary& FeatureService::library(
+    netlist::TechNode node) const {
+  const auto& slot = libraries_[static_cast<std::size_t>(node)];
+  DAGT_CHECK_MSG(slot != nullptr, netlist::techNodeName(node)
+                                      << " is not in this bundle's "
+                                         "vocabulary");
+  return *slot;
+}
+
+std::int64_t FeatureService::featureDim() const {
+  return featureBuilder_->featureDim();
+}
+
+std::shared_ptr<const ServableDesign> FeatureService::build(
+    netlist::Netlist netlist, netlist::TechNode node,
+    const place::PlacementResult& placement) const {
+  auto servable =
+      std::make_shared<ServableDesign>(features::DesignData(std::move(netlist)));
+  features::DesignData& data = servable->data;
+  data.name = data.netlist.name();
+  data.node = node;
+  data.role = designgen::DesignRole::kTest;
+  data.placement = placement;
+
+  // The same pre-routing snapshot sequence as DataPipeline::buildCustom,
+  // minus the sign-off flow (labels are what the model predicts).
+  data.maps = std::make_unique<place::LayoutMaps>(
+      data.netlist, data.placement,
+      static_cast<std::int32_t>(manifest_.model.imageResolution));
+  data.graph = std::make_unique<features::PinGraph>(data.netlist);
+  const auto preTiming = sta::StaEngine::run(
+      data.netlist, nullptr,
+      sta::RouteConfig{sta::WireModel::kPreRouting, 0.0f, 0.0f});
+  data.preRouteArrivals = preTiming.endpointArrivals(data.netlist);
+  data.pinFeatures = featureBuilder_->build(data.netlist, &preTiming);
+  data.paths = features::PathExtractor::extract(data.netlist, data.maps.get());
+  data.stats = data.netlist.stats();
+  data.labels.assign(data.paths.size(), 0.0f);  // unknown at serve time
+
+  servable->dataset = std::make_unique<core::TimingDataset>(
+      std::vector<const features::DesignData*>{&data});
+  // Prewarm the per-endpoint masked-image cache: afterwards every batch
+  // assembly only reads it, so worker threads may share the snapshot.
+  if (data.numEndpoints() > 0) {
+    (void)servable->dataset->fullBatch(data);
+  }
+  return servable;
+}
+
+std::shared_ptr<const ServableDesign> FeatureService::fromFiles(
+    const std::string& key, const std::string& netlistPath,
+    const std::string& libraryPath, const std::string& placementPath) {
+  std::string fingerprint = fileFingerprint(netlistPath);
+  if (!placementPath.empty()) {
+    fingerprint += ':';
+    fingerprint += fileFingerprint(placementPath);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.fingerprint == fingerprint) {
+      ++hits_;
+      return it->second.design;
+    }
+  }
+
+  // The file library identifies the node; cells resolve against this
+  // service's own deterministic library for that node so the gate-type
+  // one-hot layout is guaranteed to match training.
+  const auto fileLib = netlist::io::readLibraryFile(libraryPath);
+  const netlist::CellLibrary& lib = library(fileLib.node());
+  netlist::Netlist nl = netlist::io::readNetlistFile(netlistPath, lib);
+
+  place::PlacementResult placement;
+  if (!placementPath.empty()) {
+    placement = readPlacementFile(placementPath);
+  } else {
+    Rect die{{0, 0}, {0, 0}};
+    for (netlist::PinId p = 0; p < nl.numPins(); ++p) {
+      die.expand(nl.pinLocation(p));
+    }
+    placement.dieArea = die;
+  }
+
+  auto servable = build(std::move(nl), fileLib.node(), placement);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  cache_[key] = {std::move(fingerprint), servable};
+  return servable;
+}
+
+std::shared_ptr<const ServableDesign> FeatureService::fromNetlist(
+    const std::string& key, const std::string& revision,
+    netlist::Netlist netlist, netlist::TechNode node,
+    const place::PlacementResult& placement) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.fingerprint == revision) {
+      ++hits_;
+      return it->second.design;
+    }
+  }
+  auto servable = build(std::move(netlist), node, placement);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  cache_[key] = {revision, servable};
+  return servable;
+}
+
+std::shared_ptr<const ServableDesign> FeatureService::cached(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : it->second.design;
+}
+
+}  // namespace dagt::serve

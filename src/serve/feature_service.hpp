@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "features/design_data.hpp"
+#include "serve/model_bundle.hpp"
+
+namespace dagt::serve {
+
+// -- Placement sidecar (.dagtpl) ---------------------------------------------
+//
+// The netlist interchange file stores pin locations but not the die outline
+// or macro blockages, both of which feed the layout image channels. The
+// sidecar completes the pre-routing snapshot so a served design reproduces
+// the training-time features exactly. Without it the die is derived from
+// the pin bounding box and macros are assumed absent (a documented
+// approximation).
+
+void writePlacementFile(const place::PlacementResult& placement,
+                        const std::string& path);
+place::PlacementResult readPlacementFile(const std::string& path);
+
+/// A design prepared for serving: the pre-routing snapshot (no sign-off
+/// labels — predicting those is the whole point) plus a single-design
+/// TimingDataset whose per-endpoint masked-image cache has been prewarmed,
+/// making subsequent batch assembly read-only and therefore safe to share
+/// across engine worker threads.
+struct ServableDesign {
+  features::DesignData data;
+  std::unique_ptr<core::TimingDataset> dataset;  // refers to `data`
+
+  explicit ServableDesign(features::DesignData d) : data(std::move(d)) {}
+  std::int64_t numEndpoints() const { return data.numEndpoints(); }
+};
+
+/// Rebuilds the training-time feature pipeline from a bundle manifest
+/// (deterministic per-node libraries -> merged vocabulary -> FeatureBuilder)
+/// and turns placed netlists into ServableDesigns, with a content-addressed
+/// cache so repeated queries on an unchanged netlist skip pin-graph /
+/// layout / STA re-extraction entirely.
+class FeatureService {
+ public:
+  explicit FeatureService(const BundleManifest& manifest);
+
+  const netlist::CellLibrary& library(netlist::TechNode node) const;
+  const netlist::GateTypeVocabulary& vocabulary() const { return *vocab_; }
+  std::int64_t featureDim() const;
+
+  /// Load a design from interchange files under `key`. Returns the cached
+  /// snapshot when the file contents are unchanged; rebuilds (and counts a
+  /// miss) when the fingerprint moved. `placementPath` may be empty.
+  std::shared_ptr<const ServableDesign> fromFiles(
+      const std::string& key, const std::string& netlistPath,
+      const std::string& libraryPath, const std::string& placementPath = "");
+
+  /// In-memory variant: the caller supplies the revision tag that decides
+  /// cache validity (e.g. a netlist edit counter).
+  std::shared_ptr<const ServableDesign> fromNetlist(
+      const std::string& key, const std::string& revision,
+      netlist::Netlist netlist, netlist::TechNode node,
+      const place::PlacementResult& placement);
+
+  /// Cached snapshot for a key, or nullptr if never prepared.
+  std::shared_ptr<const ServableDesign> cached(const std::string& key) const;
+
+  std::uint64_t cacheHits() const { return hits_; }
+  std::uint64_t cacheMisses() const { return misses_; }
+
+ private:
+  std::shared_ptr<const ServableDesign> build(
+      netlist::Netlist netlist, netlist::TechNode node,
+      const place::PlacementResult& placement) const;
+
+  BundleManifest manifest_;
+  std::vector<std::unique_ptr<netlist::CellLibrary>> libraries_;  // by node
+  std::unique_ptr<netlist::GateTypeVocabulary> vocab_;
+  std::unique_ptr<features::FeatureBuilder> featureBuilder_;
+
+  struct CacheEntry {
+    std::string fingerprint;
+    std::shared_ptr<const ServableDesign> design;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dagt::serve

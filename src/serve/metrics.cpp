@@ -1,0 +1,113 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/table.hpp"
+
+namespace dagt::serve {
+
+namespace {
+
+double percentile(const std::vector<float>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::renderTable() const {
+  TextTable table({"metric", "value"});
+  table.addRow({"requests", std::to_string(requests)});
+  table.addRow({"full-design requests", std::to_string(fullDesignRequests)});
+  table.addRow({"batches", std::to_string(batches)});
+  table.addRow({"mean batch size", TextTable::num(meanBatchSize, 2)});
+  table.addRow({"cache hits", std::to_string(cacheHits)});
+  table.addRow({"cache misses", std::to_string(cacheMisses)});
+  table.addRow({"cache hit rate", TextTable::num(cacheHitRate, 3)});
+  table.addRow({"latency mean (us)", TextTable::num(meanUs, 1)});
+  table.addRow({"latency p50 (us)", TextTable::num(p50Us, 1)});
+  table.addRow({"latency p95 (us)", TextTable::num(p95Us, 1)});
+  table.addRow({"latency p99 (us)", TextTable::num(p99Us, 1)});
+  table.addRow({"latency max (us)", TextTable::num(maxUs, 1)});
+  return table.render();
+}
+
+JsonValue MetricsSnapshot::toJson() const {
+  JsonValue j = JsonValue::object();
+  j.set("requests", requests)
+      .set("full_design_requests", fullDesignRequests)
+      .set("batches", batches)
+      .set("mean_batch_size", meanBatchSize)
+      .set("cache_hits", cacheHits)
+      .set("cache_misses", cacheMisses)
+      .set("cache_hit_rate", cacheHitRate)
+      .set("latency_mean_us", meanUs)
+      .set("latency_p50_us", p50Us)
+      .set("latency_p95_us", p95Us)
+      .set("latency_p99_us", p99Us)
+      .set("latency_max_us", maxUs);
+  return j;
+}
+
+void ServeMetrics::recordRequests(std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  requests_ += count;
+}
+
+void ServeMetrics::recordFullDesign() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fullDesignRequests_;
+}
+
+void ServeMetrics::recordBatch(std::uint64_t coalescedSize) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  coalesced_ += coalescedSize;
+}
+
+void ServeMetrics::recordLatencyUs(double us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latenciesUs_.push_back(static_cast<float>(us));
+}
+
+MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
+                                       std::uint64_t cacheMisses) const {
+  MetricsSnapshot snap;
+  std::vector<float> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.requests = requests_;
+    snap.fullDesignRequests = fullDesignRequests_;
+    snap.batches = batches_;
+    snap.meanBatchSize =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(coalesced_) /
+                            static_cast<double>(batches_);
+    sorted = latenciesUs_;
+  }
+  snap.cacheHits = cacheHits;
+  snap.cacheMisses = cacheMisses;
+  const std::uint64_t lookups = cacheHits + cacheMisses;
+  snap.cacheHitRate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cacheHits) /
+                         static_cast<double>(lookups);
+  if (!sorted.empty()) {
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const float v : sorted) sum += v;
+    snap.meanUs = sum / static_cast<double>(sorted.size());
+    snap.p50Us = percentile(sorted, 0.50);
+    snap.p95Us = percentile(sorted, 0.95);
+    snap.p99Us = percentile(sorted, 0.99);
+    snap.maxUs = static_cast<double>(sorted.back());
+  }
+  return snap;
+}
+
+}  // namespace dagt::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace dagt::serve {
+
+/// Point-in-time view of one engine's serving counters.
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;        // endpoint queries answered
+  std::uint64_t fullDesignRequests = 0;
+  std::uint64_t batches = 0;         // model forwards executed
+  double meanBatchSize = 0.0;        // coalesced endpoints per forward
+  std::uint64_t cacheHits = 0;       // feature-cache hits
+  std::uint64_t cacheMisses = 0;
+  double cacheHitRate = 0.0;         // hits / (hits + misses), 0 if none
+  double meanUs = 0.0;               // request latency, enqueue -> reply
+  double p50Us = 0.0;
+  double p95Us = 0.0;
+  double p99Us = 0.0;
+  double maxUs = 0.0;
+
+  /// Two-column table ("metric", "value") for terminal output.
+  std::string renderTable() const;
+  /// The same numbers as a JSON object (for BENCH_*.json / dashboards).
+  JsonValue toJson() const;
+};
+
+/// Thread-safe recorder behind a PredictionEngine. Latencies are kept in
+/// full (a float per request) — exact percentiles matter more at bench
+/// scale than the memory of a reservoir would save.
+class ServeMetrics {
+ public:
+  void recordRequests(std::uint64_t count);
+  void recordFullDesign();
+  void recordBatch(std::uint64_t coalescedSize);
+  void recordLatencyUs(double us);
+
+  /// Percentiles are computed here (sorted copy); call off the hot path.
+  /// Cache counters are supplied by the caller (the FeatureService owns
+  /// them).
+  MetricsSnapshot snapshot(std::uint64_t cacheHits,
+                           std::uint64_t cacheMisses) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t fullDesignRequests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::vector<float> latenciesUs_;
+};
+
+}  // namespace dagt::serve

@@ -1,0 +1,301 @@
+#include "serve/prediction_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "netlist/io.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::serve {
+
+namespace {
+
+double microsSince(const std::chrono::steady_clock::time_point& start,
+                   const std::chrono::steady_clock::time_point& end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Deterministic seed for the Bayesian head's Monte-Carlo draws on the
+/// coalesced path: a function of the design and the exact batch
+/// composition, so identical batches reproduce identical predictions.
+std::uint64_t batchSeed(const std::string& designName,
+                        const std::vector<std::int64_t>& endpoints) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : designName) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  for (const std::int64_t e : endpoints) {
+    h = (h ^ static_cast<std::uint64_t>(e + 1)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PredictionEngine::PredictionEngine(EngineConfig config)
+    : config_(config) {
+  DAGT_CHECK(config_.maxBatch >= 1);
+  DAGT_CHECK(config_.maxWaitUs >= 0);
+  if (config_.batching) {
+    const std::int32_t workers = std::max(1, config_.workerThreads);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (std::int32_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+}
+
+PredictionEngine::~PredictionEngine() { shutdown(); }
+
+void PredictionEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queueCv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void PredictionEngine::addBundle(ModelBundle bundle) {
+  const int key = static_cast<int>(bundle.manifest().targetNode);
+  {
+    // Drop designs routed to a bundle being replaced.
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    const auto existing = nodes_.find(key);
+    if (existing != nodes_.end()) {
+      for (auto it = designs_.begin(); it != designs_.end();) {
+        if (it->second.node == &existing->second) {
+          it = designs_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      nodes_.erase(existing);
+    }
+  }
+  NodeEntry entry{std::move(bundle), nullptr};
+  entry.features = std::make_unique<FeatureService>(entry.bundle.manifest());
+  nodes_.emplace(key, std::move(entry));
+}
+
+void PredictionEngine::addBundleFromDir(const std::string& dir) {
+  addBundle(ModelBundle::load(dir));
+}
+
+std::vector<netlist::TechNode> PredictionEngine::nodes() const {
+  std::vector<netlist::TechNode> out;
+  for (const auto& [key, entry] : nodes_) {
+    out.push_back(static_cast<netlist::TechNode>(key));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const BundleManifest& PredictionEngine::manifest(
+    netlist::TechNode node) const {
+  const auto it = nodes_.find(static_cast<int>(node));
+  DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
+                                         << netlist::techNodeName(node));
+  return it->second.bundle.manifest();
+}
+
+std::int64_t PredictionEngine::loadDesign(const std::string& key,
+                                          const std::string& netlistPath,
+                                          const std::string& libraryPath,
+                                          const std::string& placementPath) {
+  const auto fileLib = netlist::io::readLibraryFile(libraryPath);
+  const int nodeKey = static_cast<int>(fileLib.node());
+  const auto it = nodes_.find(nodeKey);
+  DAGT_CHECK_MSG(it != nodes_.end(),
+                 "no bundle registered for "
+                     << netlist::techNodeName(fileLib.node())
+                     << " (the design's node)");
+  DesignRef ref;
+  ref.node = &it->second;
+  ref.design = it->second.features->fromFiles(key, netlistPath, libraryPath,
+                                              placementPath);
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  designs_[key] = ref;
+  return ref.design->numEndpoints();
+}
+
+std::int64_t PredictionEngine::loadDesign(
+    const std::string& key, netlist::Netlist netlist, netlist::TechNode node,
+    const place::PlacementResult& placement, const std::string& revision) {
+  const auto it = nodes_.find(static_cast<int>(node));
+  DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
+                                         << netlist::techNodeName(node));
+  DesignRef ref;
+  ref.node = &it->second;
+  ref.design = it->second.features->fromNetlist(key, revision,
+                                                std::move(netlist), node,
+                                                placement);
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  designs_[key] = ref;
+  return ref.design->numEndpoints();
+}
+
+PredictionEngine::DesignRef PredictionEngine::designRef(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  const auto it = designs_.find(key);
+  DAGT_CHECK_MSG(it != designs_.end(),
+                 "design '" << key << "' has not been loaded");
+  return it->second;
+}
+
+float PredictionEngine::predictEndpoint(const std::string& key,
+                                        std::int64_t endpoint) {
+  return predictEndpoints(key, {endpoint}).front();
+}
+
+std::vector<float> PredictionEngine::predictEndpoints(
+    const std::string& key, const std::vector<std::int64_t>& endpoints) {
+  DAGT_CHECK_MSG(!endpoints.empty(), "empty endpoint query");
+  RequestGroup group;
+  group.ref = designRef(key);
+  const std::int64_t n = group.ref.design->numEndpoints();
+  for (const std::int64_t e : endpoints) {
+    DAGT_CHECK_MSG(e >= 0 && e < n, "endpoint " << e << " out of range for '"
+                                                << key << "' (" << n << ")");
+  }
+  group.endpoints = endpoints;
+  group.enqueued = std::chrono::steady_clock::now();
+  auto future = group.reply.get_future();
+
+  if (!config_.batching) {
+    std::vector<RequestGroup> solo;
+    solo.push_back(std::move(group));
+    serveBatch(std::move(solo));
+    return future.get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    DAGT_CHECK_MSG(!stopping_, "engine is shut down");
+    queue_.push_back(std::move(group));
+  }
+  queueCv_.notify_all();
+  return future.get();
+}
+
+std::vector<float> PredictionEngine::predictDesign(const std::string& key) {
+  const DesignRef ref = designRef(key);
+  auto predictions = ref.node->bundle.model().predictDesign(
+      *ref.design->dataset, ref.design->data);
+  metrics_.recordFullDesign();
+  return predictions;
+}
+
+void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
+  if (groups.empty()) return;
+  try {
+    tensor::NoGradGuard guard;
+    const DesignRef& ref = groups.front().ref;
+    const ServableDesign& design = *ref.design;
+
+    std::vector<std::int64_t> combined;
+    for (const auto& group : groups) {
+      combined.insert(combined.end(), group.endpoints.begin(),
+                      group.endpoints.end());
+    }
+    const core::DesignBatch batch =
+        design.dataset->batchFor(design.data, combined);
+
+    core::TimingModel& model = ref.node->bundle.model();
+    tensor::Tensor predictionNs;
+    if (auto* dac23 = dynamic_cast<core::Dac23Model*>(&model)) {
+      predictionNs = dac23->forwardBatch(batch);
+    } else if (auto* ours = dynamic_cast<core::OursModel*>(&model)) {
+      Rng rng(batchSeed(design.data.name, combined));
+      predictionNs =
+          ours->forward(batch, config_.mcSamples, rng).prediction;
+    } else {
+      DAGT_CHECK_MSG(false, "unservable TimingModel subclass");
+    }
+
+    const float* values = predictionNs.data();
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t offset = 0;
+    for (auto& group : groups) {
+      std::vector<float> reply(group.endpoints.size());
+      for (std::size_t i = 0; i < reply.size(); ++i) {
+        reply[i] = values[offset + i] / core::kLabelScale;  // ns -> ps
+      }
+      offset += reply.size();
+      metrics_.recordRequests(group.endpoints.size());
+      metrics_.recordLatencyUs(microsSince(group.enqueued, now));
+      group.reply.set_value(std::move(reply));
+    }
+    metrics_.recordBatch(combined.size());
+  } catch (...) {
+    for (auto& group : groups) {
+      try {
+        group.reply.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+        // Promise already satisfied — the failure happened after its reply.
+      }
+    }
+  }
+}
+
+void PredictionEngine::workerLoop() {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  while (true) {
+    queueCv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // The oldest request leads; hold its batch open until it is full or
+    // its wait budget is spent, so followers on the same design coalesce.
+    const ServableDesign* lead = queue_.front().ref.design.get();
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(config_.maxWaitUs);
+    const auto pendingForLead = [&] {
+      std::int64_t total = 0;
+      for (const auto& group : queue_) {
+        if (group.ref.design.get() == lead) {
+          total += static_cast<std::int64_t>(group.endpoints.size());
+        }
+      }
+      return total;
+    };
+    while (!stopping_ && pendingForLead() < config_.maxBatch &&
+           std::chrono::steady_clock::now() < deadline) {
+      queueCv_.wait_until(lock, deadline);
+    }
+
+    std::vector<RequestGroup> taken;
+    std::int64_t total = 0;
+    for (auto it = queue_.begin();
+         it != queue_.end() && total < config_.maxBatch;) {
+      if (it->ref.design.get() == lead) {
+        total += static_cast<std::int64_t>(it->endpoints.size());
+        taken.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (taken.empty()) continue;  // another worker got here first
+
+    lock.unlock();
+    serveBatch(std::move(taken));
+    lock.lock();
+  }
+}
+
+MetricsSnapshot PredictionEngine::metrics() const {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& [key, entry] : nodes_) {
+    hits += entry.features->cacheHits();
+    misses += entry.features->cacheMisses();
+  }
+  return metrics_.snapshot(hits, misses);
+}
+
+}  // namespace dagt::serve

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/feature_service.hpp"
+#include "serve/metrics.hpp"
+#include "serve/model_bundle.hpp"
+
+namespace dagt::serve {
+
+/// Request-coalescing policy of the engine.
+struct EngineConfig {
+  /// Upper bound on endpoints per model forward. Larger batches amortize
+  /// the per-design GNN pass over more queries.
+  std::int64_t maxBatch = 64;
+  /// How long the batcher holds an under-full batch open waiting for
+  /// concurrent callers to join it.
+  std::int64_t maxWaitUs = 200;
+  /// Batcher threads. One is usually right: the tensor ops inside a
+  /// forward already fan out via parallelFor, so extra batchers mostly
+  /// help when many small designs interleave.
+  std::int32_t workerThreads = 1;
+  /// false disables coalescing entirely: every request runs its own
+  /// forward in the caller's thread (the single-request baseline of
+  /// bench_serve_throughput).
+  bool batching = true;
+  /// Monte-Carlo samples for Bayesian-head bundles on the batched path.
+  std::int32_t mcSamples = 8;
+};
+
+/// Long-lived, queryable inference service over trained model bundles.
+///
+/// One bundle is registered per technology node; designs are loaded (and
+/// feature-cached) once and then queried by key. Concurrent single-endpoint
+/// and batch queries on the same design are coalesced into tensor-level
+/// batches by a background batcher, bounded by maxBatch / maxWaitUs.
+///
+/// Determinism contract: predictDesign() reproduces the trainer's
+/// predictDesign() bit-for-bit (same full-design batch, same per-design
+/// eval RNG). The coalesced path is deterministic in the exact batch
+/// composition; for Bayesian-head bundles two differently-coalesced runs
+/// of the same query may differ by Monte-Carlo jitter (K samples), which
+/// is the head's epistemic spread, not an error.
+class PredictionEngine {
+ public:
+  explicit PredictionEngine(EngineConfig config = EngineConfig{});
+  ~PredictionEngine();
+
+  PredictionEngine(const PredictionEngine&) = delete;
+  PredictionEngine& operator=(const PredictionEngine&) = delete;
+
+  /// Register a bundle under its manifest's target node. One bundle per
+  /// node; re-adding a node replaces its designs as well.
+  void addBundle(ModelBundle bundle);
+  /// Convenience: load from a bundle directory and register.
+  void addBundleFromDir(const std::string& dir);
+
+  /// Nodes with a registered bundle, ascending enum order.
+  std::vector<netlist::TechNode> nodes() const;
+  const BundleManifest& manifest(netlist::TechNode node) const;
+
+  /// Load a design from interchange files under `key` and route it to the
+  /// bundle serving its node. Returns the endpoint count. Re-loading an
+  /// unchanged file is a feature-cache hit.
+  std::int64_t loadDesign(const std::string& key,
+                          const std::string& netlistPath,
+                          const std::string& libraryPath,
+                          const std::string& placementPath = "");
+  /// In-memory variant; `revision` decides feature-cache validity.
+  std::int64_t loadDesign(const std::string& key, netlist::Netlist netlist,
+                          netlist::TechNode node,
+                          const place::PlacementResult& placement,
+                          const std::string& revision = "0");
+
+  /// Predicted sign-off arrival (ps) of one endpoint. Blocks; coalesced
+  /// with concurrent callers.
+  float predictEndpoint(const std::string& key, std::int64_t endpoint);
+  /// Batch query; one coalescable unit, answered in request order.
+  std::vector<float> predictEndpoints(const std::string& key,
+                                      const std::vector<std::int64_t>& endpoints);
+  /// All endpoints, bit-exact with the in-process trainer's predictions.
+  std::vector<float> predictDesign(const std::string& key);
+
+  MetricsSnapshot metrics() const;
+
+  /// Drain the queue and stop the batcher threads (the destructor calls
+  /// this too).
+  void shutdown();
+
+ private:
+  struct NodeEntry {
+    ModelBundle bundle;
+    std::unique_ptr<FeatureService> features;
+  };
+  struct DesignRef {
+    NodeEntry* node = nullptr;
+    std::shared_ptr<const ServableDesign> design;
+  };
+  struct RequestGroup {
+    DesignRef ref;
+    std::vector<std::int64_t> endpoints;
+    std::promise<std::vector<float>> reply;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  DesignRef designRef(const std::string& key) const;
+  /// Run one forward over the union of the groups' endpoints and fulfill
+  /// their promises. noexcept-ish: failures land in the promises.
+  void serveBatch(std::vector<RequestGroup> groups);
+  void workerLoop();
+
+  EngineConfig config_;
+  std::unordered_map<int, NodeEntry> nodes_;  // keyed by TechNode value
+
+  mutable std::mutex designsMutex_;
+  std::unordered_map<std::string, DesignRef> designs_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<RequestGroup> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  ServeMetrics metrics_;
+};
+
+}  // namespace dagt::serve

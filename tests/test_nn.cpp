@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "common/check.hpp"
 #include "nn/layers.hpp"
@@ -152,6 +155,116 @@ TEST(Module, SaveLoadRoundTrip) {
   dst.loadParameters(path);
   Tensor x = Tensor::randn({4, 3}, rng1);
   EXPECT_EQ(src.forward(x).toVector(), dst.forward(x).toVector());
+  std::remove(path.c_str());
+}
+
+struct FrozenNet : Module {
+  Linear trained;
+  Linear frozen;
+  explicit FrozenNet(Rng& rng) : trained(3, 4, rng), frozen(4, 2, rng) {
+    registerChild(trained);
+    registerChild(frozen, /*trainable=*/false);
+  }
+  Tensor forward(const Tensor& x) const {
+    return frozen.forward(trained.forward(x));
+  }
+};
+
+TEST(Module, FrozenChildHiddenFromOptimizerButSerialized) {
+  Rng rng1(30), rng2(31);
+  FrozenNet src(rng1), dst(rng2);
+  // parameters() exposes only the trainable half...
+  EXPECT_EQ(src.parameters().size(), 2u);  // trained weight + bias
+  EXPECT_EQ(src.stateTensors().size(), 4u);
+  // ...but save/load round-trips the frozen half too.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dagt_frozen.dagtprm")
+          .string();
+  src.saveParameters(path);
+  dst.loadParameters(path);
+  Tensor x = Tensor::randn({4, 3}, rng1);
+  EXPECT_EQ(src.forward(x).toVector(), dst.forward(x).toVector());
+  std::remove(path.c_str());
+}
+
+TEST(Module, LoadRejectsShapeMismatch) {
+  Rng rng(20);
+  TinyNet src(rng);
+  Linear other(3, 5, rng);  // fewer parameters, different shapes
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dagt_mismatch.dagtprm")
+          .string();
+  src.saveParameters(path);
+  EXPECT_THROW(other.loadParameters(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Module, LoadRejectsMissingFile) {
+  Rng rng(21);
+  TinyNet net(rng);
+  EXPECT_THROW(net.loadParameters("/nonexistent/dagt_nowhere.dagtprm"),
+               CheckError);
+}
+
+TEST(Module, LoadRejectsBadMagicAndTruncation) {
+  Rng rng(22);
+  TinyNet src(rng), dst(rng);
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "dagt_corrupt.dagtprm").string();
+  src.saveParameters(path);
+
+  // Flip the magic.
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+  }();
+  {
+    auto bad = bytes;
+    bad[0] = 'X';
+    std::ofstream out(path, std::ios::binary);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  EXPECT_THROW(dst.loadParameters(path), CheckError);
+
+  // Truncate mid-tensor.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(dst.loadParameters(path), CheckError);
+
+  // Trailing garbage after a valid payload.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    const char junk[4] = {1, 2, 3, 4};
+    out.write(junk, sizeof(junk));
+  }
+  EXPECT_THROW(dst.loadParameters(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Module, FailedLoadLeavesParametersUntouched) {
+  Rng rng1(23), rng2(24);
+  TinyNet src(rng1), dst(rng2);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dagt_partial.dagtprm")
+          .string();
+  src.saveParameters(path);
+  // Truncate so the header parses but a later tensor body is short: the
+  // load must stage into buffers and leave dst exactly as it was.
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+  }();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 3));
+  }
+  Tensor x = Tensor::randn({4, 3}, rng1);
+  const auto before = dst.forward(x).toVector();
+  EXPECT_THROW(dst.loadParameters(path), CheckError);
+  EXPECT_EQ(dst.forward(x).toVector(), before);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/trainer.hpp"
+#include "features/design_data.hpp"
+#include "netlist/io.hpp"
+#include "serve/feature_service.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace dagt::serve {
+namespace {
+
+// -- Shared tiny fixture -----------------------------------------------------
+
+const features::DataConfig& dataConfig() {
+  static features::DataConfig config = [] {
+    features::DataConfig c;
+    c.designScale = 0.2f;
+    return c;
+  }();
+  return config;
+}
+
+const features::DataPipeline& pipeline() {
+  static features::DataPipeline* p = new features::DataPipeline(dataConfig());
+  return *p;
+}
+
+const features::DesignData& target7() {
+  static features::DesignData d = pipeline().build("smallboom");
+  return d;
+}
+
+const features::DesignData& source130() {
+  static features::DesignData d = pipeline().build("usbf_device");
+  return d;
+}
+
+core::TrainConfig tinyTrainConfig() {
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.finetuneEpochs = 2;
+  tc.endpointCap = 24;
+  tc.model.gnnHidden = 16;
+  tc.model.cnnBaseChannels = 4;
+  tc.model.cnnDim = 8;
+  tc.model.headHidden = 16;
+  return tc;
+}
+
+BundleManifest tinyManifest(const core::TrainConfig& tc,
+                            const std::string& strategy) {
+  BundleManifest manifest;
+  manifest.strategy = strategy;
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig().nodes;
+  manifest.pinFeatureDim = pipeline().featureDim();
+  manifest.model = tc.model;
+  manifest.model.imageResolution = dataConfig().imageResolution;
+  manifest.features = dataConfig().features;
+  return manifest;
+}
+
+/// A trained model + its bundle directory, built once per strategy.
+struct TrainedBundle {
+  std::unique_ptr<core::TimingModel> model;
+  std::unique_ptr<core::TimingDataset> dataset;
+  std::string dir;
+};
+
+const TrainedBundle& trainedBundle(core::Strategy strategy) {
+  static std::map<int, TrainedBundle> cache;
+  auto& entry = cache[static_cast<int>(strategy)];
+  if (!entry.model) {
+    const auto tc = tinyTrainConfig();
+    entry.dataset = std::make_unique<core::TimingDataset>(
+        std::vector<const features::DesignData*>{&target7(), &source130()});
+    const core::Trainer trainer(*entry.dataset, tc);
+    entry.model = trainer.train(strategy);
+    entry.dir = (std::filesystem::temp_directory_path() /
+                 ("dagt_bundle_" + core::strategyName(strategy)))
+                    .string();
+    ModelBundle::save(*entry.model, tinyManifest(tc, core::strategyName(strategy)),
+                      entry.dir);
+  }
+  return entry;
+}
+
+// -- Placement sidecar -------------------------------------------------------
+
+TEST(PlacementFile, RoundTrip) {
+  place::PlacementResult placement;
+  placement.dieArea = {{1.5f, -2.25f}, {301.75f, 480.0f}};
+  placement.macros.push_back({{10.0f, 20.0f}, {50.0f, 80.5f}});
+  placement.macros.push_back({{100.0f, 200.0f}, {150.0f, 280.0f}});
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dagt_test.dagtpl").string();
+  writePlacementFile(placement, path);
+  const auto loaded = readPlacementFile(path);
+  EXPECT_FLOAT_EQ(loaded.dieArea.lo.x, placement.dieArea.lo.x);
+  EXPECT_FLOAT_EQ(loaded.dieArea.hi.y, placement.dieArea.hi.y);
+  ASSERT_EQ(loaded.macros.size(), 2u);
+  EXPECT_FLOAT_EQ(loaded.macros[1].lo.x, 100.0f);
+  EXPECT_FLOAT_EQ(loaded.macros[1].hi.y, 280.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PlacementFile, RejectsGarbage) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dagt_bad.dagtpl").string();
+  {
+    std::ofstream out(path);
+    out << "not a placement\n";
+  }
+  EXPECT_THROW(readPlacementFile(path), CheckError);
+  std::remove(path.c_str());
+}
+
+// -- Model bundle ------------------------------------------------------------
+
+TEST(ModelBundle, SaveLoadPredictionsMatchTrainer) {
+  const auto& trained = trainedBundle(core::Strategy::kOurs);
+  const auto bundle = ModelBundle::load(trained.dir);
+  EXPECT_EQ(bundle.manifest().modelKind, "ours");
+  EXPECT_EQ(bundle.manifest().variant, "full");
+
+  const auto expected =
+      trained.model->predictDesign(*trained.dataset, target7());
+  const auto actual =
+      bundle.model().predictDesign(*trained.dataset, target7());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Acceptance bar: served predictions within 1e-4 ps of the trainer's.
+    EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(ModelBundle, Dac23KindRoundTrips) {
+  const auto& trained = trainedBundle(core::Strategy::kSimpleMerge);
+  const auto bundle = ModelBundle::load(trained.dir);
+  EXPECT_EQ(bundle.manifest().modelKind, "dac23");
+  const auto expected =
+      trained.model->predictDesign(*trained.dataset, target7());
+  const auto actual =
+      bundle.model().predictDesign(*trained.dataset, target7());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(ModelBundle, LoadRejectsMissingDirectory) {
+  EXPECT_THROW(ModelBundle::load("/nonexistent/dagt_bundle"), CheckError);
+}
+
+TEST(ModelBundle, LoadRejectsCorruptManifest) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "dagt_badbundle").string();
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/manifest.dagtmf");
+    out << "dagtmf 999\n";  // unsupported version
+  }
+  EXPECT_THROW(ModelBundle::load(dir), CheckError);
+  std::filesystem::remove_all(dir);
+}
+
+// -- Feature service ---------------------------------------------------------
+
+TEST(FeatureService, RebuildsTrainingFeaturesExactly) {
+  const auto manifest = tinyManifest(tinyTrainConfig(), "Ours");
+  FeatureService service(manifest);
+  EXPECT_EQ(service.featureDim(), pipeline().featureDim());
+
+  const auto& reference = target7();
+  const auto servable = service.fromNetlist(
+      "smallboom", "r1", reference.netlist, reference.node,
+      reference.placement);
+  ASSERT_EQ(servable->data.pinFeatures.shape(),
+            reference.pinFeatures.shape());
+  const float* a = servable->data.pinFeatures.data();
+  const float* b = reference.pinFeatures.data();
+  for (std::int64_t i = 0; i < reference.pinFeatures.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a[i], b[i]) << "pin feature " << i;
+  }
+  EXPECT_EQ(servable->data.preRouteArrivals, reference.preRouteArrivals);
+}
+
+TEST(FeatureService, CachesByRevision) {
+  const auto manifest = tinyManifest(tinyTrainConfig(), "Ours");
+  FeatureService service(manifest);
+  const auto& d = target7();
+  const auto first =
+      service.fromNetlist("k", "r1", d.netlist, d.node, d.placement);
+  const auto again =
+      service.fromNetlist("k", "r1", d.netlist, d.node, d.placement);
+  EXPECT_EQ(first.get(), again.get());
+  EXPECT_EQ(service.cacheHits(), 1u);
+  EXPECT_EQ(service.cacheMisses(), 1u);
+  // A new revision invalidates.
+  const auto rebuilt =
+      service.fromNetlist("k", "r2", d.netlist, d.node, d.placement);
+  EXPECT_NE(again.get(), rebuilt.get());
+  EXPECT_EQ(service.cacheMisses(), 2u);
+}
+
+// -- Prediction engine -------------------------------------------------------
+
+TEST(PredictionEngine, FullDesignMatchesTrainerBitExact) {
+  const auto& trained = trainedBundle(core::Strategy::kOurs);
+  PredictionEngine engine;
+  engine.addBundleFromDir(trained.dir);
+  const auto& d = target7();
+  engine.loadDesign("smallboom", d.netlist, d.node, d.placement);
+
+  const auto expected =
+      trained.model->predictDesign(*trained.dataset, target7());
+  const auto served = engine.predictDesign("smallboom");
+  ASSERT_EQ(served.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(served[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(PredictionEngine, EndpointQueriesMatchFullDesignForDac23) {
+  // The DAC23 baseline has no Monte-Carlo head, so a sub-batch query must
+  // agree with the full-design forward exactly.
+  const auto& trained = trainedBundle(core::Strategy::kSimpleMerge);
+  PredictionEngine engine;
+  engine.addBundleFromDir(trained.dir);
+  const auto& d = target7();
+  const auto n = engine.loadDesign("smallboom", d.netlist, d.node,
+                                   d.placement);
+  ASSERT_GT(n, 3);
+  const auto full = engine.predictDesign("smallboom");
+  const auto some = engine.predictEndpoints("smallboom", {0, 2, n - 1});
+  EXPECT_NEAR(some[0], full[0], 1e-4f);
+  EXPECT_NEAR(some[1], full[2], 1e-4f);
+  EXPECT_NEAR(some[2], full[static_cast<std::size_t>(n - 1)], 1e-4f);
+  EXPECT_NEAR(engine.predictEndpoint("smallboom", 1), full[1], 1e-4f);
+}
+
+TEST(PredictionEngine, CoalescesConcurrentCallers) {
+  const auto& trained = trainedBundle(core::Strategy::kSimpleMerge);
+  EngineConfig config;
+  config.maxBatch = 64;
+  config.maxWaitUs = 20000;  // generous so slow CI still coalesces
+  PredictionEngine engine(config);
+  engine.addBundleFromDir(trained.dir);
+  const auto& d = target7();
+  const auto n = engine.loadDesign("smallboom", d.netlist, d.node,
+                                   d.placement);
+  engine.predictEndpoint("smallboom", 0);  // warm up
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&engine, t, n] {
+      for (int i = 0; i < kPerThread; ++i) {
+        engine.predictEndpoint("smallboom", (t * 7 + i) % n);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+
+  const auto metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests, 1u + kThreads * kPerThread);
+  // Coalescing happened: strictly fewer forwards than requests.
+  EXPECT_LT(metrics.batches, metrics.requests);
+  EXPECT_GT(metrics.meanBatchSize, 1.0);
+  EXPECT_GT(metrics.p99Us, 0.0);
+  EXPECT_GE(metrics.p99Us, metrics.p50Us);
+}
+
+TEST(PredictionEngine, ErrorsOnBadQueries) {
+  const auto& trained = trainedBundle(core::Strategy::kSimpleMerge);
+  PredictionEngine engine;
+  engine.addBundleFromDir(trained.dir);
+  EXPECT_THROW(engine.predictDesign("never-loaded"), CheckError);
+
+  const auto& d = target7();
+  const auto n = engine.loadDesign("smallboom", d.netlist, d.node,
+                                   d.placement);
+  EXPECT_THROW(engine.predictEndpoint("smallboom", n), CheckError);
+  EXPECT_THROW(engine.predictEndpoint("smallboom", -1), CheckError);
+  EXPECT_THROW(engine.predictEndpoints("smallboom", {}), CheckError);
+  // 130nm design with only a 7nm bundle registered.
+  const auto& s = source130();
+  EXPECT_THROW(engine.loadDesign("usbf", s.netlist, s.node, s.placement),
+               CheckError);
+}
+
+TEST(PredictionEngine, FileRoundTripMatchesInMemory) {
+  // Export the design through the interchange files (netlist + placement
+  // sidecar + library) and verify the served predictions are unchanged:
+  // the files carry everything feature extraction needs.
+  const auto& trained = trainedBundle(core::Strategy::kOurs);
+  const auto dir = std::filesystem::temp_directory_path() / "dagt_ioserve";
+  std::filesystem::create_directories(dir);
+  const auto& d = target7();
+  const std::string nlPath = (dir / "smallboom.dagtnl").string();
+  const std::string plPath = (dir / "smallboom.dagtpl").string();
+  const std::string libPath = (dir / "7nm.dagtlib").string();
+  netlist::io::writeNetlistFile(d.netlist, nlPath);
+  writePlacementFile(d.placement, plPath);
+  netlist::io::writeLibraryFile(pipeline().library(d.node), libPath);
+
+  PredictionEngine engine;
+  engine.addBundleFromDir(trained.dir);
+  engine.loadDesign("mem", d.netlist, d.node, d.placement);
+  engine.loadDesign("file", nlPath, libPath, plPath);
+
+  const auto fromMemory = engine.predictDesign("mem");
+  const auto fromFiles = engine.predictDesign("file");
+  ASSERT_EQ(fromFiles.size(), fromMemory.size());
+  for (std::size_t i = 0; i < fromMemory.size(); ++i) {
+    EXPECT_NEAR(fromFiles[i], fromMemory[i], 1e-4f);
+  }
+
+  // Re-loading unchanged files hits the feature cache.
+  engine.loadDesign("file", nlPath, libPath, plPath);
+  EXPECT_GE(engine.metrics().cacheHits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dagt::serve

@@ -1,8 +1,10 @@
 // dagt — command-line front end to the library.
 //
 //   dagt gen <design> [--scale S] [--nl out.dagtnl] [--lib out.dagtlib]
-//       Generate a named suite design, map it to its node, place it and
-//       write the netlist / library interchange files.
+//       [--pl out.dagtpl]
+//       Generate a named suite design, map it to its node, place it
+//       (with the same placement stream the training pipeline uses) and
+//       write the netlist / library / placement interchange files.
 //
 //   dagt stats <netlist.dagtnl> <lib.dagtlib>
 //       Table-1 style statistics of a netlist file.
@@ -16,13 +18,38 @@
 //
 //   dagt train [--scale S] [--epochs E] [--strategy NAME]
 //       Train a predictor on the paper's split and print test R^2 rows.
+//
+//   dagt export [--scale S] [--epochs E] [--strategy NAME] [--out DIR]
+//       [--emit DIR]
+//       Train like `train`, then save the predictor as a deployable model
+//       bundle (manifest + weights) under DIR. --emit additionally writes
+//       the test designs' netlist/placement/library interchange files so
+//       `dagt predict` can be exercised immediately.
+//
+//   dagt predict <bundle> <netlist.dagtnl> <lib.dagtlib> [--pl F]
+//       [--endpoints I,J,...] [--batch N] [--wait-us U] [--dump]
+//       [--metrics-json F]
+//       Load a bundle into the serving engine, prepare the design's
+//       pre-routing features, and answer arrival-time queries. Without
+//       --endpoints, predicts every endpoint (bit-exact with the
+//       trainer's in-process predictions) and prints a summary; with it,
+//       serves the listed endpoints through the batching queue. Serving
+//       metrics are printed afterwards (--metrics-json writes them as
+//       JSON).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "core/trainer.hpp"
@@ -30,6 +57,9 @@
 #include "netlist/io.hpp"
 #include "place/layout_maps.hpp"
 #include "place/placer.hpp"
+#include "serve/feature_service.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
 #include "sta/sta_engine.hpp"
 #include "sta/timing_optimizer.hpp"
 #include "sta/timing_report.hpp"
@@ -38,25 +68,70 @@ namespace {
 
 using namespace dagt;
 
-/// Minimal flag parser: positional args plus --key value pairs.
+/// Flag parser with per-subcommand validation: positional args plus
+/// --key value / --key=value pairs. Valued flags always consume the next
+/// token (so negative numbers like `--shift -0.5` parse unambiguously);
+/// boolean flags (declared with a trailing '!') never do. Unknown flags
+/// are an error that lists the subcommand's valid flags.
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
+  std::string error;  // non-empty => parse failed
 
-  static Args parse(int argc, char** argv) {
+  /// spec: valued flag names, boolean flags suffixed with '!'.
+  static Args parse(int argc, char** argv,
+                    const std::vector<std::string>& spec) {
+    std::set<std::string> valued, boolean;
+    for (const auto& s : spec) {
+      if (!s.empty() && s.back() == '!') {
+        boolean.insert(s.substr(0, s.size() - 1));
+      } else {
+        valued.insert(s);
+      }
+    }
     Args args;
     for (int i = 2; i < argc; ++i) {
       const std::string token = argv[i];
-      if (token.rfind("--", 0) == 0) {
-        const std::string key = token.substr(2);
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-          args.flags[key] = argv[++i];
-        } else {
-          args.flags[key] = "1";
-        }
-      } else {
+      if (token.rfind("--", 0) != 0) {
         args.positional.push_back(token);
+        continue;
       }
+      std::string key = token.substr(2);
+      std::string value;
+      bool inlineValue = false;
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        inlineValue = true;
+      }
+      if (boolean.count(key)) {
+        if (inlineValue) {
+          args.error = "flag --" + key + " takes no value";
+          return args;
+        }
+        args.flags[key] = "1";
+        continue;
+      }
+      if (!valued.count(key)) {
+        std::string known;
+        for (const auto& s : spec) {
+          known += known.empty() ? "--" : ", --";
+          known += s.back() == '!' ? s.substr(0, s.size() - 1) : s;
+        }
+        args.error = "unknown flag --" + key +
+                     (known.empty() ? " (this command takes no flags)"
+                                    : "; valid flags: " + known);
+        return args;
+      }
+      if (!inlineValue) {
+        if (i + 1 >= argc) {
+          args.error = "flag --" + key + " expects a value";
+          return args;
+        }
+        value = argv[++i];
+      }
+      args.flags[key] = value;
     }
     return args;
   }
@@ -67,15 +142,22 @@ struct Args {
   }
   float floatFlag(const std::string& key, float fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::strtof(it->second.c_str(),
-                                                      nullptr);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const float value = std::strtof(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "warning: --%s value '%s' is not a number\n",
+                   key.c_str(), it->second.c_str());
+      return fallback;
+    }
+    return value;
   }
   bool has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dagt <gen|stats|sta|opt|train> [args]\n"
+               "usage: dagt <gen|stats|sta|opt|train|export|predict> [args]\n"
                "run 'dagt' with a command to see its flags in the header "
                "of tools/dagt_cli.cpp\n");
   return 2;
@@ -90,20 +172,27 @@ int cmdGen(const Args& args) {
   const auto& entry = suite.entry(name);
   const auto lib = netlist::CellLibrary::makeNode(entry.node);
   auto nl = suite.buildNetlist(entry, lib);
-  const auto placement = place::Placer::place(nl);
+  // Match the training pipeline's per-design placement stream so that a
+  // generated file reproduces the exact features a trained model saw.
+  place::PlacerConfig placer;
+  placer.seed ^= entry.spec.seed;
+  const auto placement = place::Placer::place(nl, placer);
 
   const std::string nlPath = args.flagOr("nl", name + ".dagtnl");
   const std::string libPath = args.flagOr(
       "lib", netlist::techNodeName(entry.node) + ".dagtlib");
+  const std::string plPath = args.flagOr("pl", name + ".dagtpl");
   netlist::io::writeNetlistFile(nl, nlPath);
   netlist::io::writeLibraryFile(lib, libPath);
+  serve::writePlacementFile(placement, plPath);
   const auto stats = nl.stats();
   std::printf("%s @ %s: %lld pins, %lld endpoints, die %.1fx%.1f um\n",
               name.c_str(), netlist::techNodeName(entry.node).c_str(),
               static_cast<long long>(stats.numPins),
               static_cast<long long>(stats.numEndpoints),
               placement.dieArea.width(), placement.dieArea.height());
-  std::printf("wrote %s and %s\n", nlPath.c_str(), libPath.c_str());
+  std::printf("wrote %s, %s and %s\n", nlPath.c_str(), libPath.c_str(),
+              plPath.c_str());
   return 0;
 }
 
@@ -183,56 +272,209 @@ int cmdOpt(const Args& args) {
   return 0;
 }
 
-int cmdTrain(const Args& args) {
-  Log::threshold() = LogLevel::kInfo;
-  const float scale = args.floatFlag("scale", 0.5f);
-  const int epochs = static_cast<int>(args.floatFlag("epochs", 24.0f));
-  const std::string strategyName = args.flagOr("strategy", "ours");
+// -- Shared training path of `train` and `export` ----------------------------
 
-  core::Strategy strategy = core::Strategy::kOurs;
-  if (strategyName == "advonly") strategy = core::Strategy::kAdvOnly;
-  else if (strategyName == "simplemerge") strategy = core::Strategy::kSimpleMerge;
-  else if (strategyName == "paramshare") strategy = core::Strategy::kParamShare;
-  else if (strategyName == "ptft") strategy = core::Strategy::kPretrainFinetune;
-  else if (strategyName != "ours") {
-    std::fprintf(stderr, "unknown strategy '%s'\n", strategyName.c_str());
-    return 2;
-  }
+core::Strategy parseStrategy(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "advonly") return core::Strategy::kAdvOnly;
+  if (name == "simplemerge") return core::Strategy::kSimpleMerge;
+  if (name == "paramshare") return core::Strategy::kParamShare;
+  if (name == "ptft") return core::Strategy::kPretrainFinetune;
+  if (name == "ours") return core::Strategy::kOurs;
+  *ok = false;
+  return core::Strategy::kOurs;
+}
 
+/// The paper's split, built once: 7nm target + 130nm sources for training,
+/// five 7nm designs held out for test.
+struct PaperSplit {
   features::DataConfig dataConfig;
-  dataConfig.designScale = scale;
-  const features::DataPipeline pipeline(dataConfig);
-  std::vector<features::DesignData> train, test;
+  std::unique_ptr<features::DataPipeline> pipeline;
+  std::vector<features::DesignData> train;
+  std::vector<features::DesignData> test;
+  std::unique_ptr<core::TimingDataset> trainSet;
+  std::unique_ptr<core::TimingDataset> testSet;
+};
+
+std::unique_ptr<PaperSplit> buildPaperSplit(float scale) {
+  auto split = std::make_unique<PaperSplit>();
+  split->dataConfig.designScale = scale;
+  split->pipeline =
+      std::make_unique<features::DataPipeline>(split->dataConfig);
   for (const char* n :
        {"smallboom", "jpeg", "linkruncca", "spiMaster", "usbf_device"}) {
-    train.push_back(pipeline.build(n));
+    split->train.push_back(split->pipeline->build(n));
   }
   for (const char* n : {"arm9", "chacha", "hwacha", "or1200", "sha3"}) {
-    test.push_back(pipeline.build(n));
+    split->test.push_back(split->pipeline->build(n));
   }
   auto pointers = [](const std::vector<features::DesignData>& v) {
     std::vector<const features::DesignData*> p;
     for (const auto& d : v) p.push_back(&d);
     return p;
   };
-  core::TimingDataset trainSet(pointers(train));
-  const core::TimingDataset testSet(pointers(test));
-  trainSet.restrictEndpoints(train.front(), 48, 99);
+  split->trainSet =
+      std::make_unique<core::TimingDataset>(pointers(split->train));
+  split->testSet =
+      std::make_unique<core::TimingDataset>(pointers(split->test));
+  split->trainSet->restrictEndpoints(split->train.front(), 48, 99);
+  return split;
+}
 
+struct TrainedModel {
+  std::unique_ptr<PaperSplit> split;
+  std::unique_ptr<core::TimingModel> model;
   core::TrainConfig config;
-  config.epochs = epochs;
-  config.learningRate = 5e-3f;
-  const core::Trainer trainer(trainSet, config);
+  core::Strategy strategy = core::Strategy::kOurs;
   core::TrainStats stats;
-  auto model = trainer.train(strategy, &stats);
+};
 
+TrainedModel trainOnPaperSplit(const Args& args) {
+  Log::threshold() = LogLevel::kInfo;
+  TrainedModel out;
+  const float scale = args.floatFlag("scale", 0.5f);
+  bool ok = false;
+  out.strategy = parseStrategy(args.flagOr("strategy", "ours"), &ok);
+  DAGT_CHECK_MSG(ok, "unknown strategy '" << args.flagOr("strategy", "ours")
+                                          << "' (advonly, simplemerge, "
+                                             "paramshare, ptft, ours)");
+  out.split = buildPaperSplit(scale);
+  out.config.epochs = static_cast<int>(args.floatFlag("epochs", 24.0f));
+  out.config.learningRate = 5e-3f;
+  const core::Trainer trainer(*out.split->trainSet, out.config);
+  out.model = trainer.train(out.strategy, &out.stats);
+  return out;
+}
+
+void printEvalTable(const TrainedModel& trained) {
   TextTable table({"design", "R2", "runtime (s)"});
-  for (const auto& eval : core::evaluateModel(*model, testSet)) {
+  for (const auto& eval :
+       core::evaluateModel(*trained.model, *trained.split->testSet)) {
     table.addRow({eval.design, TextTable::num(eval.r2),
                   TextTable::num(eval.runtimeSeconds)});
   }
-  std::printf("%s trained in %.1fs\n%s", core::strategyName(strategy).c_str(),
-              stats.trainSeconds, table.render().c_str());
+  std::printf("%s trained in %.1fs\n%s",
+              core::strategyName(trained.strategy).c_str(),
+              trained.stats.trainSeconds, table.render().c_str());
+}
+
+int cmdTrain(const Args& args) {
+  const TrainedModel trained = trainOnPaperSplit(args);
+  printEvalTable(trained);
+  return 0;
+}
+
+int cmdExport(const Args& args) {
+  const TrainedModel trained = trainOnPaperSplit(args);
+  printEvalTable(trained);
+
+  serve::BundleManifest manifest;
+  manifest.strategy = core::strategyName(trained.strategy);
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = trained.split->dataConfig.nodes;
+  manifest.pinFeatureDim = trained.split->pipeline->featureDim();
+  manifest.model = trained.config.model;
+  manifest.model.imageResolution = trained.split->dataConfig.imageResolution;
+  manifest.features = trained.split->dataConfig.features;
+
+  const std::string outDir = args.flagOr("out", "dagt_bundle");
+  serve::ModelBundle::save(*trained.model, manifest, outDir);
+  std::printf("exported %s bundle to %s/\n",
+              core::strategyName(trained.strategy).c_str(), outDir.c_str());
+
+  if (args.has("emit")) {
+    const std::string emitDir = args.flagOr("emit", "designs");
+    std::filesystem::create_directories(emitDir);
+    std::set<netlist::TechNode> nodesSeen;
+    for (const auto& design : trained.split->test) {
+      const auto base = std::filesystem::path(emitDir) / design.name;
+      netlist::io::writeNetlistFile(design.netlist,
+                                    base.string() + ".dagtnl");
+      serve::writePlacementFile(design.placement, base.string() + ".dagtpl");
+      nodesSeen.insert(design.node);
+    }
+    for (const auto node : nodesSeen) {
+      const auto libPath = std::filesystem::path(emitDir) /
+                           (netlist::techNodeName(node) + ".dagtlib");
+      netlist::io::writeLibraryFile(trained.split->pipeline->library(node),
+                                    libPath.string());
+    }
+    std::printf("emitted %zu test designs to %s/\n",
+                trained.split->test.size(), emitDir.c_str());
+  }
+  return 0;
+}
+
+int cmdPredict(const Args& args) {
+  if (args.positional.size() < 3) return usage();
+  const std::string bundleDir = args.positional[0];
+  const std::string nlPath = args.positional[1];
+  const std::string libPath = args.positional[2];
+
+  serve::EngineConfig config;
+  config.maxBatch =
+      static_cast<std::int64_t>(args.floatFlag("batch", 64.0f));
+  config.maxWaitUs =
+      static_cast<std::int64_t>(args.floatFlag("wait-us", 200.0f));
+  serve::PredictionEngine engine(config);
+  engine.addBundleFromDir(bundleDir);
+
+  const std::int64_t numEndpoints = engine.loadDesign(
+      "design", nlPath, libPath, args.flagOr("pl", ""));
+  std::printf("loaded %s: %lld endpoints (node %s, %s bundle)\n",
+              nlPath.c_str(), static_cast<long long>(numEndpoints),
+              netlist::techNodeName(engine.nodes().front()).c_str(),
+              engine.manifest(engine.nodes().front()).strategy.c_str());
+
+  if (args.has("endpoints")) {
+    std::vector<std::int64_t> endpoints;
+    std::stringstream ss(args.flagOr("endpoints", ""));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      char* end = nullptr;
+      const std::int64_t e = std::strtoll(item.c_str(), &end, 10);
+      DAGT_CHECK_MSG(end != item.c_str() && *end == '\0',
+                     "--endpoints: '" << item << "' is not an integer");
+      endpoints.push_back(e);
+    }
+    DAGT_CHECK_MSG(!endpoints.empty(), "--endpoints list is empty");
+    const auto arrivals = engine.predictEndpoints("design", endpoints);
+    TextTable table({"endpoint", "predicted arrival (ps)"});
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      table.addRow({std::to_string(endpoints[i]),
+                    TextTable::num(arrivals[i], 1)});
+    }
+    std::printf("%s", table.render().c_str());
+  } else {
+    const auto arrivals = engine.predictDesign("design");
+    float worst = 0.0f;
+    std::int64_t worstIdx = 0;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      mean += arrivals[i];
+      if (arrivals[i] > worst) {
+        worst = arrivals[i];
+        worstIdx = static_cast<std::int64_t>(i);
+      }
+    }
+    if (!arrivals.empty()) mean /= static_cast<double>(arrivals.size());
+    std::printf("predicted sign-off arrival: mean %.1f ps, worst %.1f ps "
+                "(endpoint %lld)\n",
+                mean, worst, static_cast<long long>(worstIdx));
+    if (args.has("dump")) {
+      TextTable table({"endpoint", "predicted arrival (ps)"});
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        table.addRow({std::to_string(i), TextTable::num(arrivals[i], 1)});
+      }
+      std::printf("%s", table.render().c_str());
+    }
+  }
+
+  const auto metrics = engine.metrics();
+  std::printf("%s", metrics.renderTable().c_str());
+  if (args.has("metrics-json")) {
+    writeJsonFile(metrics.toJson(), args.flagOr("metrics-json", ""));
+  }
   return 0;
 }
 
@@ -241,16 +483,32 @@ int cmdTrain(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args = Args::parse(argc, argv);
+  static const std::map<std::string,
+                        std::pair<std::vector<std::string>, int (*)(const Args&)>>
+      commands = {
+          {"gen", {{"scale", "nl", "lib", "pl"}, cmdGen}},
+          {"stats", {{}, cmdStats}},
+          {"sta", {{"routed!"}, cmdSta}},
+          {"opt", {{"out"}, cmdOpt}},
+          {"train", {{"scale", "epochs", "strategy"}, cmdTrain}},
+          {"export", {{"scale", "epochs", "strategy", "out", "emit"},
+                      cmdExport}},
+          {"predict", {{"pl", "endpoints", "batch", "wait-us", "dump!",
+                        "metrics-json"},
+                       cmdPredict}},
+      };
+  const auto it = commands.find(command);
+  if (it == commands.end()) return usage();
+  const Args args = Args::parse(argc, argv, it->second.first);
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "dagt %s: %s\n", command.c_str(),
+                 args.error.c_str());
+    return 2;
+  }
   try {
-    if (command == "gen") return cmdGen(args);
-    if (command == "stats") return cmdStats(args);
-    if (command == "sta") return cmdSta(args);
-    if (command == "opt") return cmdOpt(args);
-    if (command == "train") return cmdTrain(args);
+    return it->second.second(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
