@@ -5,17 +5,37 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
+#include "common/json.hpp"
 #include "core/models.hpp"
 #include "core/timing_gnn.hpp"
 #include "features/design_data.hpp"
+#include "harness.hpp"
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
 #include "sta/sta_engine.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/storage.hpp"
 
 namespace {
 
 using namespace dagt;
+
+/// Report buffer-pool behaviour for a benchmark's timed region: hit rate
+/// (fraction of tensor allocations served without touching the heap) and
+/// fresh heap allocations per iteration. Call with the stats delta of the
+/// timed loop.
+void reportPoolCounters(benchmark::State& state,
+                        const tensor::PoolStats& stats) {
+  state.counters["pool_hit_rate"] = stats.hitRate();
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(stats.heapAllocs), benchmark::Counter::kAvgIterations);
+}
+
+/// Stats accumulated since the last resetStats() — benchmarks reset before
+/// the timed loop so the delta covers exactly the measured iterations.
+tensor::PoolStats poolDelta() { return tensor::BufferPool::global().stats(); }
 
 // ---------------------------------------------------------------------------
 // Tensor kernels
@@ -26,9 +46,13 @@ void BM_TensorMatmul(benchmark::State& state) {
   Rng rng(1);
   const auto a = tensor::Tensor::randn({n, n}, rng);
   const auto b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Workspace workspace;
+  benchmark::DoNotOptimize(tensor::matmul(a, b));  // warm the cache
+  tensor::BufferPool::global().resetStats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::matmul(a, b));
   }
+  reportPoolCounters(state, poolDelta());
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_TensorMatmul)->Arg(64)->Arg(128)->Arg(256);
@@ -52,9 +76,13 @@ void BM_TensorSegmentSum(benchmark::State& state) {
   for (std::int64_t i = 0; i < rows; ++i) {
     segments[static_cast<std::size_t>(i)] = i % 512;
   }
+  tensor::Workspace workspace;
+  benchmark::DoNotOptimize(tensor::segmentSum(src, segments, 512));
+  tensor::BufferPool::global().resetStats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::segmentSum(src, segments, 512));
   }
+  reportPoolCounters(state, poolDelta());
 }
 BENCHMARK(BM_TensorSegmentSum);
 
@@ -62,12 +90,15 @@ void BM_AutogradBackwardMlp(benchmark::State& state) {
   Rng rng(4);
   nn::Mlp mlp({64, 128, 128, 1}, rng);
   const auto x = tensor::Tensor::randn({256, 64}, rng);
+  tensor::Workspace workspace;
+  tensor::BufferPool::global().resetStats();
   for (auto _ : state) {
     mlp.zeroGrad();
     tensor::Tensor loss = tensor::meanAll(tensor::square(mlp.forward(x)));
     loss.backward();
     benchmark::DoNotOptimize(loss.item());
   }
+  reportPoolCounters(state, poolDelta());
 }
 BENCHMARK(BM_AutogradBackwardMlp);
 
@@ -132,9 +163,13 @@ void BM_GnnForward(benchmark::State& state) {
   Rng rng(5);
   core::TimingGnn gnn(d.pinFeatures.dim(1), 64, rng);
   tensor::NoGradGuard guard;
+  tensor::Workspace workspace;
+  benchmark::DoNotOptimize(gnn.forward(*d.graph, d.pinFeatures));
+  tensor::BufferPool::global().resetStats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(gnn.forward(*d.graph, d.pinFeatures));
   }
+  reportPoolCounters(state, poolDelta());
   state.SetItemsProcessed(state.iterations() * d.netlist.numPins());
 }
 BENCHMARK(BM_GnnForward);
@@ -145,13 +180,65 @@ void BM_ModelInference(benchmark::State& state) {
   Rng rng(6);
   core::OursModel model(pipeline().featureDim(), core::ModelConfig{},
                         core::OursVariant::kFull, rng);
+  tensor::Workspace workspace;
+  benchmark::DoNotOptimize(model.predictDesign(dataset, d));
+  tensor::BufferPool::global().resetStats();
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.predictDesign(dataset, d));
   }
+  reportPoolCounters(state, poolDelta());
   state.SetItemsProcessed(state.iterations() * d.numEndpoints());
 }
 BENCHMARK(BM_ModelInference);
 
+/// Cold vs steady-state allocation profile of the full model forward pass:
+/// the number the pooled-storage refactor is accountable for. "Cold" is the
+/// first pass on an empty pool (every buffer is a heap allocation);
+/// "steady" is a later pass inside a workspace whose cache is warm.
+JsonValue allocationProfile() {
+  const auto& d = design();
+  core::TimingDataset dataset({&d});
+  Rng rng(7);
+  core::OursModel model(pipeline().featureDim(), core::ModelConfig{},
+                        core::OursVariant::kFull, rng);
+  tensor::NoGradGuard guard;
+  auto& pool = tensor::BufferPool::global();
+
+  tensor::Workspace workspace;
+  pool.trim();
+  pool.resetStats();
+  benchmark::DoNotOptimize(model.predictDesign(dataset, d));
+  const tensor::PoolStats cold = pool.stats();
+
+  pool.resetStats();
+  benchmark::DoNotOptimize(model.predictDesign(dataset, d));
+  const tensor::PoolStats steady = pool.stats();
+
+  const double drop =
+      cold.heapAllocs == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(steady.heapAllocs) /
+                      static_cast<double>(cold.heapAllocs);
+  JsonValue j = JsonValue::object();
+  j.set("cold_heap_allocs", cold.heapAllocs)
+      .set("cold_acquisitions", cold.acquisitions())
+      .set("steady_heap_allocs", steady.heapAllocs)
+      .set("steady_acquisitions", steady.acquisitions())
+      .set("steady_pool_hit_rate", steady.hitRate())
+      .set("heap_alloc_reduction", drop);
+  return j;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a machine-readable allocation profile: the pool
+// hit-rate / heap-alloc numbers land in BENCH_micro_ops.json so perf
+// tracking can diff the memory model across commits.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::writeBenchJson("micro_ops", allocationProfile());
+  return 0;
+}

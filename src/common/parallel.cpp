@@ -16,15 +16,17 @@ std::size_t& parallelThreadCount() {
   return count;
 }
 
-void parallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn,
-                 std::size_t grainSize) {
+namespace detail {
+
+void parallelForChunks(std::size_t begin, std::size_t end,
+                       ParallelChunkFn chunk, void* context,
+                       std::size_t grainSize) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t threads =
       std::min(parallelThreadCount(), (n + grainSize - 1) / grainSize);
   if (threads <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    chunk(context, begin, end);
     return;
   }
 
@@ -42,7 +44,7 @@ void parallelFor(std::size_t begin, std::size_t end,
       if (chunkBegin >= end || failed.load(std::memory_order_relaxed)) return;
       const std::size_t chunkEnd = std::min(end, chunkBegin + grainSize);
       try {
-        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) fn(i);
+        chunk(context, chunkBegin, chunkEnd);
       } catch (...) {
         if (!failed.exchange(true)) firstError = std::current_exception();
         return;
@@ -53,5 +55,7 @@ void parallelFor(std::size_t begin, std::size_t end,
   for (auto& th : pool) th.join();
   if (failed && firstError) std::rethrow_exception(firstError);
 }
+
+}  // namespace detail
 
 }  // namespace dagt

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace dagt {
 
@@ -9,14 +10,45 @@ namespace dagt {
 /// concurrency, capped at 16). Setting it to 1 makes everything serial.
 std::size_t& parallelThreadCount();
 
+namespace detail {
+
+/// Monomorphic chunk runner: fn is invoked per contiguous [begin, end)
+/// chunk through a single function pointer, so the per-index body compiles
+/// inline inside the caller's trampoline instead of paying a type-erased
+/// std::function call per element.
+using ParallelChunkFn = void (*)(void* context, std::size_t chunkBegin,
+                                 std::size_t chunkEnd);
+
+void parallelForChunks(std::size_t begin, std::size_t end,
+                       ParallelChunkFn chunk, void* context,
+                       std::size_t grainSize);
+
+}  // namespace detail
+
 /// Run fn(i) for i in [begin, end) across a shared thread pool.
 ///
-/// The range is split into contiguous chunks, one per worker; fn must be
-/// safe to call concurrently for distinct i. Falls back to a serial loop
-/// for small ranges where the fork/join overhead would dominate.
-/// Exceptions thrown by fn are captured and rethrown on the calling thread.
-void parallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn,
-                 std::size_t grainSize = 256);
+/// The range is split into contiguous chunks stolen from a shared cursor;
+/// fn must be safe to call concurrently for distinct i. Falls back to a
+/// serial loop for small ranges where the fork/join overhead would
+/// dominate. Exceptions thrown by fn are captured and rethrown on the
+/// calling thread.
+///
+/// fn is captured by reference for the duration of the call (no copy, no
+/// type erasure): the per-chunk trampoline below inlines the body, which
+/// is what keeps fine-grained tensor kernels out of std::function.
+template <typename F>
+void parallelFor(std::size_t begin, std::size_t end, F&& fn,
+                 std::size_t grainSize = 256) {
+  using Body = std::remove_reference_t<F>;
+  detail::parallelForChunks(
+      begin, end,
+      [](void* context, std::size_t chunkBegin, std::size_t chunkEnd) {
+        Body& body = *static_cast<Body*>(context);
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) body(i);
+      },
+      const_cast<void*>(
+          static_cast<const void*>(std::addressof(fn))),
+      grainSize);
+}
 
 }  // namespace dagt

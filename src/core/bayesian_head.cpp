@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/storage.hpp"
 
 namespace dagt::core {
 
@@ -42,6 +43,11 @@ BayesianHead::Prediction BayesianHead::predict(const Tensor& u,
                                                Rng& rng) const {
   DAGT_CHECK(numSamples >= 1);
   DAGT_CHECK(u.shape() == q.mu.shape());
+  // The K-sample Monte-Carlo loop below allocates several temporaries per
+  // draw (eps, w, partial sums); under inference they die each iteration,
+  // so a workspace turns draws 2..K into pure buffer reuse. The returned
+  // samples/mean keep their buffers alive past this scope via refcounts.
+  tensor::Workspace workspace;
   const Tensor std = tensor::expOp(tensor::mulScalar(q.logvar, 0.5f));
   const std::int64_t b = u.dim(0);
 

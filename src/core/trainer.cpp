@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "nn/optimizer.hpp"
+#include "tensor/storage.hpp"
 
 namespace dagt::core {
 
@@ -121,6 +122,11 @@ std::unique_ptr<TimingModel> Trainer::trainBaseline(Strategy strategy,
       rng.shuffle(order);
       double epochLoss = 0.0;
       for (const DesignData* design : order) {
+        // Per-step workspace: every intermediate freed during this step is
+        // recycled locally, and the cache returns to the global pool at
+        // step end — across epochs the optimizer loop stops touching the
+        // heap for tensor buffers.
+        tensor::Workspace workspace;
         const DesignBatch batch =
             data_->sampleBatch(*design, config_.endpointCap, rng);
         const Tensor pred = model->forwardBatch(batch);
@@ -168,6 +174,8 @@ std::unique_ptr<TimingModel> Trainer::trainOurs(Strategy strategy,
     rng.shuffle(order);
     double epochLoss = 0.0;
     for (const DesignData* source : order) {
+      // Per-step buffer recycling scope (see trainBaseline).
+      tensor::Workspace workspace;
       // One transfer step: a source-node batch paired with a target-node
       // batch (the paper samples N'_S and N'_T per batch).
       const DesignData* target =

@@ -34,6 +34,13 @@ std::string MetricsSnapshot::renderTable() const {
   table.addRow({"latency p95 (us)", TextTable::num(p95Us, 1)});
   table.addRow({"latency p99 (us)", TextTable::num(p99Us, 1)});
   table.addRow({"latency max (us)", TextTable::num(maxUs, 1)});
+  table.addRow({"pool heap allocs", std::to_string(pool.heapAllocs)});
+  table.addRow({"pool reuses",
+                std::to_string(pool.poolReuses + pool.workspaceReuses)});
+  table.addRow({"pool hit rate", TextTable::num(pool.hitRate(), 3)});
+  table.addRow({"pool bytes outstanding",
+                std::to_string(pool.bytesOutstanding)});
+  table.addRow({"pool bytes parked", std::to_string(pool.bytesPooled)});
   return table.render();
 }
 
@@ -50,7 +57,12 @@ JsonValue MetricsSnapshot::toJson() const {
       .set("latency_p50_us", p50Us)
       .set("latency_p95_us", p95Us)
       .set("latency_p99_us", p99Us)
-      .set("latency_max_us", maxUs);
+      .set("latency_max_us", maxUs)
+      .set("pool_heap_allocs", pool.heapAllocs)
+      .set("pool_reuses", pool.poolReuses + pool.workspaceReuses)
+      .set("pool_hit_rate", pool.hitRate())
+      .set("pool_bytes_outstanding", pool.bytesOutstanding)
+      .set("pool_bytes_parked", pool.bytesPooled);
   return j;
 }
 
@@ -76,8 +88,10 @@ void ServeMetrics::recordLatencyUs(double us) {
 }
 
 MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
-                                       std::uint64_t cacheMisses) const {
+                                       std::uint64_t cacheMisses,
+                                       const tensor::PoolStats& pool) const {
   MetricsSnapshot snap;
+  snap.pool = pool;
   std::vector<float> sorted;
   {
     std::lock_guard<std::mutex> lock(mutex_);

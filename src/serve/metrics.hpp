@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "tensor/storage.hpp"
 
 namespace dagt::serve {
 
@@ -23,6 +24,9 @@ struct MetricsSnapshot {
   double p95Us = 0.0;
   double p99Us = 0.0;
   double maxUs = 0.0;
+  /// Tensor buffer-pool counters (process-wide): how much of the serving
+  /// hot path is running allocation-free. See tensor::PoolStats.
+  tensor::PoolStats pool;
 
   /// Two-column table ("metric", "value") for terminal output.
   std::string renderTable() const;
@@ -42,9 +46,9 @@ class ServeMetrics {
 
   /// Percentiles are computed here (sorted copy); call off the hot path.
   /// Cache counters are supplied by the caller (the FeatureService owns
-  /// them).
-  MetricsSnapshot snapshot(std::uint64_t cacheHits,
-                           std::uint64_t cacheMisses) const;
+  /// them), as are the buffer-pool counters (the BufferPool owns those).
+  MetricsSnapshot snapshot(std::uint64_t cacheHits, std::uint64_t cacheMisses,
+                           const tensor::PoolStats& pool = {}) const;
 
  private:
   mutable std::mutex mutex_;

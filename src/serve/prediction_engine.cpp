@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "netlist/io.hpp"
+#include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dagt::serve {
@@ -166,6 +167,9 @@ std::vector<float> PredictionEngine::predictEndpoints(
   auto future = group.reply.get_future();
 
   if (!config_.batching) {
+    // Caller-thread forward: scope a workspace around it so this request's
+    // temporaries land back in the shared pool for the next caller.
+    tensor::Workspace workspace;
     std::vector<RequestGroup> solo;
     solo.push_back(std::move(group));
     serveBatch(std::move(solo));
@@ -182,6 +186,7 @@ std::vector<float> PredictionEngine::predictEndpoints(
 
 std::vector<float> PredictionEngine::predictDesign(const std::string& key) {
   const DesignRef ref = designRef(key);
+  tensor::Workspace workspace;
   auto predictions = ref.node->bundle.model().predictDesign(
       *ref.design->dataset, ref.design->data);
   metrics_.recordFullDesign();
@@ -241,6 +246,11 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
 }
 
 void PredictionEngine::workerLoop() {
+  // One workspace per worker thread, alive for the thread's lifetime:
+  // every forward's temporaries are recycled through the thread-local
+  // cache (no lock, no heap), so steady-state serving performs near-zero
+  // heap allocations per batch.
+  tensor::Workspace workspace;
   std::unique_lock<std::mutex> lock(queueMutex_);
   while (true) {
     queueCv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -295,7 +305,9 @@ MetricsSnapshot PredictionEngine::metrics() const {
     hits += entry.features->cacheHits();
     misses += entry.features->cacheMisses();
   }
-  return metrics_.snapshot(hits, misses);
+  // Buffer-pool counters are process-wide (the pool is shared by every
+  // engine and the trainer), which is the view an operator wants anyway.
+  return metrics_.snapshot(hits, misses, tensor::BufferPool::global().stats());
 }
 
 }  // namespace dagt::serve

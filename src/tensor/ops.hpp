@@ -8,9 +8,11 @@
 
 /// Differentiable operations on dagt::tensor::Tensor.
 ///
-/// Every op allocates a fresh output tensor; when gradients are enabled and
-/// any input requires grad, a backward closure is recorded on the output.
-/// Shapes are validated eagerly with DAGT_CHECK.
+/// Compute ops allocate their output through the BufferPool (see
+/// tensor/storage.hpp); reshape / flattenView / sliceRows return O(1)
+/// zero-copy aliases of their input's storage. When gradients are enabled
+/// and any input requires grad, a backward closure is recorded on the
+/// output. Shapes are validated eagerly with DAGT_CHECK.
 namespace dagt::tensor {
 
 // ---------------------------------------------------------------------------
@@ -80,15 +82,20 @@ Tensor transpose2d(const Tensor& t);
 // ---------------------------------------------------------------------------
 // Shape manipulation
 // ---------------------------------------------------------------------------
-/// Same storage contents in a new shape (numel must match).
+/// Same storage under a new shape (numel must match): O(1) zero-copy
+/// alias; writes through either tensor are visible in both.
 Tensor reshape(const Tensor& t, const Shape& shape);
+/// Rank-1 alias of the whole tensor: reshape(t, {t.numel()}) without the
+/// shape arithmetic at call sites.
+Tensor flattenView(const Tensor& t);
 /// Concatenate along dim 0 (all other dims equal).
 Tensor concat0(const std::vector<Tensor>& parts);
 /// Concatenate 2-D tensors along dim 1 (equal row counts).
 Tensor concat1(const std::vector<Tensor>& parts);
-/// Columns [begin, end) of a 2-D tensor.
+/// Columns [begin, end) of a 2-D tensor (copies: columns are strided).
 Tensor sliceCols(const Tensor& t, std::int64_t begin, std::int64_t end);
-/// Rows [begin, end) of a 2-D tensor.
+/// Rows [begin, end) along dim 0: O(1) zero-copy alias (rows are
+/// contiguous in row-major storage).
 Tensor sliceRows(const Tensor& t, std::int64_t begin, std::int64_t end);
 
 // ---------------------------------------------------------------------------

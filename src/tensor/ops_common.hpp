@@ -20,11 +20,25 @@ inline bool tapeActive(std::initializer_list<const Tensor*> inputs) {
   return false;
 }
 
-/// Fresh output node with the given shape (zero-filled).
+/// Fresh output node with the given shape (zero-filled). The buffer comes
+/// from the BufferPool, so in steady state op outputs recycle earlier
+/// buffers instead of hitting the heap; zero-filling keeps reuse
+/// bit-deterministic (several kernels also accumulate into the output).
 inline std::shared_ptr<TensorImpl> makeOut(Shape shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<std::size_t>(numelOf(impl->shape)), 0.0f);
+  impl->data = Storage::zeros(static_cast<std::size_t>(numelOf(impl->shape)));
+  return impl;
+}
+
+/// Output node aliasing `base` at [offset, offset + numelOf(shape)) —
+/// the zero-copy path behind reshape / sliceRows / flattenView.
+inline std::shared_ptr<TensorImpl> makeView(Shape shape, const Storage& base,
+                                            std::size_t offset) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data =
+      base.view(offset, static_cast<std::size_t>(numelOf(impl->shape)));
   return impl;
 }
 
@@ -47,10 +61,12 @@ inline void checkSameShape(const Tensor& a, const Tensor& b,
 
 /// Accumulate src into dst->grad (allocating it first), elementwise.
 inline void accumulate(const std::shared_ptr<TensorImpl>& dst,
-                       const std::vector<float>& src) {
+                       const Storage& src) {
   dst->ensureGrad();
   DAGT_CHECK(dst->grad.size() == src.size());
-  for (std::size_t i = 0; i < src.size(); ++i) dst->grad[i] += src[i];
+  float* g = dst->grad.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < src.size(); ++i) g[i] += s[i];
 }
 
 }  // namespace dagt::tensor::detail

@@ -156,14 +156,14 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                      }
                    }
                    if (bi && bi->requiresGrad) {
+                     float* bg = bi->grad.data();
                      for (std::int64_t f = 0; f < d.f; ++f) {
                        const float* grow = go + f * d.colCols;
                        double acc = 0.0;
                        for (std::int64_t j = 0; j < d.colCols; ++j) {
                          acc += grow[j];
                        }
-                       bi->grad[static_cast<std::size_t>(f)] +=
-                           static_cast<float>(acc);
+                       bg[f] += static_cast<float>(acc);
                      }
                    }
                    if (ii->requiresGrad) {
@@ -203,6 +203,7 @@ Tensor maxPool2d(const Tensor& input) {
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(n * c * oh * ow));
   const float* p = input.data();
+  float* po = out->data.data();
   std::size_t o = 0;
   for (std::int64_t plane = 0; plane < n * c; ++plane) {
     const float* img = p + plane * h * w;
@@ -221,7 +222,7 @@ Tensor maxPool2d(const Tensor& input) {
             }
           }
         }
-        out->data[o] = best;
+        po[o] = best;
         (*argmax)[o] = bestIdx;
       }
     }
@@ -230,8 +231,10 @@ Tensor maxPool2d(const Tensor& input) {
     auto ii = input.impl();
     attachTape(out, {&input}, [ii, argmax](TensorImpl& self) {
       ii->ensureGrad();
+      float* g = ii->grad.data();
+      const float* gs = self.grad.data();
       for (std::size_t i = 0; i < self.data.size(); ++i) {
-        ii->grad[static_cast<std::size_t>((*argmax)[i])] += self.grad[i];
+        g[(*argmax)[i]] += gs[i];
       }
     });
   }
@@ -246,22 +249,24 @@ Tensor globalAvgPool(const Tensor& input) {
   DAGT_CHECK(spatial > 0);
   auto out = makeOut({n, c});
   const float* p = input.data();
+  float* po = out->data.data();
   for (std::int64_t plane = 0; plane < n * c; ++plane) {
     double acc = 0.0;
     for (std::int64_t i = 0; i < spatial; ++i) acc += p[plane * spatial + i];
-    out->data[static_cast<std::size_t>(plane)] =
-        static_cast<float>(acc / static_cast<double>(spatial));
+    po[plane] = static_cast<float>(acc / static_cast<double>(spatial));
   }
   if (tapeActive({&input})) {
     auto ii = input.impl();
     attachTape(out, {&input}, [ii, spatial](TensorImpl& self) {
       ii->ensureGrad();
+      float* gi = ii->grad.data();
+      const float* gs = self.grad.data();
       const float inv = 1.0f / static_cast<float>(spatial);
       for (std::size_t plane = 0; plane < self.data.size(); ++plane) {
-        const float g = self.grad[plane] * inv;
+        const float g = gs[plane] * inv;
+        float* grow = gi + plane * static_cast<std::size_t>(spatial);
         for (std::int64_t i = 0; i < spatial; ++i) {
-          ii->grad[plane * static_cast<std::size_t>(spatial) +
-                   static_cast<std::size_t>(i)] += g;
+          grow[i] += g;
         }
       }
     });

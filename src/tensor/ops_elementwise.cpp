@@ -22,23 +22,29 @@ Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
   auto out = makeOut(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
+  float* po = out->data.data();
   const std::size_t n = out->data.size();
-  for (std::size_t i = 0; i < n; ++i) out->data[i] = fwd(pa[i], pb[i]);
+  for (std::size_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
   if (tapeActive({&a, &b})) {
     auto ai = a.impl();
     auto bi = b.impl();
     attachTape(out, {&a, &b}, [ai, bi, dA, dB](TensorImpl& self) {
       const std::size_t count = self.data.size();
+      const float* ga = ai->data.data();
+      const float* gb = bi->data.data();
+      const float* gs = self.grad.data();
       if (ai->requiresGrad) {
         ai->ensureGrad();
+        float* g = ai->grad.data();
         for (std::size_t i = 0; i < count; ++i) {
-          ai->grad[i] += dA(ai->data[i], bi->data[i], self.grad[i]);
+          g[i] += dA(ga[i], gb[i], gs[i]);
         }
       }
       if (bi->requiresGrad) {
         bi->ensureGrad();
+        float* g = bi->grad.data();
         for (std::size_t i = 0; i < count; ++i) {
-          bi->grad[i] += dB(ai->data[i], bi->data[i], self.grad[i]);
+          g[i] += dB(ga[i], gb[i], gs[i]);
         }
       }
     });
@@ -51,16 +57,20 @@ template <typename Fwd, typename DX>
 Tensor unaryOp(const Tensor& t, Fwd fwd, DX dX) {
   auto out = makeOut(t.shape());
   const float* p = t.data();
+  float* po = out->data.data();
   const std::size_t n = out->data.size();
-  for (std::size_t i = 0; i < n; ++i) out->data[i] = fwd(p[i]);
+  for (std::size_t i = 0; i < n; ++i) po[i] = fwd(p[i]);
   if (tapeActive({&t})) {
     auto ti = t.impl();
-    auto outRaw = out;  // captured to read forward outputs in backward
     attachTape(out, {&t}, [ti, dX](TensorImpl& self) {
       ti->ensureGrad();
       const std::size_t count = self.data.size();
+      const float* in = ti->data.data();
+      const float* fo = self.data.data();
+      const float* gs = self.grad.data();
+      float* g = ti->grad.data();
       for (std::size_t i = 0; i < count; ++i) {
-        ti->grad[i] += dX(ti->data[i], self.data[i], self.grad[i]);
+        g[i] += dX(in[i], fo[i], gs[i]);
       }
     });
   }
@@ -107,10 +117,10 @@ Tensor addBias(const Tensor& matrix, const Tensor& bias) {
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pb = bias.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(r * cols + c)] =
-          pm[r * cols + c] + pb[c];
+      po[r * cols + c] = pm[r * cols + c] + pb[c];
     }
   }
   if (tapeActive({&matrix, &bias})) {
@@ -120,10 +130,11 @@ Tensor addBias(const Tensor& matrix, const Tensor& bias) {
       if (mi->requiresGrad) detail::accumulate(mi, self.grad);
       if (bi->requiresGrad) {
         bi->ensureGrad();
+        float* g = bi->grad.data();
+        const float* gs = self.grad.data();
         for (std::int64_t r = 0; r < rows; ++r) {
           for (std::int64_t c = 0; c < cols; ++c) {
-            bi->grad[static_cast<std::size_t>(c)] +=
-                self.grad[static_cast<std::size_t>(r * cols + c)];
+            g[c] += gs[r * cols + c];
           }
         }
       }
@@ -142,10 +153,10 @@ Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pv = colVec.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(r * cols + c)] =
-          pm[r * cols + c] + pv[r];
+      po[r * cols + c] = pm[r * cols + c] + pv[r];
     }
   }
   if (tapeActive({&matrix, &colVec})) {
@@ -156,12 +167,14 @@ Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
                  if (mi->requiresGrad) detail::accumulate(mi, self.grad);
                  if (vi->requiresGrad) {
                    vi->ensureGrad();
+                   float* g = vi->grad.data();
+                   const float* gs = self.grad.data();
                    for (std::int64_t r = 0; r < rows; ++r) {
                      float acc = 0.0f;
                      for (std::int64_t c = 0; c < cols; ++c) {
-                       acc += self.grad[static_cast<std::size_t>(r * cols + c)];
+                       acc += gs[r * cols + c];
                      }
-                     vi->grad[static_cast<std::size_t>(r)] += acc;
+                     g[r] += acc;
                    }
                  }
                });
@@ -179,10 +192,10 @@ Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pv = colVec.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(r * cols + c)] =
-          pm[r * cols + c] * pv[r];
+      po[r * cols + c] = pm[r * cols + c] * pv[r];
     }
   }
   if (tapeActive({&matrix, &colVec})) {
@@ -190,26 +203,27 @@ Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
     auto vi = colVec.impl();
     attachTape(out, {&matrix, &colVec},
                [mi, vi, rows, cols](TensorImpl& self) {
+                 const float* gs = self.grad.data();
                  if (mi->requiresGrad) {
                    mi->ensureGrad();
+                   float* g = mi->grad.data();
+                   const float* v = vi->data.data();
                    for (std::int64_t r = 0; r < rows; ++r) {
                      for (std::int64_t c = 0; c < cols; ++c) {
-                       mi->grad[static_cast<std::size_t>(r * cols + c)] +=
-                           self.grad[static_cast<std::size_t>(r * cols + c)] *
-                           vi->data[static_cast<std::size_t>(r)];
+                       g[r * cols + c] += gs[r * cols + c] * v[r];
                      }
                    }
                  }
                  if (vi->requiresGrad) {
                    vi->ensureGrad();
+                   float* g = vi->grad.data();
+                   const float* pm = mi->data.data();
                    for (std::int64_t r = 0; r < rows; ++r) {
                      float acc = 0.0f;
                      for (std::int64_t c = 0; c < cols; ++c) {
-                       acc += self.grad[static_cast<std::size_t>(r * cols +
-                                                                 c)] *
-                              mi->data[static_cast<std::size_t>(r * cols + c)];
+                       acc += gs[r * cols + c] * pm[r * cols + c];
                      }
-                     vi->grad[static_cast<std::size_t>(r)] += acc;
+                     g[r] += acc;
                    }
                  }
                });
@@ -224,19 +238,21 @@ Tensor repeatRows(const Tensor& row, std::int64_t n) {
   const std::int64_t cols = row.dim(1);
   auto out = makeOut({n, cols});
   const float* p = row.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < n; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(r * cols + c)] = p[c];
+      po[r * cols + c] = p[c];
     }
   }
   if (tapeActive({&row})) {
     auto ri = row.impl();
     attachTape(out, {&row}, [ri, n, cols](TensorImpl& self) {
       ri->ensureGrad();
+      float* g = ri->grad.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < n; ++r) {
         for (std::int64_t c = 0; c < cols; ++c) {
-          ri->grad[static_cast<std::size_t>(c)] +=
-              self.grad[static_cast<std::size_t>(r * cols + c)];
+          g[c] += gs[r * cols + c];
         }
       }
     });

@@ -17,23 +17,25 @@ Tensor indexSelect0(const Tensor& t, const std::vector<std::int64_t>& index) {
   const std::int64_t outRows = static_cast<std::int64_t>(index.size());
   auto out = makeOut({outRows, cols});
   const float* p = t.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < outRows; ++r) {
     const std::int64_t src = index[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(src >= 0 && src < rows,
                    "indexSelect0: index " << src << " out of " << rows);
-    std::memcpy(out->data.data() + r * cols, p + src * cols,
+    std::memcpy(po + r * cols, p + src * cols,
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, index, cols](TensorImpl& self) {
       ti->ensureGrad();
+      float* g = ti->grad.data();
+      const float* gs = self.grad.data();
       const std::int64_t outCount = static_cast<std::int64_t>(index.size());
       for (std::int64_t r = 0; r < outCount; ++r) {
         const std::int64_t dst = index[static_cast<std::size_t>(r)];
         for (std::int64_t c = 0; c < cols; ++c) {
-          ti->grad[static_cast<std::size_t>(dst * cols + c)] +=
-              self.grad[static_cast<std::size_t>(r * cols + c)];
+          g[dst * cols + c] += gs[r * cols + c];
         }
       }
     });
@@ -52,6 +54,7 @@ Tensor gatherRowsMulti(
   }
   const std::int64_t outRows = static_cast<std::int64_t>(index.size());
   auto out = makeOut({outRows, cols});
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < outRows; ++r) {
     const auto [ord, row] = index[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(ord >= 0 && ord < static_cast<std::int32_t>(mats.size()),
@@ -59,7 +62,7 @@ Tensor gatherRowsMulti(
     const Tensor& m = mats[static_cast<std::size_t>(ord)];
     DAGT_CHECK_MSG(row >= 0 && row < m.dim(0),
                    "gatherRowsMulti: row " << row << " out of " << m.dim(0));
-    std::memcpy(out->data.data() + r * cols, m.data() + row * cols,
+    std::memcpy(po + r * cols, m.data() + row * cols,
                 static_cast<std::size_t>(cols) * sizeof(float));
   }
 
@@ -74,15 +77,16 @@ Tensor gatherRowsMulti(
       if (m.requiresGrad()) out->parents.push_back(m.impl());
     }
     out->backwardFn = [impls, index, cols](TensorImpl& self) {
+      const float* gs = self.grad.data();
       const std::int64_t outCount = static_cast<std::int64_t>(index.size());
       for (std::int64_t r = 0; r < outCount; ++r) {
         const auto [ord, row] = index[static_cast<std::size_t>(r)];
         auto& impl = impls[static_cast<std::size_t>(ord)];
         if (!impl->requiresGrad) continue;
         impl->ensureGrad();
+        float* g = impl->grad.data();
         for (std::int64_t c = 0; c < cols; ++c) {
-          impl->grad[static_cast<std::size_t>(row * cols + c)] +=
-              self.grad[static_cast<std::size_t>(r * cols + c)];
+          g[row * cols + c] += gs[r * cols + c];
         }
       }
     };
@@ -99,25 +103,27 @@ Tensor segmentSum(const Tensor& src, const std::vector<std::int64_t>& segment,
                  "segmentSum: segment size mismatch");
   auto out = makeOut({numSegments, cols});
   const float* p = src.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     const std::int64_t s = segment[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(s >= 0 && s < numSegments,
                    "segmentSum: segment " << s << " out of " << numSegments);
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(s * cols + c)] += p[r * cols + c];
+      po[s * cols + c] += p[r * cols + c];
     }
   }
   if (tapeActive({&src})) {
     auto si = src.impl();
     attachTape(out, {&src}, [si, segment, cols](TensorImpl& self) {
       si->ensureGrad();
+      float* g = si->grad.data();
+      const float* gs = self.grad.data();
       const std::int64_t rowCount =
           static_cast<std::int64_t>(segment.size());
       for (std::int64_t r = 0; r < rowCount; ++r) {
         const std::int64_t s = segment[static_cast<std::size_t>(r)];
         for (std::int64_t c = 0; c < cols; ++c) {
-          si->grad[static_cast<std::size_t>(r * cols + c)] +=
-              self.grad[static_cast<std::size_t>(s * cols + c)];
+          g[r * cols + c] += gs[s * cols + c];
         }
       }
     });
@@ -139,6 +145,7 @@ Tensor segmentMax(const Tensor& src, const std::vector<std::int64_t>& segment,
   std::fill(out->data.begin(), out->data.end(),
             -std::numeric_limits<float>::infinity());
   const float* p = src.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     const std::int64_t s = segment[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(s >= 0 && s < numSegments,
@@ -146,28 +153,29 @@ Tensor segmentMax(const Tensor& src, const std::vector<std::int64_t>& segment,
     for (std::int64_t c = 0; c < cols; ++c) {
       const float v = p[r * cols + c];
       const std::size_t o = static_cast<std::size_t>(s * cols + c);
-      if (v > out->data[o]) {
-        out->data[o] = v;
+      if (v > po[o]) {
+        po[o] = v;
         (*argmax)[o] = r;
       }
     }
   }
   // Empty segments: -inf would poison downstream math; define them as 0.
   for (std::size_t i = 0; i < out->data.size(); ++i) {
-    if ((*argmax)[i] < 0) out->data[i] = 0.0f;
+    if ((*argmax)[i] < 0) po[i] = 0.0f;
   }
   if (tapeActive({&src})) {
     auto si = src.impl();
     attachTape(out, {&src}, [si, argmax, cols](TensorImpl& self) {
       si->ensureGrad();
+      float* g = si->grad.data();
+      const float* gs = self.grad.data();
       const std::int64_t outCount =
           static_cast<std::int64_t>(self.data.size());
       for (std::int64_t i = 0; i < outCount; ++i) {
         const std::int64_t r = (*argmax)[static_cast<std::size_t>(i)];
         if (r < 0) continue;
         const std::int64_t c = i % cols;
-        si->grad[static_cast<std::size_t>(r * cols + c)] +=
-            self.grad[static_cast<std::size_t>(i)];
+        g[r * cols + c] += gs[i];
       }
     });
   }

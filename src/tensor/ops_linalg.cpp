@@ -29,18 +29,20 @@ void gemmAcc(const float* a, const float* b, float* c, std::int64_t n,
 /// C[n,m] += A^T where A is [k,n]: C = A^T * B, A [k,n], B [k,m].
 void gemmTransAAcc(const float* a, const float* b, float* c, std::int64_t k,
                    std::int64_t n, std::int64_t m) {
-  // Serial over k (accumulation across k rows would race under parallelFor
-  // on rows of C); n*m writes per k-row keep this cache-friendly.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * n;
-    const float* brow = b + p * m;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
+  // Parallel over rows of C, matching the other two GEMM kernels: each
+  // worker owns row i outright and accumulates its full sum over k, so
+  // there is no cross-thread write sharing. The column reads a[p*n + i]
+  // are strided, but the contiguous B-row reads and C-row writes dominate.
+  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const std::int64_t i = static_cast<std::int64_t>(row);
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * n + i];
       if (av == 0.0f) continue;
-      float* crow = c + i * m;
+      const float* brow = b + p * m;
       for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
-  }
+  }, /*grainSize=*/16);
 }
 
 /// C[n,k] += A[n,m] * B^T where B is [k,m].
@@ -95,19 +97,21 @@ Tensor transpose2d(const Tensor& t) {
   const std::int64_t cols = t.dim(1);
   auto out = makeOut({cols, rows});
   const float* p = t.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(c * rows + r)] = p[r * cols + c];
+      po[c * rows + r] = p[r * cols + c];
     }
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
       ti->ensureGrad();
+      float* g = ti->grad.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
         for (std::int64_t c = 0; c < cols; ++c) {
-          ti->grad[static_cast<std::size_t>(r * cols + c)] +=
-              self.grad[static_cast<std::size_t>(c * rows + r)];
+          g[r * cols + c] += gs[c * rows + r];
         }
       }
     });

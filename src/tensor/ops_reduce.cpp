@@ -39,19 +39,21 @@ Tensor sumDim0(const Tensor& t) {
   const std::int64_t cols = t.dim(1);
   auto out = makeOut({cols});
   const float* p = t.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      out->data[static_cast<std::size_t>(c)] += p[r * cols + c];
+      po[c] += p[r * cols + c];
     }
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
       ti->ensureGrad();
+      float* g = ti->grad.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
         for (std::int64_t c = 0; c < cols; ++c) {
-          ti->grad[static_cast<std::size_t>(r * cols + c)] +=
-              self.grad[static_cast<std::size_t>(c)];
+          g[r * cols + c] += gs[c];
         }
       }
     });
@@ -70,19 +72,22 @@ Tensor sumDim1(const Tensor& t) {
   const std::int64_t cols = t.dim(1);
   auto out = makeOut({rows});
   const float* p = t.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     double acc = 0.0;
     for (std::int64_t c = 0; c < cols; ++c) acc += p[r * cols + c];
-    out->data[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+    po[r] = static_cast<float>(acc);
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
       ti->ensureGrad();
+      float* gt = ti->grad.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float g = self.grad[static_cast<std::size_t>(r)];
+        const float g = gs[r];
         for (std::int64_t c = 0; c < cols; ++c) {
-          ti->grad[static_cast<std::size_t>(r * cols + c)] += g;
+          gt[r * cols + c] += g;
         }
       }
     });
@@ -104,6 +109,7 @@ Tensor logSumExpDim1(const Tensor& t) {
   const float* p = t.data();
   // Store the row softmax implicitly via recomputation in backward; the
   // forward keeps only the LSE values. Backward: d/dx_ij = softmax_ij * g_i.
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     float rowMax = p[r * cols];
     for (std::int64_t c = 1; c < cols; ++c) {
@@ -113,19 +119,22 @@ Tensor logSumExpDim1(const Tensor& t) {
     for (std::int64_t c = 0; c < cols; ++c) {
       acc += std::exp(static_cast<double>(p[r * cols + c] - rowMax));
     }
-    out->data[static_cast<std::size_t>(r)] =
-        rowMax + static_cast<float>(std::log(acc));
+    po[r] = rowMax + static_cast<float>(std::log(acc));
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
       ti->ensureGrad();
+      const float* in = ti->data.data();
+      float* gt = ti->grad.data();
+      const float* fo = self.data.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float lse = self.data[static_cast<std::size_t>(r)];
-        const float g = self.grad[static_cast<std::size_t>(r)];
+        const float lse = fo[r];
+        const float g = gs[r];
         for (std::int64_t c = 0; c < cols; ++c) {
-          const float soft = std::exp(ti->data[r * cols + c] - lse);
-          ti->grad[static_cast<std::size_t>(r * cols + c)] += g * soft;
+          const float soft = std::exp(in[r * cols + c] - lse);
+          gt[r * cols + c] += g * soft;
         }
       }
     });

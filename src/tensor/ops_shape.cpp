@@ -7,14 +7,18 @@ namespace dagt::tensor {
 
 using detail::attachTape;
 using detail::makeOut;
+using detail::makeView;
 using detail::tapeActive;
 
-Tensor reshape(const Tensor& t, const Shape& shape) {
-  DAGT_CHECK_MSG(numelOf(shape) == t.numel(),
-                 "reshape: numel mismatch " << numelOf(shape) << " vs "
-                                            << t.numel());
-  auto out = makeOut(shape);
-  out->data = t.impl()->data;
+namespace {
+
+/// Zero-copy alias of t covering its whole buffer under a new shape.
+/// Grad scatter: the view owns a dense gradient in its local index space,
+/// which coincides elementwise with the base's, so backward is a plain
+/// accumulate into the base (which in turn scatters if it is itself a
+/// view).
+Tensor wholeView(const Tensor& t, Shape shape) {
+  auto out = makeView(std::move(shape), t.impl()->data, 0);
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti](TensorImpl& self) {
@@ -22,6 +26,20 @@ Tensor reshape(const Tensor& t, const Shape& shape) {
     });
   }
   return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor reshape(const Tensor& t, const Shape& shape) {
+  DAGT_CHECK_MSG(numelOf(shape) == t.numel(),
+                 "reshape: numel mismatch " << numelOf(shape) << " vs "
+                                            << t.numel());
+  return wholeView(t, shape);
+}
+
+Tensor flattenView(const Tensor& t) {
+  DAGT_CHECK(t.defined());
+  return wholeView(t, {t.numel()});
 }
 
 Tensor concat0(const std::vector<Tensor>& parts) {
@@ -43,10 +61,11 @@ Tensor concat0(const std::vector<Tensor>& parts) {
   Shape outShape = restShape;
   outShape[0] = totalRows;
   auto out = makeOut(outShape);
+  float* po = out->data.data();
   std::int64_t offset = 0;
   for (const auto& p : parts) {
     const std::int64_t count = p.dim(0) * rowNumel;
-    std::memcpy(out->data.data() + offset, p.data(),
+    std::memcpy(po + offset, p.data(),
                 static_cast<std::size_t>(count) * sizeof(float));
     offset += count;
   }
@@ -62,14 +81,15 @@ Tensor concat0(const std::vector<Tensor>& parts) {
       if (p.requiresGrad()) out->parents.push_back(p.impl());
     }
     out->backwardFn = [impls, rowNumel](TensorImpl& self) {
+      const float* gs = self.grad.data();
       std::int64_t off = 0;
       for (const auto& impl : impls) {
         const std::int64_t count = impl->shape[0] * rowNumel;
         if (impl->requiresGrad) {
           impl->ensureGrad();
+          float* g = impl->grad.data();
           for (std::int64_t i = 0; i < count; ++i) {
-            impl->grad[static_cast<std::size_t>(i)] +=
-                self.grad[static_cast<std::size_t>(off + i)];
+            g[i] += gs[off + i];
           }
         }
         off += count;
@@ -89,13 +109,14 @@ Tensor concat1(const std::vector<Tensor>& parts) {
     totalCols += p.dim(1);
   }
   auto out = makeOut({rows, totalCols});
+  float* po = out->data.data();
   std::int64_t colOffset = 0;
   for (const auto& p : parts) {
     const std::int64_t cols = p.dim(1);
     const float* src = p.data();
     for (std::int64_t r = 0; r < rows; ++r) {
-      std::memcpy(out->data.data() + r * totalCols + colOffset,
-                  src + r * cols, static_cast<std::size_t>(cols) * sizeof(float));
+      std::memcpy(po + r * totalCols + colOffset, src + r * cols,
+                  static_cast<std::size_t>(cols) * sizeof(float));
     }
     colOffset += cols;
   }
@@ -111,16 +132,16 @@ Tensor concat1(const std::vector<Tensor>& parts) {
       if (p.requiresGrad()) out->parents.push_back(p.impl());
     }
     out->backwardFn = [impls, rows, totalCols](TensorImpl& self) {
+      const float* gs = self.grad.data();
       std::int64_t colOff = 0;
       for (const auto& impl : impls) {
         const std::int64_t cols = impl->shape[1];
         if (impl->requiresGrad) {
           impl->ensureGrad();
+          float* g = impl->grad.data();
           for (std::int64_t r = 0; r < rows; ++r) {
             for (std::int64_t c = 0; c < cols; ++c) {
-              impl->grad[static_cast<std::size_t>(r * cols + c)] +=
-                  self.grad[static_cast<std::size_t>(r * totalCols + colOff +
-                                                     c)];
+              g[r * cols + c] += gs[r * totalCols + colOff + c];
             }
           }
         }
@@ -140,18 +161,20 @@ Tensor sliceCols(const Tensor& t, std::int64_t begin, std::int64_t end) {
   const std::int64_t width = end - begin;
   auto out = makeOut({rows, width});
   const float* p = t.data();
+  float* po = out->data.data();
   for (std::int64_t r = 0; r < rows; ++r) {
-    std::memcpy(out->data.data() + r * width, p + r * cols + begin,
+    std::memcpy(po + r * width, p + r * cols + begin,
                 static_cast<std::size_t>(width) * sizeof(float));
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols, begin, width](TensorImpl& self) {
       ti->ensureGrad();
+      float* g = ti->grad.data();
+      const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
         for (std::int64_t c = 0; c < width; ++c) {
-          ti->grad[static_cast<std::size_t>(r * cols + begin + c)] +=
-              self.grad[static_cast<std::size_t>(r * width + c)];
+          g[r * cols + begin + c] += gs[r * width + c];
         }
       }
     });
@@ -168,19 +191,21 @@ Tensor sliceRows(const Tensor& t, std::int64_t begin, std::int64_t end) {
   for (int d = 1; d < t.ndim(); ++d) rowNumel *= t.dim(d);
   Shape outShape = t.shape();
   outShape[0] = end - begin;
-  auto out = makeOut(outShape);
-  std::memcpy(out->data.data(), t.data() + begin * rowNumel,
-              static_cast<std::size_t>((end - begin) * rowNumel) *
-                  sizeof(float));
+  // Rows are contiguous in row-major storage, so the slice is an O(1)
+  // alias at offset begin * rowNumel; backward scatters the view's dense
+  // grad into the matching run of the base's grad.
+  auto out = makeView(std::move(outShape), t.impl()->data,
+                      static_cast<std::size_t>(begin * rowNumel));
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, begin, rowNumel](TensorImpl& self) {
       ti->ensureGrad();
+      float* g = ti->grad.data() + begin * rowNumel;
+      const float* gs = self.grad.data();
       const std::int64_t count =
           static_cast<std::int64_t>(self.data.size());
       for (std::int64_t i = 0; i < count; ++i) {
-        ti->grad[static_cast<std::size_t>(begin * rowNumel + i)] +=
-            self.grad[static_cast<std::size_t>(i)];
+        g[i] += gs[i];
       }
     });
   }

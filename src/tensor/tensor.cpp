@@ -17,7 +17,7 @@ std::int64_t numelOf(const Shape& shape) {
 }
 
 void TensorImpl::ensureGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  if (grad.empty()) grad = Storage::zeros(data.size());
 }
 
 namespace {
@@ -27,7 +27,7 @@ thread_local bool gGradEnabled = true;
 std::shared_ptr<TensorImpl> makeImpl(const Shape& shape, bool requiresGrad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<std::size_t>(numelOf(shape)), 0.0f);
+  impl->data = Storage::zeros(static_cast<std::size_t>(numelOf(shape)));
   impl->requiresGrad = requiresGrad;
   return impl;
 }
@@ -59,7 +59,7 @@ Tensor Tensor::fromVector(const Shape& shape, std::vector<float> values,
                                 << numelOf(shape));
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data = std::move(values);
+  impl->data = Storage::adopt(std::move(values));
   impl->requiresGrad = requiresGrad;
   return Tensor(std::move(impl));
 }
@@ -133,7 +133,7 @@ float Tensor::at(std::int64_t row, std::int64_t col) const {
 
 std::vector<float> Tensor::toVector() const {
   DAGT_CHECK(defined());
-  return impl_->data;
+  return std::vector<float>(impl_->data.begin(), impl_->data.end());
 }
 
 bool Tensor::requiresGrad() const {
@@ -149,7 +149,9 @@ void Tensor::setRequiresGrad(bool value) {
 Tensor Tensor::grad() const {
   DAGT_CHECK(defined());
   if (impl_->grad.empty()) return {};
-  return Tensor::fromVector(impl_->shape, impl_->grad);
+  return Tensor::fromVector(
+      impl_->shape,
+      std::vector<float>(impl_->grad.begin(), impl_->grad.end()));
 }
 
 void Tensor::zeroGrad() {
@@ -192,11 +194,24 @@ Tensor Tensor::detach() const {
   DAGT_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // shared values not needed; copy keeps it simple
+  impl->data = impl_->data;  // Storage copy = O(1) alias of the same bytes
   impl->requiresGrad = false;
   return Tensor(std::move(impl));
 }
 
-Tensor Tensor::clone() const { return detach(); }
+Tensor Tensor::clone() const {
+  DAGT_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = Storage::allocate(impl_->data.size());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
+  impl->requiresGrad = false;
+  return Tensor(std::move(impl));
+}
+
+bool Tensor::sharesStorageWith(const Tensor& other) const {
+  DAGT_CHECK(defined() && other.defined());
+  return impl_->data.aliases(other.impl_->data);
+}
 
 }  // namespace dagt::tensor

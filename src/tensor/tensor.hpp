@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "tensor/storage.hpp"
 
 namespace dagt::tensor {
 
@@ -73,10 +74,14 @@ class Tensor {
   void zeroGrad();
   /// Backpropagate from this scalar tensor (numel() must be 1).
   void backward();
-  /// Same values, detached from the autograd graph.
+  /// Same storage, detached from the autograd graph: an O(1) alias that
+  /// shares bytes with this tensor (writes through either are visible in
+  /// both). Use clone() for an independent copy.
   Tensor detach() const;
-  /// Deep copy of values (detached).
+  /// Deep copy of values (detached, freshly allocated).
   Tensor clone() const;
+  /// True when both tensors alias the same underlying buffer.
+  bool sharesStorageWith(const Tensor& other) const;
 
   /// Internal: shared implementation pointer (used by ops.hpp).
   const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
@@ -87,11 +92,16 @@ class Tensor {
 };
 
 /// Implementation node: storage plus the autograd tape edge that produced it.
+///
+/// `data` is a Storage view — zero-copy ops (reshape / sliceRows / detach /
+/// flattenView) make it an alias into another node's buffer. `grad` is
+/// never aliased: each node owns a dense gradient in its local index
+/// space, and a view's backward closure scatters it into its base.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  Storage data;
   bool requiresGrad = false;
-  std::vector<float> grad;  // empty until first accumulation
+  Storage grad;  // unallocated until first accumulation
   std::vector<std::shared_ptr<TensorImpl>> parents;
   /// Accumulates this node's grad into its parents' grads.
   std::function<void(TensorImpl&)> backwardFn;

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dagt::tensor {
@@ -321,6 +322,144 @@ TEST(Ops, GradMaxPoolAndGlobalAvg) {
   gradCheck(x, [&] { return sumAll(square(globalAvgPool(x))); });
   EXPECT_EQ(maxPool2d(x).shape(), (Shape{2, 3, 2, 2}));
   EXPECT_EQ(globalAvgPool(x).shape(), (Shape{2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy views: aliasing semantics and gradient scatter
+// ---------------------------------------------------------------------------
+
+TEST(Views, ReshapeSliceDetachShareStorage) {
+  Tensor a = Tensor::fromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = reshape(a, {3, 2});
+  EXPECT_TRUE(r.sharesStorageWith(a));
+  EXPECT_EQ(r.data(), a.data());  // whole-buffer view: same pointer
+  a.data()[0] = 42.0f;            // writes through the base...
+  EXPECT_FLOAT_EQ(r.data()[0], 42.0f);  // ...are visible in the view
+  r.data()[5] = -1.0f;            // and vice versa
+  EXPECT_FLOAT_EQ(a.at(1, 2), -1.0f);
+
+  Tensor s = sliceRows(a, 1, 2);  // contiguous row run at offset 3
+  EXPECT_TRUE(s.sharesStorageWith(a));
+  EXPECT_EQ(s.data(), a.data() + 3);
+  EXPECT_FLOAT_EQ(s.at(0, 2), -1.0f);
+
+  Tensor f = flattenView(s);
+  EXPECT_TRUE(f.sharesStorageWith(a));
+  EXPECT_EQ(f.data(), s.data());
+  EXPECT_EQ(f.numel(), 3);
+
+  Tensor d = a.detach();          // O(1) alias without the tape
+  EXPECT_TRUE(d.sharesStorageWith(a));
+  EXPECT_FALSE(d.requiresGrad());
+
+  Tensor c = a.clone();           // the deep copy lives here now
+  EXPECT_FALSE(c.sharesStorageWith(a));
+  c.data()[0] = 7.0f;
+  EXPECT_FLOAT_EQ(a.data()[0], 42.0f);
+}
+
+TEST(Views, SliceGradScattersAtOffset) {
+  Tensor x = Tensor::fromVector({4}, {1, 2, 3, 4}, /*requiresGrad=*/true);
+  Tensor head = sliceRows(x, 0, 2);
+  Tensor tail = sliceRows(x, 2, 4);
+  Tensor loss = sumAll(add(mulScalar(head, 2.0f), mulScalar(tail, 3.0f)));
+  loss.backward();
+  const Tensor g = x.grad();
+  EXPECT_FLOAT_EQ(g.data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(g.data()[1], 2.0f);
+  EXPECT_FLOAT_EQ(g.data()[2], 3.0f);
+  EXPECT_FLOAT_EQ(g.data()[3], 3.0f);
+}
+
+TEST(Views, ReshapeGradMatchesBaseLayout) {
+  Tensor x = Tensor::fromVector({2, 2}, {1, 1, 1, 1}, /*requiresGrad=*/true);
+  Tensor r = flattenView(x);
+  Tensor weights = Tensor::fromVector({4}, {1, 2, 3, 4});
+  Tensor loss = sumAll(mul(r, weights));
+  loss.backward();
+  const Tensor g = x.grad();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(g.data()[i], static_cast<float>(i + 1));
+  }
+}
+
+TEST(Views, GradCheckThroughViewChain) {
+  // reshape -> sliceRows -> flattenView, all O(1) aliases of x's buffer:
+  // backward must scatter level-by-level back into x's (dense) grad.
+  Rng rng = testRng(29);
+  Tensor x = Tensor::randn({4, 6}, rng, 1.0f, true);
+  gradCheck(x, [&] {
+    Tensor r = reshape(x, {6, 4});
+    Tensor s = sliceRows(r, 1, 5);
+    Tensor f = flattenView(s);
+    return sumAll(square(f));
+  });
+}
+
+TEST(Views, ViewsAreConstantTime) {
+  // A view of a large tensor must not touch the payload: its data pointer
+  // is the base's (plus offset), not a fresh buffer.
+  Tensor big = Tensor::zeros({1 << 12, 64});
+  Tensor r = reshape(big, {1 << 13, 32});
+  Tensor s = sliceRows(big, 100, 200);
+  Tensor f = flattenView(big);
+  EXPECT_EQ(r.data(), big.data());
+  EXPECT_EQ(s.data(), big.data() + 100 * 64);
+  EXPECT_EQ(f.data(), big.data());
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool and workspace recycling
+// ---------------------------------------------------------------------------
+
+TEST(Pool, WorkspaceCachesAndDrainsToGlobalPool) {
+  BufferPool::global().trim();
+  BufferPool::global().resetStats();
+  {
+    Workspace ws;
+    { Storage s = Storage::allocate(100); (void)s; }  // heap alloc, parked
+    EXPECT_EQ(ws.cachedBuffers(), 1u);
+    { Storage s = Storage::allocate(100); (void)s; }  // same bucket: cached
+    EXPECT_EQ(BufferPool::global().stats().workspaceReuses, 1u);
+    EXPECT_EQ(BufferPool::global().stats().heapAllocs, 1u);
+  }
+  // Workspace destruction drains its cache into the global free lists.
+  { Storage s = Storage::allocate(100); (void)s; }
+  EXPECT_EQ(BufferPool::global().stats().poolReuses, 1u);
+  EXPECT_EQ(BufferPool::global().stats().heapAllocs, 1u);
+}
+
+TEST(Pool, SteadyStateForwardIsAllocationFree) {
+  Rng rng = testRng(91);
+  Tensor x = Tensor::randn({8, 16}, rng, 1.0f, false);
+  Tensor w = Tensor::randn({16, 16}, rng, 1.0f, false);
+  auto run = [&] {
+    NoGradGuard guard;
+    return sumAll(tanhOp(matmul(x, w))).item();
+  };
+  Workspace workspace;
+  const float first = run();  // warm-up populates the workspace cache
+  BufferPool::global().resetStats();
+  const float second = run();
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_GT(stats.acquisitions(), 0u);
+  EXPECT_EQ(stats.heapAllocs, 0u);  // every temporary came from the cache
+  EXPECT_GT(stats.workspaceReuses, 0u);
+  // Pooled buffers are zero-filled on acquire, so reuse is bit-exact.
+  EXPECT_EQ(first, second);
+}
+
+TEST(Pool, ReuseIsBitDeterministic) {
+  Rng rng = testRng(92);
+  Tensor x = Tensor::randn({5, 7}, rng, 1.0f, false);
+  Workspace workspace;
+  NoGradGuard guard;
+  const Tensor reference = tanhOp(matmul(x, transpose2d(x)));
+  std::vector<float> want = reference.toVector();
+  for (int iter = 0; iter < 16; ++iter) {
+    const Tensor got = tanhOp(matmul(x, transpose2d(x)));
+    ASSERT_EQ(got.toVector(), want) << "iteration " << iter;
+  }
 }
 
 TEST(Ops, NoGradGuardSuppressesTape) {

@@ -185,6 +185,76 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GradSweep,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
 
 // ---------------------------------------------------------------------------
+// Zero-copy view chains: aliasing + gradcheck over a shape grid
+// ---------------------------------------------------------------------------
+
+struct ViewCase {
+  std::int64_t rows, cols;
+  std::int64_t begin, end;  // row-slice of the reshaped [cols, rows] view
+};
+
+class ViewChainProperty : public ::testing::TestWithParam<ViewCase> {};
+
+TEST_P(ViewChainProperty, ChainAliasesBaseStorage) {
+  const auto [rows, cols, begin, end] = GetParam();
+  Rng rng(rows * 13 + cols);
+  Tensor x = Tensor::randn({rows, cols}, rng);
+  Tensor r = reshape(x, {cols, rows});
+  Tensor s = sliceRows(r, begin, end);
+  Tensor f = flattenView(s);
+  EXPECT_TRUE(r.sharesStorageWith(x));
+  EXPECT_TRUE(s.sharesStorageWith(x));
+  EXPECT_TRUE(f.sharesStorageWith(x));
+  EXPECT_EQ(f.data(), x.data() + begin * rows);
+  // Writing the base shows through the whole chain.
+  x.data()[begin * rows] = 123.0f;
+  EXPECT_FLOAT_EQ(f.data()[0], 123.0f);
+}
+
+TEST_P(ViewChainProperty, GradcheckThroughChain) {
+  const auto [rows, cols, begin, end] = GetParam();
+  Rng rng(rows * 17 + cols * 3);
+  Tensor x = Tensor::randn({rows, cols}, rng, 0.6f, true);
+
+  auto loss = [&] {
+    const Tensor r = reshape(x, {cols, rows});
+    const Tensor s = sliceRows(r, begin, end);
+    return sumAll(square(flattenView(s)));
+  };
+  x.zeroGrad();
+  Tensor l = loss();
+  l.backward();
+  const Tensor analytic = x.grad();
+  ASSERT_TRUE(analytic.defined());
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.data()[i];
+    x.data()[i] = saved + eps;
+    const float up = loss().item();
+    x.data()[i] = saved - eps;
+    const float down = loss().item();
+    x.data()[i] = saved;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                2e-2f * std::max(1.0f, std::abs(numeric)))
+        << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, ViewChainProperty,
+    ::testing::Values(ViewCase{2, 3, 0, 2}, ViewCase{3, 4, 1, 3},
+                      ViewCase{4, 6, 1, 5}, ViewCase{8, 2, 0, 1},
+                      ViewCase{5, 5, 2, 5}),
+    [](const auto& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols) + "_s" +
+             std::to_string(info.param.begin) +
+             std::to_string(info.param.end);
+    });
+
+// ---------------------------------------------------------------------------
 // Segment / gather identities
 // ---------------------------------------------------------------------------
 
