@@ -1,8 +1,23 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+/// DAGT_CHECKS selects the runtime-contract level of the DAGT_DCHECK*
+/// macros below. The build system passes it explicitly (see the DAGT_CHECKS
+/// cache variable in the top-level CMakeLists.txt); without a definition it
+/// follows NDEBUG, so header-only consumers get checks exactly in debug
+/// builds. DAGT_CHECK / DAGT_CHECK_MSG are unconditional at every level —
+/// they guard API boundaries, not internal invariants.
+#ifndef DAGT_CHECKS
+#ifdef NDEBUG
+#define DAGT_CHECKS 0
+#else
+#define DAGT_CHECKS 1
+#endif
+#endif
 
 namespace dagt {
 
@@ -23,6 +38,21 @@ namespace detail {
   os << "check failed: " << cond << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw CheckError(os.str());
+}
+
+/// "[2, 3, 128]" for any iterable of integers (tensor shapes, dim lists).
+template <typename Dims>
+std::string formatDims(const Dims& dims) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const auto& d : dims) {
+    if (!first) os << ", ";
+    os << d;
+    first = false;
+  }
+  os << ']';
+  return os.str();
 }
 
 }  // namespace detail
@@ -47,3 +77,65 @@ namespace detail {
                                   dagt_check_os_.str());               \
     }                                                                  \
   } while (false)
+
+// -- Leveled contract checks -------------------------------------------------
+//
+// DAGT_DCHECK* document internal invariants that hold by construction when
+// the code is correct: view windows inside their storage, gradients never
+// aliasing the tensor they scatter into, pool buffers released exactly once,
+// coalesced serve batches agreeing on feature width. They throw CheckError
+// (same as DAGT_CHECK) when DAGT_CHECKS is 1 and compile to nothing when it
+// is 0 — the condition is never evaluated, so a disabled check costs zero
+// cycles on the hot path. Conditions must therefore be side-effect free.
+
+#if DAGT_CHECKS
+
+/// Debug-level invariant; compiled out when DAGT_CHECKS=0.
+#define DAGT_DCHECK(cond) DAGT_CHECK(cond)
+
+/// Debug-level invariant with a streamed message.
+#define DAGT_DCHECK_MSG(cond, streamed) DAGT_CHECK_MSG(cond, streamed)
+
+/// Debug-level equality of two dimension lists (tensor shapes, dim
+/// vectors); the failure message renders both sides.
+#define DAGT_DCHECK_SHAPE(a, b)                                        \
+  do {                                                                 \
+    if (!((a) == (b))) {                                               \
+      ::dagt::detail::checkFailed(                                     \
+          #a " == " #b, __FILE__, __LINE__,                            \
+          "shape mismatch: " + ::dagt::detail::formatDims(a) +         \
+              " vs " + ::dagt::detail::formatDims(b));                 \
+    }                                                                  \
+  } while (false)
+
+/// Debug-level pointer-alignment contract (align must be a power of two).
+#define DAGT_DCHECK_ALIGNED(ptr, align)                                \
+  do {                                                                 \
+    if ((reinterpret_cast<std::uintptr_t>(ptr) &                       \
+         (static_cast<std::uintptr_t>(align) - 1)) != 0) {             \
+      ::dagt::detail::checkFailed(#ptr " aligned to " #align,          \
+                                  __FILE__, __LINE__, "");             \
+    }                                                                  \
+  } while (false)
+
+#else  // DAGT_CHECKS == 0: type-check the operands, never evaluate them.
+
+#define DAGT_DCHECK(cond) \
+  do {                    \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+#define DAGT_DCHECK_MSG(cond, streamed) \
+  do {                                  \
+    (void)sizeof((cond) ? 1 : 0);       \
+  } while (false)
+#define DAGT_DCHECK_SHAPE(a, b)     \
+  do {                              \
+    (void)sizeof(((a) == (b)) ? 1 : 0); \
+  } while (false)
+#define DAGT_DCHECK_ALIGNED(ptr, align) \
+  do {                                  \
+    (void)sizeof(ptr);                  \
+    (void)sizeof(align);                \
+  } while (false)
+
+#endif  // DAGT_CHECKS

@@ -172,7 +172,7 @@ std::shared_ptr<const ServableDesign> FeatureService::fromFiles(
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.fingerprint == fingerprint) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.design;
     }
   }
@@ -197,7 +197,7 @@ std::shared_ptr<const ServableDesign> FeatureService::fromFiles(
 
   auto servable = build(std::move(nl), fileLib.node(), placement);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   cache_[key] = {std::move(fingerprint), servable};
   return servable;
 }
@@ -210,13 +210,13 @@ std::shared_ptr<const ServableDesign> FeatureService::fromNetlist(
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.fingerprint == revision) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.design;
     }
   }
   auto servable = build(std::move(netlist), node, placement);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   cache_[key] = {revision, servable};
   return servable;
 }

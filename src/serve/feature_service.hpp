@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -69,8 +70,12 @@ class FeatureService {
   /// Cached snapshot for a key, or nullptr if never prepared.
   std::shared_ptr<const ServableDesign> cached(const std::string& key) const;
 
-  std::uint64_t cacheHits() const { return hits_; }
-  std::uint64_t cacheMisses() const { return misses_; }
+  std::uint64_t cacheHits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cacheMisses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::shared_ptr<const ServableDesign> build(
@@ -87,9 +92,11 @@ class FeatureService {
     std::shared_ptr<const ServableDesign> design;
   };
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, CacheEntry> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::unordered_map<std::string, CacheEntry> cache_;  // GUARDED_BY(mutex_)
+  // Relaxed atomics, not guarded fields: cacheHits()/cacheMisses() are read
+  // from metrics snapshots concurrently with lookups on worker threads.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace dagt::serve

@@ -67,19 +67,16 @@ JsonValue MetricsSnapshot::toJson() const {
 }
 
 void ServeMetrics::recordRequests(std::uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  requests_ += count;
+  requests_.fetch_add(count, std::memory_order_relaxed);
 }
 
 void ServeMetrics::recordFullDesign() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++fullDesignRequests_;
+  fullDesignRequests_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServeMetrics::recordBatch(std::uint64_t coalescedSize) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  coalesced_ += coalescedSize;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(coalescedSize, std::memory_order_relaxed);
 }
 
 void ServeMetrics::recordLatencyUs(double us) {
@@ -92,16 +89,19 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
                                        const tensor::PoolStats& pool) const {
   MetricsSnapshot snap;
   snap.pool = pool;
+  // One relaxed load per counter: each is monotone, so the snapshot is a
+  // point-in-time lower bound per metric (no torn or decreasing values).
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.fullDesignRequests = fullDesignRequests_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  const std::uint64_t coalesced = coalesced_.load(std::memory_order_relaxed);
+  snap.meanBatchSize =
+      snap.batches == 0 ? 0.0
+                        : static_cast<double>(coalesced) /
+                              static_cast<double>(snap.batches);
   std::vector<float> sorted;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    snap.requests = requests_;
-    snap.fullDesignRequests = fullDesignRequests_;
-    snap.batches = batches_;
-    snap.meanBatchSize =
-        batches_ == 0 ? 0.0
-                      : static_cast<double>(coalesced_) /
-                            static_cast<double>(batches_);
     sorted = latenciesUs_;
   }
   snap.cacheHits = cacheHits;

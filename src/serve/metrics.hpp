@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -37,6 +38,12 @@ struct MetricsSnapshot {
 /// Thread-safe recorder behind a PredictionEngine. Latencies are kept in
 /// full (a float per request) — exact percentiles matter more at bench
 /// scale than the memory of a reservoir would save.
+///
+/// Counters are relaxed atomics: workers on the serve hot path increment
+/// without taking a lock, and each counter is monotone, so a snapshot that
+/// reads them individually is consistent enough for monitoring (it may sit
+/// between two increments of one batch, never see torn values). Only the
+/// latency samples need the mutex (vector growth is not atomic).
 class ServeMetrics {
  public:
   void recordRequests(std::uint64_t count);
@@ -51,12 +58,13 @@ class ServeMetrics {
                            const tensor::PoolStats& pool = {}) const;
 
  private:
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> fullDesignRequests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+
   mutable std::mutex mutex_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t fullDesignRequests_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::vector<float> latenciesUs_;
+  std::vector<float> latenciesUs_;  // GUARDED_BY(mutex_)
 };
 
 }  // namespace dagt::serve

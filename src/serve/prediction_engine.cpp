@@ -61,23 +61,25 @@ void PredictionEngine::shutdown() {
 
 void PredictionEngine::addBundle(ModelBundle bundle) {
   const int key = static_cast<int>(bundle.manifest().targetNode);
-  {
-    // Drop designs routed to a bundle being replaced.
-    std::lock_guard<std::mutex> lock(designsMutex_);
-    const auto existing = nodes_.find(key);
-    if (existing != nodes_.end()) {
-      for (auto it = designs_.begin(); it != designs_.end();) {
-        if (it->second.node == &existing->second) {
-          it = designs_.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      nodes_.erase(existing);
-    }
-  }
+  // Build the entry (FeatureService construction is expensive) before
+  // taking the registry lock; erase + emplace then swap atomically under
+  // it. Replacing a node's bundle must still not race in-flight queries on
+  // that node — their DesignRefs point into the erased NodeEntry.
   NodeEntry entry{std::move(bundle), nullptr};
   entry.features = std::make_unique<FeatureService>(entry.bundle.manifest());
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  const auto existing = nodes_.find(key);
+  if (existing != nodes_.end()) {
+    // Drop designs routed to the bundle being replaced.
+    for (auto it = designs_.begin(); it != designs_.end();) {
+      if (it->second.node == &existing->second) {
+        it = designs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    nodes_.erase(existing);
+  }
   nodes_.emplace(key, std::move(entry));
 }
 
@@ -86,6 +88,7 @@ void PredictionEngine::addBundleFromDir(const std::string& dir) {
 }
 
 std::vector<netlist::TechNode> PredictionEngine::nodes() const {
+  std::lock_guard<std::mutex> lock(designsMutex_);
   std::vector<netlist::TechNode> out;
   for (const auto& [key, entry] : nodes_) {
     out.push_back(static_cast<netlist::TechNode>(key));
@@ -96,6 +99,7 @@ std::vector<netlist::TechNode> PredictionEngine::nodes() const {
 
 const BundleManifest& PredictionEngine::manifest(
     netlist::TechNode node) const {
+  std::lock_guard<std::mutex> lock(designsMutex_);
   const auto it = nodes_.find(static_cast<int>(node));
   DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
                                          << netlist::techNodeName(node));
@@ -108,15 +112,20 @@ std::int64_t PredictionEngine::loadDesign(const std::string& key,
                                           const std::string& placementPath) {
   const auto fileLib = netlist::io::readLibraryFile(libraryPath);
   const int nodeKey = static_cast<int>(fileLib.node());
-  const auto it = nodes_.find(nodeKey);
-  DAGT_CHECK_MSG(it != nodes_.end(),
-                 "no bundle registered for "
-                     << netlist::techNodeName(fileLib.node())
-                     << " (the design's node)");
   DesignRef ref;
-  ref.node = &it->second;
-  ref.design = it->second.features->fromFiles(key, netlistPath, libraryPath,
-                                              placementPath);
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    const auto it = nodes_.find(nodeKey);
+    DAGT_CHECK_MSG(it != nodes_.end(),
+                   "no bundle registered for "
+                       << netlist::techNodeName(fileLib.node())
+                       << " (the design's node)");
+    ref.node = &it->second;
+  }
+  // Feature extraction runs unlocked (FeatureService is itself
+  // thread-safe); the NodeEntry pointer is stable across map inserts.
+  ref.design = ref.node->features->fromFiles(key, netlistPath, libraryPath,
+                                             placementPath);
   std::lock_guard<std::mutex> lock(designsMutex_);
   designs_[key] = ref;
   return ref.design->numEndpoints();
@@ -125,14 +134,17 @@ std::int64_t PredictionEngine::loadDesign(const std::string& key,
 std::int64_t PredictionEngine::loadDesign(
     const std::string& key, netlist::Netlist netlist, netlist::TechNode node,
     const place::PlacementResult& placement, const std::string& revision) {
-  const auto it = nodes_.find(static_cast<int>(node));
-  DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
-                                         << netlist::techNodeName(node));
   DesignRef ref;
-  ref.node = &it->second;
-  ref.design = it->second.features->fromNetlist(key, revision,
-                                                std::move(netlist), node,
-                                                placement);
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    const auto it = nodes_.find(static_cast<int>(node));
+    DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
+                                           << netlist::techNodeName(node));
+    ref.node = &it->second;
+  }
+  ref.design = ref.node->features->fromNetlist(key, revision,
+                                               std::move(netlist), node,
+                                               placement);
   std::lock_guard<std::mutex> lock(designsMutex_);
   designs_[key] = ref;
   return ref.design->numEndpoints();
@@ -202,11 +214,22 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
 
     std::vector<std::int64_t> combined;
     for (const auto& group : groups) {
+      // Coalescing contract: the batcher only merges groups that share the
+      // lead's design, so every group agrees on the feature layout.
+      DAGT_DCHECK_MSG(group.ref.design.get() == &design,
+                      "coalesced batch mixes designs");
       combined.insert(combined.end(), group.endpoints.begin(),
                       group.endpoints.end());
     }
     const core::DesignBatch batch =
         design.dataset->batchFor(design.data, combined);
+    // Batch-assembly contract: one masked image of the manifest's trained
+    // resolution per coalesced endpoint (feature-width agreement).
+    const std::int64_t res = ref.node->bundle.manifest().model.imageResolution;
+    DAGT_DCHECK_SHAPE(
+        batch.images.shape(),
+        tensor::Shape({static_cast<std::int64_t>(combined.size()), 3, res,
+                       res}));
 
     core::TimingModel& model = ref.node->bundle.model();
     tensor::Tensor predictionNs;
@@ -220,6 +243,11 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
       DAGT_CHECK_MSG(false, "unservable TimingModel subclass");
     }
 
+    DAGT_DCHECK_MSG(predictionNs.numel() ==
+                        static_cast<std::int64_t>(combined.size()),
+                    "model returned " << predictionNs.numel()
+                                      << " predictions for "
+                                      << combined.size() << " endpoints");
     const float* values = predictionNs.data();
     const auto now = std::chrono::steady_clock::now();
     std::size_t offset = 0;
@@ -301,9 +329,12 @@ void PredictionEngine::workerLoop() {
 MetricsSnapshot PredictionEngine::metrics() const {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  for (const auto& [key, entry] : nodes_) {
-    hits += entry.features->cacheHits();
-    misses += entry.features->cacheMisses();
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    for (const auto& [key, entry] : nodes_) {
+      hits += entry.features->cacheHits();
+      misses += entry.features->cacheMisses();
+    }
   }
   // Buffer-pool counters are process-wide (the pool is shared by every
   // engine and the trainer), which is the view an operator wants anyway.

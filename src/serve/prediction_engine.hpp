@@ -120,15 +120,20 @@ class PredictionEngine {
   void workerLoop();
 
   EngineConfig config_;
-  std::unordered_map<int, NodeEntry> nodes_;  // keyed by TechNode value
 
+  // designsMutex_ covers the registry: both the node -> bundle map and the
+  // design routing table (addBundle mutates both together). NodeEntry
+  // addresses are stable across inserts (unordered_map nodes don't move),
+  // so a DesignRef's NodeEntry* stays valid while the lock is dropped.
   mutable std::mutex designsMutex_;
-  std::unordered_map<std::string, DesignRef> designs_;
+  // GUARDED_BY(designsMutex_), keyed by TechNode value
+  std::unordered_map<int, NodeEntry> nodes_;
+  std::unordered_map<std::string, DesignRef> designs_;  // GUARDED_BY(designsMutex_)
 
   std::mutex queueMutex_;
   std::condition_variable queueCv_;
-  std::deque<RequestGroup> queue_;
-  bool stopping_ = false;
+  std::deque<RequestGroup> queue_;  // GUARDED_BY(queueMutex_)
+  bool stopping_ = false;           // GUARDED_BY(queueMutex_)
   std::vector<std::thread> workers_;
 
   ServeMetrics metrics_;

@@ -28,6 +28,7 @@ inline std::shared_ptr<TensorImpl> makeOut(Shape shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = Storage::zeros(static_cast<std::size_t>(numelOf(impl->shape)));
+  DAGT_DCHECK_ALIGNED(impl->data.data(), alignof(float));
   return impl;
 }
 
@@ -37,21 +38,31 @@ inline std::shared_ptr<TensorImpl> makeView(Shape shape, const Storage& base,
                                             std::size_t offset) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data =
-      base.view(offset, static_cast<std::size_t>(numelOf(impl->shape)));
+  const auto length = static_cast<std::size_t>(numelOf(impl->shape));
+  DAGT_DCHECK_MSG(offset + length <= base.size(),
+                  "view window [" << offset << ", " << offset + length
+                                  << ") escapes base storage of "
+                                  << base.size() << " elements");
+  impl->data = base.view(offset, length);
+  DAGT_DCHECK_ALIGNED(impl->data.data(), alignof(float));
   return impl;
 }
 
 /// Attach tape metadata: mark the output grad-requiring and register the
 /// grad-requiring inputs as parents for the topological sweep.
+///
+/// backwardFn is taken as a template parameter (not a type-erased function
+/// object parameter) so this header stays free of per-op callable wrappers;
+/// the one type erasure happens at the assignment into the tape node.
+template <typename BackwardFn>
 inline void attachTape(const std::shared_ptr<TensorImpl>& out,
                        std::initializer_list<const Tensor*> inputs,
-                       std::function<void(TensorImpl&)> backwardFn) {
+                       BackwardFn&& backwardFn) {
   out->requiresGrad = true;
   for (const Tensor* t : inputs) {
     if (t->defined() && t->requiresGrad()) out->parents.push_back(t->impl());
   }
-  out->backwardFn = std::move(backwardFn);
+  out->backwardFn = std::forward<BackwardFn>(backwardFn);
 }
 
 inline void checkSameShape(const Tensor& a, const Tensor& b,
@@ -64,6 +75,13 @@ inline void accumulate(const std::shared_ptr<TensorImpl>& dst,
                        const Storage& src) {
   dst->ensureGrad();
   DAGT_CHECK(dst->grad.size() == src.size());
+  // Grad-scatter contract: a view's gradient is dense in its own index
+  // space and must never alias the base's gradient (or its data) — the
+  // += below would otherwise read its own partial writes.
+  DAGT_DCHECK_MSG(!src.aliases(dst->grad),
+                  "grad scatter source aliases destination grad");
+  DAGT_DCHECK_MSG(!src.aliases(dst->data),
+                  "grad scatter source aliases destination data");
   float* g = dst->grad.data();
   const float* s = src.data();
   for (std::size_t i = 0; i < src.size(); ++i) g[i] += s[i];

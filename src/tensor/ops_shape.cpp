@@ -200,6 +200,8 @@ Tensor sliceRows(const Tensor& t, std::int64_t begin, std::int64_t end) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, begin, rowNumel](TensorImpl& self) {
       ti->ensureGrad();
+      DAGT_DCHECK_MSG(!self.grad.aliases(ti->grad),
+                      "sliceRows: view grad aliases base grad");
       float* g = ti->grad.data() + begin * rowNumel;
       const float* gs = self.grad.data();
       const std::int64_t count =

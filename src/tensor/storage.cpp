@@ -65,6 +65,11 @@ std::shared_ptr<Buffer> BufferPool::acquire(std::size_t n) {
     buffer = std::make_unique<Buffer>(cap, bucket);
     heapAllocs_.fetch_add(1, std::memory_order_relaxed);
   }
+  DAGT_DCHECK_MSG(buffer->bucket() == bucket,
+                  "pool handed out a buffer from bucket " << buffer->bucket()
+                                                          << " for request in "
+                                                          << bucket);
+  buffer->parked_ = false;  // live from here until the deleter releases it
   bytesOutstanding_.fetch_add(cap * sizeof(float), std::memory_order_relaxed);
 
   return std::shared_ptr<Buffer>(buffer.release(), [](Buffer* raw) {
@@ -72,7 +77,20 @@ std::shared_ptr<Buffer> BufferPool::acquire(std::size_t n) {
   });
 }
 
+void BufferPool::checkRelease(const Buffer& buffer) const {
+  DAGT_DCHECK_MSG(!buffer.parked(),
+                  "double release: buffer is already parked in the pool");
+  DAGT_DCHECK_MSG(buffer.bucket() >= 0 &&
+                      buffer.bucket() < static_cast<int>(kNumBuckets) &&
+                      buffer.capacity() == bucketCapacity(buffer.bucket()),
+                  "release of foreign buffer: bucket "
+                      << buffer.bucket() << ", capacity "
+                      << buffer.capacity());
+}
+
 void BufferPool::release(std::unique_ptr<Buffer> buffer) {
+  checkRelease(*buffer);
+  buffer->parked_ = true;
   const std::size_t bytes = buffer->capacity() * sizeof(float);
   released_.fetch_add(1, std::memory_order_relaxed);
   bytesOutstanding_.fetch_sub(bytes, std::memory_order_relaxed);
@@ -199,9 +217,12 @@ Storage Storage::adopt(std::vector<float> values) {
 }
 
 Storage Storage::view(std::size_t offset, std::size_t length) const {
-  DAGT_CHECK_MSG(offset + length <= size_,
-                 "storage view [" << offset << ", " << offset + length
-                                  << ") of " << size_ << " elements");
+  // Contract-level (DAGT_CHECKS): every caller derives the window from a
+  // shape whose numel it already validated, so this is an internal
+  // invariant, not an API boundary.
+  DAGT_DCHECK_MSG(offset + length <= size_,
+                  "storage view [" << offset << ", " << offset + length
+                                   << ") of " << size_ << " elements");
   Storage s;
   s.buffer_ = buffer_;
   s.offset_ = offset_ + offset;

@@ -24,10 +24,17 @@ class Buffer {
   const float* data() const { return values_.data(); }
   std::size_t capacity() const { return values_.size(); }
   int bucket() const { return bucket_; }
+  /// True while the buffer sits in a free list / workspace cache (i.e. is
+  /// not owned by any live Storage). Maintained by BufferPool to enforce
+  /// the single-release contract.
+  bool parked() const { return parked_; }
 
  private:
+  friend class BufferPool;
+
   std::vector<float> values_;
   int bucket_;  // free-list index in BufferPool; -1 = not poolable
+  bool parked_ = false;
 };
 
 /// Counters describing pool behaviour since the last resetStats().
@@ -53,6 +60,7 @@ struct PoolStats {
 };
 
 class Workspace;
+struct PoolContractTestPeer;
 
 /// Process-wide, thread-safe, size-bucketed recycler for tensor buffers.
 ///
@@ -84,9 +92,15 @@ class BufferPool {
 
  private:
   friend class Workspace;
+  friend struct PoolContractTestPeer;
 
   BufferPool() = default;
   void release(std::unique_ptr<Buffer> buffer);
+  /// Release contracts (DAGT_CHECKS level): the buffer must be live (a
+  /// parked buffer being released again is a double release) and must be a
+  /// pool-shaped buffer (valid bucket whose capacity matches — anything
+  /// else is a foreign buffer that never came from acquire()).
+  void checkRelease(const Buffer& buffer) const;
   /// Park into the global free list (or free when the bucket is full).
   /// Called with workspace-drained buffers and pool-path releases.
   void parkGlobal(std::unique_ptr<Buffer> buffer);
@@ -94,6 +108,7 @@ class BufferPool {
   static std::size_t bucketCapacity(int bucket);
 
   mutable std::mutex mutex_;
+  // GUARDED_BY(mutex_)
   std::array<std::vector<std::unique_ptr<Buffer>>, kNumBuckets> freeLists_;
 
   std::atomic<std::uint64_t> heapAllocs_{0};
@@ -103,6 +118,15 @@ class BufferPool {
   std::atomic<std::uint64_t> freed_{0};
   std::atomic<std::uint64_t> bytesOutstanding_{0};
   std::atomic<std::uint64_t> bytesPooled_{0};
+};
+
+/// Test-only backdoor (tests/test_check.cpp) for exercising the pool's
+/// release contracts without routing ownership through the shared_ptr
+/// deleter: checkRelease only validates, it never takes the buffer.
+struct PoolContractTestPeer {
+  static void checkRelease(const BufferPool& pool, const Buffer& buffer) {
+    pool.checkRelease(buffer);
+  }
 };
 
 /// RAII buffer-recycling scope for one unit of repeated work (a training

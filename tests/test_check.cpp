@@ -1,0 +1,130 @@
+// Runtime-contract checks (DAGT_CHECKS / DAGT_DCHECK*). The macros throw
+// dagt::CheckError when DAGT_CHECKS is 1 and compile to nothing when 0; the
+// firing tests are therefore gated on the level, and the level-consistency
+// test passes in both configurations (the default build keeps checks on, a
+// Release build compiles them out).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::tensor {
+namespace {
+
+TEST(DagtChecks, LevelConsistency) {
+#if DAGT_CHECKS
+  EXPECT_THROW(DAGT_DCHECK(false), CheckError);
+  EXPECT_NO_THROW(DAGT_DCHECK(true));
+#else
+  // Compiled out: the condition is never evaluated, so even `false` is inert.
+  EXPECT_NO_THROW(DAGT_DCHECK(false));
+  int evaluations = 0;
+  DAGT_DCHECK((++evaluations, false));
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+#if DAGT_CHECKS
+
+TEST(DagtChecks, DcheckMsgCarriesStreamedMessage) {
+  try {
+    DAGT_DCHECK_MSG(false, "batch " << 3 << " is bad");
+    FAIL() << "DAGT_DCHECK_MSG(false, ...) did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("batch 3 is bad"), std::string::npos)
+        << e.what();
+  }
+}
+
+// The serve batch assembler asserts the assembled image block's shape
+// against the coalesced request count — this is the same macro firing on
+// the canonical mismatched-feature-width case.
+TEST(DagtChecks, ShapeMismatchRendersBothSides) {
+  const std::vector<std::int64_t> assembled = {4, 3, 32, 32};
+  const std::vector<std::int64_t> expected = {5, 3, 32, 32};
+  EXPECT_NO_THROW(DAGT_DCHECK_SHAPE(assembled, assembled));
+  try {
+    DAGT_DCHECK_SHAPE(assembled, expected);
+    FAIL() << "DAGT_DCHECK_SHAPE did not throw on mismatched widths";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[4, 3, 32, 32]"), std::string::npos) << what;
+    EXPECT_NE(what.find("[5, 3, 32, 32]"), std::string::npos) << what;
+  }
+}
+
+TEST(DagtChecks, ShapeCheckWorksOnTensorShapes) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({3, 2});
+  EXPECT_NO_THROW(DAGT_DCHECK_SHAPE(a.shape(), a.shape()));
+  EXPECT_THROW(DAGT_DCHECK_SHAPE(a.shape(), b.shape()), CheckError);
+}
+
+TEST(DagtChecks, AlignmentContract) {
+  alignas(8) float slab[4] = {0, 0, 0, 0};
+  EXPECT_NO_THROW(DAGT_DCHECK_ALIGNED(&slab[0], alignof(float)));
+  const char* bytes = reinterpret_cast<const char*>(&slab[0]);
+  EXPECT_THROW(DAGT_DCHECK_ALIGNED(bytes + 1, alignof(float)), CheckError);
+}
+
+TEST(DagtChecks, ViewBeyondStorageBoundsThrows) {
+  Storage s = Storage::allocate(16);
+  EXPECT_NO_THROW(s.view(0, 16));
+  EXPECT_NO_THROW(s.view(16, 0));
+  EXPECT_THROW(s.view(10, 10), CheckError);   // 10 + 10 > 16
+  EXPECT_THROW(s.view(17, 0), CheckError);    // offset past the end
+}
+
+TEST(DagtChecks, ViewOfViewBoundsAreRelative) {
+  Storage s = Storage::allocate(32);
+  Storage window = s.view(8, 16);
+  EXPECT_NO_THROW(window.view(0, 16));
+  EXPECT_THROW(window.view(8, 16), CheckError);  // escapes the window
+}
+
+TEST(DagtChecks, DoublePoolReleaseThrows) {
+  auto& pool = BufferPool::global();
+  pool.trim();  // empty the bucket so the released buffer is parked, not freed
+  std::shared_ptr<Buffer> handle = pool.acquire(64);
+  Buffer* raw = handle.get();
+  EXPECT_NO_THROW(PoolContractTestPeer::checkRelease(pool, *raw));  // live
+  handle.reset();  // single legitimate release: parks the buffer
+  ASSERT_TRUE(raw->parked());
+  EXPECT_THROW(PoolContractTestPeer::checkRelease(pool, *raw), CheckError);
+}
+
+TEST(DagtChecks, ForeignBufferReleaseThrows) {
+  auto& pool = BufferPool::global();
+  // Wrong capacity for its claimed bucket: never came from acquire().
+  Buffer mismatched(100, 3);
+  EXPECT_THROW(PoolContractTestPeer::checkRelease(pool, mismatched),
+               CheckError);
+  // Adopted buffers (bucket -1) must never reach the pool's release path.
+  Buffer adopted(std::vector<float>(8, 0.0f));
+  EXPECT_THROW(PoolContractTestPeer::checkRelease(pool, adopted), CheckError);
+  // Bucket index past the table.
+  Buffer outOfRange(64, static_cast<int>(BufferPool::kNumBuckets));
+  EXPECT_THROW(PoolContractTestPeer::checkRelease(pool, outOfRange),
+               CheckError);
+}
+
+TEST(DagtChecks, PooledAcquireReleaseCycleStaysClean) {
+  auto& pool = BufferPool::global();
+  for (int round = 0; round < 3; ++round) {
+    auto a = pool.acquire(64);
+    auto b = pool.acquire(4096);
+    EXPECT_NO_THROW(PoolContractTestPeer::checkRelease(pool, *a));
+    EXPECT_NO_THROW(PoolContractTestPeer::checkRelease(pool, *b));
+  }
+}
+
+#endif  // DAGT_CHECKS
+
+}  // namespace
+}  // namespace dagt::tensor

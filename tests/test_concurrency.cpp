@@ -1,0 +1,337 @@
+// Concurrency stress suite. Built into its own binary (dagt_concurrency_tests,
+// label "concurrency") so it can be compiled alone under ThreadSanitizer:
+//
+//   cmake -B build-tsan -S . -DDAGT_SANITIZE=thread
+//   cmake --build build-tsan --target dagt_concurrency_tests
+//   ./build-tsan/tests/dagt_concurrency_tests
+//
+// The tests drive the shared-state surfaces of the serving stack from many
+// threads at once: request coalescing + metrics snapshots, design/bundle
+// registry mutation during queries, the global BufferPool / Workspace
+// recycling handoff, and parallelFor itself. Assertions are deliberately
+// coarse (totals, finiteness) — the point is the interleaving; TSan and the
+// DAGT_CHECKS contracts do the fine-grained judging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "features/design_data.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::serve {
+namespace {
+
+/// parallelFor is serial unless the thread count is raised (this box may
+/// report one core); force real fan-out for the duration of each test.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n)
+      : saved_(parallelThreadCount()) {
+    parallelThreadCount() = n;
+  }
+  ~ThreadCountGuard() { parallelThreadCount() = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+// -- Tiny untrained bundle fixture -------------------------------------------
+//
+// The stress tests don't care about prediction quality, so the bundle wraps
+// an untrained (randomly initialized) deterministic dac23 model: cheap to
+// build, cheap to forward, and every output must still be finite.
+
+const features::DataConfig& dataConfig() {
+  static features::DataConfig config = [] {
+    features::DataConfig c;
+    c.designScale = 0.2f;
+    return c;
+  }();
+  return config;
+}
+
+const features::DataPipeline& pipeline() {
+  static features::DataPipeline* p = new features::DataPipeline(dataConfig());
+  return *p;
+}
+
+const features::DesignData& target7() {
+  static features::DesignData d = pipeline().build("smallboom");
+  return d;
+}
+
+BundleManifest tinyManifest() {
+  BundleManifest manifest;
+  manifest.modelKind = "dac23";
+  manifest.variant = "shared";
+  manifest.strategy = "stress";
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig().nodes;
+  manifest.pinFeatureDim = pipeline().featureDim();
+  manifest.model.gnnHidden = 16;
+  manifest.model.cnnBaseChannels = 4;
+  manifest.model.cnnDim = 8;
+  manifest.model.headHidden = 16;
+  manifest.model.imageResolution = dataConfig().imageResolution;
+  manifest.features = dataConfig().features;
+  return manifest;
+}
+
+const std::string& bundleDir() {
+  static std::string dir = [] {
+    const BundleManifest manifest = tinyManifest();
+    const auto model = ModelBundle::instantiate(manifest);
+    // Per-process directory: ctest runs each gtest case as its own process,
+    // and concurrent cases must not rewrite a bundle another one is loading.
+    const std::string d =
+        (std::filesystem::temp_directory_path() /
+         ("dagt_stress_bundle_" + std::to_string(::getpid())))
+            .string();
+    ModelBundle::save(*model, manifest, d);
+    return d;
+  }();
+  return dir;
+}
+
+std::unique_ptr<PredictionEngine> makeEngine(std::int32_t workers,
+                                             std::int64_t maxBatch) {
+  EngineConfig config;
+  config.workerThreads = workers;
+  config.maxBatch = maxBatch;
+  config.maxWaitUs = 100;
+  auto engine = std::make_unique<PredictionEngine>(config);
+  engine->addBundleFromDir(bundleDir());
+  return engine;
+}
+
+// -- Engine-level stress -----------------------------------------------------
+
+TEST(ConcurrencyStress, CoalescedClientsMetricsPollerAndPoolChurn) {
+  ThreadCountGuard guard(4);
+  auto engine = makeEngine(/*workers=*/2, /*maxBatch=*/16);
+  const features::DesignData& reference = target7();
+  const std::int64_t endpointCount = engine->loadDesign(
+      "smallboom", reference.netlist, reference.node, reference.placement,
+      "r1");
+  ASSERT_GT(endpointCount, 8);
+
+  constexpr int kClients = 4;
+  constexpr int kItersPerClient = 12;
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int iter = 0; iter < kItersPerClient; ++iter) {
+        std::vector<std::int64_t> endpoints;
+        for (int k = 0; k < 3; ++k) {
+          endpoints.push_back((c * 31 + iter * 7 + k) % endpointCount);
+        }
+        const auto out = engine->predictEndpoints("smallboom", endpoints);
+        if (out.size() != endpoints.size()) failed = true;
+        for (const float v : out) {
+          if (!std::isfinite(v)) failed = true;
+        }
+        issued.fetch_add(endpoints.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  // Metrics poller: snapshots race against in-flight recording — every
+  // snapshot must still be internally sane (no torn counters).
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      const MetricsSnapshot snap = engine->metrics();
+      if (snap.requests > 0 && snap.batches == 0) failed = true;
+      if (snap.cacheHitRate < 0.0 || snap.cacheHitRate > 1.0) failed = true;
+      std::this_thread::yield();
+    }
+  });
+  // Pool churn: allocate/release tensor buffers and trim the global pool
+  // while the serve path is acquiring its own scratch.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 40; ++i) {
+      tensor::Workspace ws;
+      tensor::Tensor t = tensor::Tensor::zeros({64, 32});
+      tensor::Tensor u = tensor::add(t, t);
+      if (u.numel() != 64 * 32) failed = true;
+      if (i % 8 == 0) tensor::BufferPool::global().trim();
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  const MetricsSnapshot final = engine->metrics();
+  EXPECT_EQ(final.requests, issued.load());
+  EXPECT_GT(final.batches, 0u);
+}
+
+TEST(ConcurrencyStress, RegistryMutationDuringQueries) {
+  ThreadCountGuard guard(4);
+  auto engine = makeEngine(/*workers=*/2, /*maxBatch=*/8);
+  const features::DesignData& reference = target7();
+  const std::int64_t endpointCount = engine->loadDesign(
+      "smallboom", reference.netlist, reference.node, reference.placement,
+      "r1");
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  // Clients keep querying while the registry churns underneath them.
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&, c] {
+      for (int iter = 0; iter < 10; ++iter) {
+        const float v = engine->predictEndpoint(
+            "smallboom", (c * 13 + iter) % endpointCount);
+        if (!std::isfinite(v)) failed = true;
+      }
+    });
+  }
+  // Re-load the same design+revision (feature-cache hit path) and register
+  // additional design keys concurrently with the queries.
+  threads.emplace_back([&] {
+    for (int iter = 0; iter < 6; ++iter) {
+      const std::int64_t n = engine->loadDesign(
+          "smallboom", reference.netlist, reference.node, reference.placement,
+          "r1");
+      if (n != endpointCount) failed = true;
+    }
+  });
+  threads.emplace_back([&] {
+    for (int iter = 0; iter < 3; ++iter) {
+      const std::string key = "alias" + std::to_string(iter);
+      const std::int64_t n = engine->loadDesign(
+          key, reference.netlist, reference.node, reference.placement, "r1");
+      if (n != endpointCount) failed = true;
+      const float v = engine->predictEndpoint(key, 0);
+      if (!std::isfinite(v)) failed = true;
+    }
+  });
+  // Readers of the node registry.
+  threads.emplace_back([&] {
+    for (int iter = 0; iter < 20; ++iter) {
+      const auto nodes = engine->nodes();
+      if (nodes.size() != 1u) failed = true;
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  const MetricsSnapshot snap = engine->metrics();
+  EXPECT_GT(snap.cacheHits, 0u);  // the revision "r1" re-loads must hit
+}
+
+// -- Tensor-layer stress -----------------------------------------------------
+
+TEST(ConcurrencyStress, BufferPoolCrossThreadChurn) {
+  auto& pool = tensor::BufferPool::global();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Mixed sizes so threads contend on the same buckets.
+        const std::size_t n = 64u << ((t + i) % 4);
+        auto handle = pool.acquire(n);
+        handle->data()[0] = static_cast<float>(t);
+        handle->data()[n - 1] = static_cast<float>(i);
+        if (handle->capacity() < n) failed = true;
+        if (i % 32 == 0) {
+          tensor::Workspace ws;
+          auto inner = pool.acquire(n);
+          inner->data()[0] = 1.0f;
+        }
+      }
+    });
+  }
+  // Main thread trims and reads stats concurrently.
+  for (int i = 0; i < 20; ++i) {
+    pool.trim();
+    const tensor::PoolStats stats = pool.stats();
+    if (stats.hitRate() < 0.0 || stats.hitRate() > 1.0) failed = true;
+    std::this_thread::yield();
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  const tensor::PoolStats stats = pool.stats();
+  EXPECT_GE(stats.acquisitions(), static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(ConcurrencyStress, WorkspaceDrainHandsBuffersToOtherThreads) {
+  auto& pool = tensor::BufferPool::global();
+  pool.trim();
+  pool.resetStats();
+  constexpr std::size_t kSize = 1u << 15;  // distinctive bucket
+
+  std::thread producer([&] {
+    tensor::Workspace ws;
+    for (int i = 0; i < 4; ++i) {
+      auto handle = pool.acquire(kSize);
+      handle->data()[0] = 42.0f;
+    }
+    // Workspace destructor drains the cached buffer to the global pool.
+  });
+  producer.join();
+
+  std::thread consumer([&] {
+    auto handle = pool.acquire(kSize);
+    // The buffer (and the producer's write) must be visible here.
+    EXPECT_EQ(handle->data()[0], 42.0f);
+  });
+  consumer.join();
+
+  const tensor::PoolStats stats = pool.stats();
+  EXPECT_GE(stats.poolReuses, 1u);
+}
+
+TEST(ConcurrencyStress, ParallelForDisjointWritesAndReduction) {
+  ThreadCountGuard guard(4);
+  constexpr std::size_t kN = 1 << 12;
+  std::vector<float> out(kN, 0.0f);
+  std::atomic<std::uint64_t> visits{0};
+  for (int round = 0; round < 8; ++round) {
+    parallelFor(0, kN, [&](std::size_t i) {
+      out[i] += static_cast<float>(i % 7);
+      visits.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(visits.load(), 8u * kN);
+  double sum = 0.0;
+  for (const float v : out) sum += v;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) expected += 8.0 * (i % 7);
+  EXPECT_DOUBLE_EQ(sum, expected);
+}
+
+TEST(ConcurrencyStress, ParallelForPropagatesFirstError) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      parallelFor(0, 1024,
+                          [&](std::size_t i) {
+                            if (i == 500) {
+                              throw CheckError("stress failure at 500");
+                            }
+                          }),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace dagt::serve

@@ -1,0 +1,176 @@
+// Self-test for dagt-lint: every rule must fire exactly once on its fixture
+// in tests/lint_fixtures/, suppression comments must be honored, and a clean
+// file must produce no findings. The fixtures are never compiled — they are
+// read from disk and linted under the virtual path of the file they
+// impersonate (rule scoping keys on the path, not the real location).
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+#ifndef DAGT_LINT_FIXTURE_DIR
+#error "DAGT_LINT_FIXTURE_DIR must point at tests/lint_fixtures"
+#endif
+
+namespace dagt::lint {
+namespace {
+
+std::string readFixture(const std::string& name) {
+  const std::string path = std::string(DAGT_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open lint fixture: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> lintFixture(const std::string& virtualPath,
+                                 const std::string& fixtureName) {
+  return lintFiles({{virtualPath, readFixture(fixtureName)}});
+}
+
+int countRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string renderAll(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.render() + "\n";
+  }
+  return out;
+}
+
+TEST(DagtLint, KernelAllocFiresOnceAndHonorsAllow) {
+  const auto findings =
+      lintFixture("src/tensor/ops_fixture.cpp", "kernel_alloc.cpp");
+  EXPECT_EQ(countRule(findings, "kernel-alloc"), 1) << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+TEST(DagtLint, KernelAllocScopedToOpKernels) {
+  // The same contents outside src/tensor/ops_*.cpp must not fire.
+  const auto findings =
+      lintFixture("src/core/trainer_fixture.cpp", "kernel_alloc.cpp");
+  EXPECT_EQ(countRule(findings, "kernel-alloc"), 0) << renderAll(findings);
+}
+
+TEST(DagtLint, HotHeaderStdFunctionFiresOnceAndHonorsAllow) {
+  const auto findings =
+      lintFixture("src/tensor/ops_common.hpp", "hot_header_function.hpp");
+  EXPECT_EQ(countRule(findings, "hot-header-std-function"), 1)
+      << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 10);
+}
+
+TEST(DagtLint, HotHeaderRuleScopedToHotHeaders) {
+  const auto findings =
+      lintFixture("src/serve/callbacks.hpp", "hot_header_function.hpp");
+  EXPECT_EQ(countRule(findings, "hot-header-std-function"), 0)
+      << renderAll(findings);
+}
+
+TEST(DagtLint, PragmaOnceFiresOnHeaderWithoutIt) {
+  const auto findings =
+      lintFixture("src/nn/fixture.hpp", "missing_pragma.hpp");
+  EXPECT_EQ(countRule(findings, "pragma-once"), 1) << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(DagtLint, PragmaOnceIgnoresSourceFiles) {
+  const auto findings =
+      lintFixture("src/nn/fixture.cpp", "missing_pragma.hpp");
+  EXPECT_EQ(countRule(findings, "pragma-once"), 0) << renderAll(findings);
+}
+
+TEST(DagtLint, UnseededRngFiresOnceAndHonorsAllow) {
+  const auto findings =
+      lintFixture("src/core/fixture.cpp", "unseeded_rng.cpp");
+  EXPECT_EQ(countRule(findings, "unseeded-rng"), 1) << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(DagtLint, UnseededRngExemptInsideRngSubsystem) {
+  const auto findings =
+      lintFixture("src/common/rng/fixture.cpp", "unseeded_rng.cpp");
+  EXPECT_EQ(countRule(findings, "unseeded-rng"), 0) << renderAll(findings);
+}
+
+TEST(DagtLint, GuardedByFamilyFiresOncePerRule) {
+  const auto findings = lintFiles(
+      {{"src/serve/fixture.hpp", readFixture("guarded_by.hpp")},
+       {"src/serve/fixture.cpp", readFixture("guarded_by.cpp")}});
+  EXPECT_EQ(countRule(findings, "guarded-by"), 1) << renderAll(findings);
+  EXPECT_EQ(countRule(findings, "guarded-by-unknown"), 1)
+      << renderAll(findings);
+  EXPECT_EQ(countRule(findings, "guarded-by-unlocked"), 1)
+      << renderAll(findings);
+  EXPECT_EQ(findings.size(), 3u) << renderAll(findings);
+}
+
+TEST(DagtLint, GuardedByUnlockedClearedByHeaderWithoutCompanion) {
+  // Without the companion .cpp the idle and locked mutexes are both never
+  // acquired, so two unlocked findings surface.
+  const auto findings = lintFiles(
+      {{"src/serve/fixture.hpp", readFixture("guarded_by.hpp")}});
+  EXPECT_EQ(countRule(findings, "guarded-by-unlocked"), 2)
+      << renderAll(findings);
+}
+
+TEST(DagtLint, GuardedByScopedToServeAndStorage) {
+  const auto findings = lintFiles(
+      {{"src/nn/fixture.hpp", readFixture("guarded_by.hpp")},
+       {"src/nn/fixture.cpp", readFixture("guarded_by.cpp")}});
+  EXPECT_EQ(findings.size(), 0u) << renderAll(findings);
+}
+
+TEST(DagtLint, StdoutLoggingFiresOnceAndHonorsAllow) {
+  const auto findings = lintFixture("src/eval/fixture.cpp", "stdout.cpp");
+  EXPECT_EQ(countRule(findings, "stdout-logging"), 1) << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 11);
+}
+
+TEST(DagtLint, StdoutLoggingExemptOutsideSrc) {
+  for (const std::string path :
+       {std::string("tools/report.cpp"), std::string("bench/report.cpp"),
+        std::string("src/common/logging/fixture.cpp")}) {
+    const auto findings = lintFixture(path, "stdout.cpp");
+    EXPECT_EQ(countRule(findings, "stdout-logging"), 0)
+        << path << "\n" << renderAll(findings);
+  }
+}
+
+TEST(DagtLint, CleanFixtureProducesNoFindings) {
+  const auto findings =
+      lintFixture("src/serve/clean_fixture.hpp", "clean.hpp");
+  EXPECT_EQ(findings.size(), 0u) << renderAll(findings);
+}
+
+TEST(DagtLint, FindingRenderFormat) {
+  Finding f;
+  f.path = "src/a.cpp";
+  f.line = 12;
+  f.rule = "kernel-alloc";
+  f.message = "msg";
+  EXPECT_EQ(f.render(), "src/a.cpp:12: kernel-alloc msg");
+}
+
+}  // namespace
+}  // namespace dagt::lint

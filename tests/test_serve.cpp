@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/check.hpp"
@@ -87,8 +88,12 @@ const TrainedBundle& trainedBundle(core::Strategy strategy) {
         std::vector<const features::DesignData*>{&target7(), &source130()});
     const core::Trainer trainer(*entry.dataset, tc);
     entry.model = trainer.train(strategy);
+    // Per-process directory: ctest runs each gtest case as its own process,
+    // and a parallel ctest must not let one process rewrite the bundle
+    // another one is mid-way through loading.
     entry.dir = (std::filesystem::temp_directory_path() /
-                 ("dagt_bundle_" + core::strategyName(strategy)))
+                 ("dagt_bundle_" + core::strategyName(strategy) + "_" +
+                  std::to_string(::getpid())))
                     .string();
     ModelBundle::save(*entry.model, tinyManifest(tc, core::strategyName(strategy)),
                       entry.dir);

@@ -1,0 +1,520 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dagt::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer-lite
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// The lexed view of one file: code tokens (identifiers + punctuation,
+/// with comments / literals / preprocessor lines stripped out), raw
+/// preprocessor lines, and per-line comment text.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::pair<int, std::string>> directives;  // (line, raw text)
+  std::map<int, std::string> commentByLine;
+};
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto addComment = [&](int atLine, const std::string& body) {
+    auto& slot = out.commentByLine[atLine];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Preprocessor line (first non-ws char of the line is '#'): consume to
+    // end of line, honoring backslash continuations.
+    if (c == '#') {
+      bool lineStart = true;
+      for (std::size_t k = i; k-- > 0;) {
+        if (text[k] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(text[k]))) {
+          lineStart = false;
+          break;
+        }
+      }
+      if (lineStart) {
+        const int startLine = line;
+        std::string directive;
+        while (i < n) {
+          if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+            directive += ' ';
+            ++line;
+            i += 2;
+            continue;
+          }
+          if (text[i] == '\n') break;
+          directive += text[i];
+          ++i;
+        }
+        out.directives.emplace_back(startLine, directive);
+        continue;
+      }
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::string body;
+      i += 2;
+      while (i < n && text[i] != '\n') body += text[i++];
+      addComment(line, body);
+      continue;
+    }
+    // Block comment (may span lines; body credited to each line it opens).
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      std::string body;
+      int bodyLine = line;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          addComment(bodyLine, body);
+          body.clear();
+          ++line;
+          bodyLine = line;
+        } else {
+          body += text[i];
+        }
+        ++i;
+      }
+      addComment(bodyLine, body);
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t open = text.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string delim = ")" + text.substr(i + 2, open - i - 2) + "\"";
+        std::size_t close = text.find(delim, open + 1);
+        if (close == std::string::npos) close = n;
+        line += static_cast<int>(
+            std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                       text.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(n, close + delim.size())),
+                       '\n'));
+        i = std::min(n, close + delim.size());
+        continue;
+      }
+    }
+    // String / char literal: contents dropped.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        if (text[i] == '\n') ++line;  // unterminated literal; stay sane
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Identifier.
+    if (isIdentStart(c)) {
+      std::string ident;
+      while (i < n && isIdentChar(text[i])) ident += text[i++];
+      out.tokens.push_back({std::move(ident), line});
+      continue;
+    }
+    // '::' as one token; every other punctuation char stands alone.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.tokens.push_back({std::string(1, c), line});
+    }
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+bool seqAt(const std::vector<Token>& toks, std::size_t i,
+           std::initializer_list<const char*> seq) {
+  std::size_t k = i;
+  for (const char* want : seq) {
+    if (k >= toks.size() || toks[k].text != want) return false;
+    ++k;
+  }
+  return true;
+}
+
+bool nextIs(const std::vector<Token>& toks, std::size_t i, const char* want) {
+  return i + 1 < toks.size() && toks[i + 1].text == want;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping
+// ---------------------------------------------------------------------------
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool isOpKernel(const std::string& path) {
+  return startsWith(path, "src/tensor/ops_") && endsWith(path, ".cpp");
+}
+
+bool isHotHeader(const std::string& path) {
+  return path == "src/tensor/ops_common.hpp" || path == "src/common/parallel.hpp";
+}
+
+bool isGuardedByScope(const std::string& path) {
+  return (startsWith(path, "src/serve/") && endsWith(path, ".hpp")) ||
+         path == "src/tensor/storage.hpp";
+}
+
+bool isLoggingExempt(const std::string& path) {
+  return !startsWith(path, "src/") || startsWith(path, "src/common/logging");
+}
+
+bool isRngExempt(const std::string& path) {
+  return !startsWith(path, "src/") || startsWith(path, "src/common/rng");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: "dagt-lint: allow(rule)" on the finding's line or the line
+// directly above.
+// ---------------------------------------------------------------------------
+
+std::map<int, std::set<std::string>> parseAllows(const LexedFile& lexed) {
+  std::map<int, std::set<std::string>> allows;
+  for (const auto& [line, body] : lexed.commentByLine) {
+    std::size_t at = body.find("dagt-lint:");
+    while (at != std::string::npos) {
+      std::size_t open = body.find("allow(", at);
+      if (open == std::string::npos) break;
+      const std::size_t close = body.find(')', open);
+      if (close == std::string::npos) break;
+      std::string rule = body.substr(open + 6, close - open - 6);
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](char c) {
+                                  return std::isspace(
+                                      static_cast<unsigned char>(c));
+                                }),
+                 rule.end());
+      allows[line].insert(rule);
+      at = body.find("dagt-lint:", close);
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan state
+// ---------------------------------------------------------------------------
+
+struct GuardedByInfo {
+  std::map<std::string, int> mutexDeclLine;      // mutex member -> decl line
+  std::map<std::string, int> guardedByFirstUse;  // mutex name -> comment line
+  std::vector<std::pair<std::string, int>> unknownRefs;
+};
+
+/// Mutex members: the token pattern `std :: mutex <ident> ;`.
+/// GUARDED_BY references come from the comment channel.
+GuardedByInfo collectGuardedBy(const LexedFile& lexed) {
+  GuardedByInfo info;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (seqAt(toks, i, {"std", "::", "mutex"}) &&
+        isIdentStart(toks[i + 3].text[0]) && toks[i + 4].text == ";") {
+      info.mutexDeclLine.emplace(toks[i + 3].text, toks[i + 3].line);
+    }
+  }
+  for (const auto& [line, body] : lexed.commentByLine) {
+    std::size_t at = body.find("GUARDED_BY(");
+    while (at != std::string::npos) {
+      const std::size_t close = body.find(')', at);
+      if (close == std::string::npos) break;
+      const std::string name = body.substr(at + 11, close - at - 11);
+      if (info.mutexDeclLine.count(name)) {
+        info.guardedByFirstUse.emplace(name, line);
+      } else {
+        info.unknownRefs.emplace_back(name, line);
+      }
+      at = body.find("GUARDED_BY(", close);
+    }
+  }
+  return info;
+}
+
+/// True when the token stream acquires `mutexName` through any of the
+/// std lock idioms: lock_guard / unique_lock / scoped_lock construction
+/// naming it, or a direct <name>.lock() call.
+bool acquiresMutex(const std::vector<Token>& toks,
+                   const std::string& mutexName) {
+  static const std::set<std::string> lockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (lockTypes.count(toks[i].text)) {
+      // The mutex appears within the constructor argument list a few
+      // tokens later: `std::lock_guard<std::mutex> lock(mutexName);`.
+      const std::size_t limit = std::min(toks.size(), i + 16);
+      for (std::size_t k = i + 1; k < limit; ++k) {
+        if (toks[k].text == mutexName) return true;
+        if (toks[k].text == ";") break;
+      }
+    }
+    if (toks[i].text == mutexName && nextIs(toks, i, ".") &&
+        seqAt(toks, i + 2, {"lock", "("})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Finding::render() const {
+  std::ostringstream os;
+  os << path << ':' << line << ": " << rule << ' ' << message;
+  return os.str();
+}
+
+std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  // Lex everything once up front; guarded-by pairs headers with sources.
+  std::map<std::string, LexedFile> lexedByPath;
+  for (const auto& file : files) lexedByPath.emplace(file.path, lex(file.text));
+
+  for (const auto& file : files) {
+    const LexedFile& lexed = lexedByPath.at(file.path);
+    const auto allows = parseAllows(lexed);
+    const auto& toks = lexed.tokens;
+
+    auto emit = [&](int line, const char* rule, std::string message) {
+      const auto suppressedAt = [&](int l) {
+        const auto it = allows.find(l);
+        return it != allows.end() && it->second.count(rule);
+      };
+      if (suppressedAt(line) || suppressedAt(line - 1)) return;
+      findings.push_back({file.path, line, rule, std::move(message)});
+    };
+
+    // -- pragma-once --------------------------------------------------------
+    if (endsWith(file.path, ".hpp")) {
+      bool hasPragmaOnce = false;
+      for (const auto& [line, directive] : lexed.directives) {
+        if (directive.find("pragma") != std::string::npos &&
+            directive.find("once") != std::string::npos) {
+          hasPragmaOnce = true;
+          break;
+        }
+      }
+      if (!hasPragmaOnce) {
+        emit(1, "pragma-once", "header is missing #pragma once");
+      }
+    }
+
+    // -- kernel-alloc -------------------------------------------------------
+    if (isOpKernel(file.path)) {
+      static const std::set<std::string> tensorAllocs = {
+          "zeros", "ones", "full", "fromVector", "randn", "randu"};
+      static const std::set<std::string> storageAllocs = {"allocate", "zeros",
+                                                          "adopt"};
+      static const std::set<std::string> cAllocs = {"malloc", "calloc",
+                                                    "realloc"};
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.text == "Tensor" && nextIs(toks, i, "::") && i + 2 < toks.size() &&
+            tensorAllocs.count(toks[i + 2].text)) {
+          emit(t.line, "kernel-alloc",
+               "op kernels allocate outputs via makeOut/makeView "
+               "(BufferPool), not Tensor::" +
+                   toks[i + 2].text);
+        }
+        if (t.text == "Storage" && nextIs(toks, i, "::") &&
+            i + 2 < toks.size() && storageAllocs.count(toks[i + 2].text)) {
+          emit(t.line, "kernel-alloc",
+               "op kernels allocate outputs via makeOut/makeView "
+               "(BufferPool), not Storage::" +
+                   toks[i + 2].text);
+        }
+        if (t.text == "new") {
+          emit(t.line, "kernel-alloc",
+               "op kernels must not allocate with `new`; route buffers "
+               "through makeOut/makeView");
+        }
+        if (cAllocs.count(t.text) && nextIs(toks, i, "(")) {
+          emit(t.line, "kernel-alloc",
+               "op kernels must not call " + t.text +
+                   "(); route buffers through makeOut/makeView");
+        }
+      }
+    }
+
+    // -- hot-header-std-function --------------------------------------------
+    if (isHotHeader(file.path)) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (seqAt(toks, i, {"std", "::", "function"})) {
+          emit(toks[i].line, "hot-header-std-function",
+               "hot-path header must stay free of std::function (type-"
+               "erased calls inside per-element loops); take a template "
+               "parameter instead");
+        }
+      }
+    }
+
+    // -- unseeded-rng -------------------------------------------------------
+    if (!isRngExempt(file.path)) {
+      static const std::set<std::string> bannedIdents = {
+          "random_device", "mt19937", "mt19937_64", "default_random_engine",
+          "minstd_rand"};
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if ((t.text == "rand" || t.text == "srand") && nextIs(toks, i, "(")) {
+          emit(t.line, "unseeded-rng",
+               t.text + "() bypasses the seeded dagt::Rng; draw from an "
+                        "explicitly seeded Rng instead");
+        }
+        if (bannedIdents.count(t.text)) {
+          emit(t.line, "unseeded-rng",
+               "std::" + t.text +
+                   " bypasses the seeded dagt::Rng; draw from an "
+                   "explicitly seeded Rng instead");
+        }
+      }
+    }
+
+    // -- guarded-by ---------------------------------------------------------
+    if (isGuardedByScope(file.path)) {
+      const GuardedByInfo info = collectGuardedBy(lexed);
+      for (const auto& [name, line] : info.mutexDeclLine) {
+        if (!info.guardedByFirstUse.count(name)) {
+          emit(line, "guarded-by",
+               "mutex '" + name +
+                   "' has no field annotated // GUARDED_BY(" + name + ")");
+        }
+      }
+      for (const auto& [name, line] : info.unknownRefs) {
+        emit(line, "guarded-by-unknown",
+             "GUARDED_BY(" + name +
+                 ") names no std::mutex member declared in this header");
+      }
+      // Cross-check: the companion .cpp (or the header's own inline code)
+      // must acquire each annotated mutex at least once.
+      const std::string cppPath =
+          file.path.substr(0, file.path.size() - 4) + ".cpp";
+      const auto cppIt = lexedByPath.find(cppPath);
+      for (const auto& [name, line] : info.guardedByFirstUse) {
+        const bool locked =
+            acquiresMutex(toks, name) ||
+            (cppIt != lexedByPath.end() &&
+             acquiresMutex(cppIt->second.tokens, name));
+        if (!locked) {
+          emit(line, "guarded-by-unlocked",
+               "mutex '" + name + "' guards fields but is never locked in " +
+                   (cppIt != lexedByPath.end() ? cppPath
+                                               : "this header (no " + cppPath +
+                                                     " in the lint set)"));
+        }
+      }
+    }
+
+    // -- stdout-logging -----------------------------------------------------
+    if (!isLoggingExempt(file.path)) {
+      static const std::set<std::string> printers = {"printf", "fprintf",
+                                                     "puts", "putchar"};
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.text == "std" && nextIs(toks, i, "::") && i + 2 < toks.size() &&
+            (toks[i + 2].text == "cout" || toks[i + 2].text == "cerr")) {
+          emit(t.line, "stdout-logging",
+               "library code logs through src/common/logging, not std::" +
+                   toks[i + 2].text);
+        }
+        if (printers.count(t.text) && nextIs(toks, i, "(")) {
+          emit(t.line, "stdout-logging",
+               "library code logs through src/common/logging, not " + t.text +
+                   "()");
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const char* top : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        // Build trees and the intentionally-bad lint fixtures are not
+        // part of the linted surface.
+        if (startsWith(name, "build") || name == "lint_fixtures") {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      files.push_back({fs::relative(it->path(), root).generic_string(),
+                       contents.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return lintFiles(files);
+}
+
+}  // namespace dagt::lint

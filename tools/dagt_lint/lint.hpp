@@ -1,0 +1,73 @@
+#pragma once
+
+// dagt-lint: project-specific static checks over the repo's C++ sources.
+//
+// The linter runs its own lexer-lite (comments, string/char literals and
+// preprocessor lines are separated from code tokens — no libclang, no
+// regex engine) and enforces rules that generic tooling cannot know:
+//
+//   kernel-alloc            op kernels in src/tensor/ops_*.cpp allocate
+//                           outputs via makeOut/makeView only — naked
+//                           Tensor::zeros / Storage::allocate / new /
+//                           malloc in a kernel bypasses the BufferPool.
+//   hot-header-std-function no std::function in the hot-path headers
+//                           (src/tensor/ops_common.hpp,
+//                           src/common/parallel.hpp): type erasure there
+//                           puts an indirect call inside per-element loops.
+//   pragma-once             every header carries #pragma once.
+//   unseeded-rng            no rand()/srand()/std::random_device/
+//                           std::mt19937 outside src/common/rng — all
+//                           stochastic code draws from the seeded Rng so
+//                           experiments reproduce bit-for-bit.
+//   guarded-by              every std::mutex member in src/serve/ headers
+//                           and src/tensor/storage.hpp has at least one
+//                           field annotated "// GUARDED_BY(<mutex>)";
+//   guarded-by-unknown      each GUARDED_BY names a mutex declared in the
+//                           same file;
+//   guarded-by-unlocked     and the companion .cpp (or the header itself)
+//                           actually acquires that mutex.
+//   stdout-logging          no std::cout / std::cerr / printf outside
+//                           src/common/logging (CLI, tools, benches and
+//                           examples are exempt).
+//
+// Suppression: a comment "dagt-lint: allow(<rule>)" on the offending line
+// or the line directly above it silences that rule for that line.
+//
+// Findings print as "file:line: rule-id message" and the binary exits
+// non-zero when any survive, so `ctest -L lint` gates the tree.
+
+#include <string>
+#include <vector>
+
+namespace dagt::lint {
+
+/// One source file handed to the linter. `path` is the repo-relative
+/// virtual path (forward slashes) that rule scoping keys on; `text` is the
+/// file contents. Tests lint fixture files under an arbitrary real path by
+/// giving them the virtual path of the file they impersonate.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "file:line: rule-id message" — the grep-able report line.
+  std::string render() const;
+};
+
+/// Lint a set of files as one unit (the guarded-by rule pairs each .hpp
+/// with its .cpp inside the set). Returns surviving findings, ordered by
+/// path then line.
+std::vector<Finding> lintFiles(const std::vector<SourceFile>& files);
+
+/// Walk a repo checkout rooted at `root` (src/, tools/, bench/, examples/,
+/// tests/ — skipping build trees and tests/lint_fixtures) and lint every
+/// .hpp/.cpp found. Returns surviving findings.
+std::vector<Finding> lintTree(const std::string& root);
+
+}  // namespace dagt::lint

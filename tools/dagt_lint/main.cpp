@@ -1,0 +1,63 @@
+// dagt_lint — project-specific static checks (see lint.hpp for the rule
+// catalogue). Exits non-zero when findings survive suppression, so it runs
+// as a ctest (label `lint`) gating the tree.
+//
+// Usage:
+//   dagt_lint [ROOT]                      lint a repo checkout (default .)
+//   dagt_lint --as VIRTUAL_PATH FILE ...  lint explicit files, each scoped
+//                                         as if it lived at VIRTUAL_PATH
+//                                         (fixture/self-test mode)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "dagt-lint: cannot open " << path << '\n';
+    std::exit(2);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::vector<dagt::lint::Finding> findings;
+  if (!args.empty() && args.front() == "--as") {
+    std::vector<dagt::lint::SourceFile> files;
+    for (std::size_t i = 0; i < args.size(); i += 3) {
+      if (args[i] != "--as" || i + 2 >= args.size()) {
+        std::cerr << "usage: dagt_lint --as VIRTUAL_PATH FILE "
+                     "[--as VIRTUAL_PATH FILE ...]\n";
+        return 2;
+      }
+      files.push_back({args[i + 1], readFile(args[i + 2])});
+    }
+    findings = dagt::lint::lintFiles(files);
+  } else {
+    const std::string root = args.empty() ? std::string(".") : args.front();
+    findings = dagt::lint::lintTree(root);
+  }
+
+  for (const auto& finding : findings) {
+    std::cout << finding.render() << '\n';
+  }
+  if (findings.empty()) {
+    std::cout << "dagt-lint: clean\n";
+    return 0;
+  }
+  std::cout << "dagt-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}

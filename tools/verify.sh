@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Full correctness matrix for the repo, one line of output per stage:
+#
+#   default   RelWithDebInfo build + complete ctest suite (DAGT_CHECKS on)
+#   lint      dagt-lint over the checkout (ctest -L lint)
+#   asan      ASan/UBSan build, tensor + concurrency suites
+#   tsan      ThreadSanitizer build, concurrency stress suite
+#
+# Usage: tools/verify.sh [--fast]
+#   --fast skips the sanitizer stages (default + lint only).
+#
+# Each sanitizer preset gets its own build tree (build-asan/, build-tsan/) —
+# the runtimes are mutually exclusive, and CMake enforces that (see
+# DAGT_SANITIZE in the top-level CMakeLists.txt). Exits non-zero if any
+# stage fails; stage logs land in build*/verify-<stage>.log.
+
+set -u
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAILED=0
+
+stage() {
+  local name="$1" log="$2"
+  shift 2
+  local start rc
+  start=$(date +%s)
+  if "$@" >"$log" 2>&1; then
+    rc=ok
+  else
+    rc=FAIL
+    FAILED=1
+  fi
+  printf '%-8s %-4s %4ss  %s\n' "$name" "$rc" "$(($(date +%s) - start))" "$log"
+}
+
+run_default() {
+  cmake -B build -S . &&
+    cmake --build build -j "$JOBS" &&
+    ctest --test-dir build --output-on-failure -j 2
+}
+
+run_lint() {
+  ctest --test-dir build -L lint --output-on-failure
+}
+
+run_asan() {
+  cmake -B build-asan -S . -DDAGT_SANITIZE="address;undefined" &&
+    cmake --build build-asan -j "$JOBS" \
+      --target dagt_tensor_tests dagt_concurrency_tests &&
+    ./build-asan/tests/dagt_tensor_tests &&
+    ./build-asan/tests/dagt_concurrency_tests
+}
+
+run_tsan() {
+  cmake -B build-tsan -S . -DDAGT_SANITIZE=thread &&
+    cmake --build build-tsan -j "$JOBS" --target dagt_concurrency_tests &&
+    ./build-tsan/tests/dagt_concurrency_tests
+}
+
+mkdir -p build
+stage default build/verify-default.log run_default
+stage lint build/verify-lint.log run_lint
+if [[ "$FAST" == 0 ]]; then
+  mkdir -p build-asan build-tsan
+  stage asan build-asan/verify-asan.log run_asan
+  stage tsan build-tsan/verify-tsan.log run_tsan
+fi
+
+if [[ "$FAILED" != 0 ]]; then
+  echo "verify: FAILED (see logs above)"
+  exit 1
+fi
+echo "verify: all stages passed"
