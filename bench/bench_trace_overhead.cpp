@@ -1,0 +1,164 @@
+// Overhead proof for the tracing layer (src/obs): with DAGT_TRACE_* sites
+// compiled in but runtime-disabled, a Release build must lose < 2%
+// throughput versus the identical workload with no trace sites at all.
+//
+// Twin loops over the same tensor-op mix (matmul -> relu -> reduce, the
+// granularity at which the real span sites sit in the model forward),
+// one carrying the span macros and one bare, interleaved round-robin so
+// clock drift and cache state cancel. Also measures the raw per-site cost
+// of a disabled DAGT_TRACE_SCOPE and the fully-enabled span cost, and
+// writes BENCH_trace_overhead.json. Exits non-zero if the disabled
+// overhead exceeds the 2% budget.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "harness.hpp"
+#include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/storage.hpp"
+
+namespace {
+
+using namespace dagt;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRounds = 30;
+constexpr int kItersPerRound = 40;
+constexpr std::int64_t kDim = 64;
+constexpr int kSiteProbeIters = 2'000'000;
+
+double microsSince(const Clock::time_point& start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+float workloadBare(const tensor::Tensor& a, const tensor::Tensor& b) {
+  const tensor::Tensor c = tensor::matmul(a, b);
+  const tensor::Tensor r = tensor::relu(c);
+  return tensor::sumAll(r).item();
+}
+
+float workloadTraced(const tensor::Tensor& a, const tensor::Tensor& b) {
+  DAGT_TRACE_SCOPE("bench/iter");
+  const tensor::Tensor c = [&] {
+    DAGT_TRACE_SCOPE("bench/matmul");
+    return tensor::matmul(a, b);
+  }();
+  const tensor::Tensor r = [&] {
+    DAGT_TRACE_SCOPE("bench/relu");
+    return tensor::relu(c);
+  }();
+  DAGT_TRACE_SCOPE("bench/reduce");
+  return tensor::sumAll(r).item();
+}
+
+/// Per-site cost of a disabled (or enabled) DAGT_TRACE_SCOPE, in ns.
+double probeSiteNs() {
+  float sink = 0.0f;
+  const auto start = Clock::now();
+  for (int i = 0; i < kSiteProbeIters; ++i) {
+    DAGT_TRACE_SCOPE("bench/probe");
+    sink += 1.0f;
+  }
+  const double us = microsSince(start);
+  if (sink < 0.0f) std::printf("%f", sink);  // defeat dead-code elimination
+  return us * 1000.0 / static_cast<double>(kSiteProbeIters);
+}
+
+}  // namespace
+
+int main() {
+  tensor::NoGradGuard guard;
+  Rng rng(7);
+  const tensor::Tensor a = tensor::Tensor::randn({kDim, kDim}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({kDim, kDim}, rng);
+  obs::TraceRegistry& registry = obs::TraceRegistry::global();
+  registry.setEnabled(false);
+
+  // Warm both code paths and the buffer pool before timing.
+  float sink = 0.0f;
+  {
+    tensor::Workspace workspace;
+    for (int i = 0; i < kItersPerRound; ++i) {
+      sink += workloadBare(a, b);
+      sink += workloadTraced(a, b);
+    }
+  }
+
+  double bareUs = 0.0;
+  double disabledUs = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      tensor::Workspace workspace;
+      const auto start = Clock::now();
+      for (int i = 0; i < kItersPerRound; ++i) sink += workloadBare(a, b);
+      bareUs += microsSince(start);
+    }
+    {
+      tensor::Workspace workspace;
+      const auto start = Clock::now();
+      for (int i = 0; i < kItersPerRound; ++i) sink += workloadTraced(a, b);
+      disabledUs += microsSince(start);
+    }
+  }
+  const double disabledSiteNs = probeSiteNs();
+
+  // Enabled mode, for scale (not part of the acceptance budget): spans are
+  // recorded into the thread ring.
+  registry.setEnabled(true);
+  double enabledUs = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    tensor::Workspace workspace;
+    const auto start = Clock::now();
+    for (int i = 0; i < kItersPerRound; ++i) sink += workloadTraced(a, b);
+    enabledUs += microsSince(start);
+  }
+  const double enabledSiteNs = probeSiteNs();
+  registry.setEnabled(false);
+  if (sink == 42.0f) std::printf("%f\n", sink);  // keep the loops alive
+
+  const int iters = kRounds * kItersPerRound;
+  const double barePerIter = bareUs / iters;
+  const double disabledPerIter = disabledUs / iters;
+  const double enabledPerIter = enabledUs / iters;
+  const double disabledPct = 100.0 * (disabledPerIter - barePerIter) /
+                             barePerIter;
+  const double enabledPct = 100.0 * (enabledPerIter - barePerIter) /
+                            barePerIter;
+
+  TextTable table({"mode", "us/iter", "overhead %", "ns/site"});
+  table.addRow({"no trace sites", TextTable::num(barePerIter, 2), "-", "-"});
+  table.addRow({"compiled in, disabled", TextTable::num(disabledPerIter, 2),
+                TextTable::num(disabledPct, 2),
+                TextTable::num(disabledSiteNs, 2)});
+  table.addRow({"enabled", TextTable::num(enabledPerIter, 2),
+                TextTable::num(enabledPct, 2),
+                TextTable::num(enabledSiteNs, 2)});
+  std::printf("%s", table.render().c_str());
+
+  JsonValue doc = JsonValue::object();
+  doc.set("iterations", iters)
+      .set("workload", "matmul64+relu+sum, 4 span sites per iter")
+      .set("bare_us_per_iter", barePerIter)
+      .set("disabled_us_per_iter", disabledPerIter)
+      .set("disabled_overhead_pct", disabledPct)
+      .set("disabled_site_ns", disabledSiteNs)
+      .set("enabled_us_per_iter", enabledPerIter)
+      .set("enabled_overhead_pct", enabledPct)
+      .set("enabled_site_ns", enabledSiteNs)
+      .set("budget_pct", 2.0);
+  std::printf("wrote %s\n",
+              bench::writeBenchJson("trace_overhead", doc).c_str());
+
+  if (disabledPct >= 2.0) {
+    std::printf("FAIL: disabled tracing costs %.2f%% (budget 2%%)\n",
+                disabledPct);
+    return 1;
+  }
+  std::printf("OK: disabled tracing costs %.2f%% (budget 2%%)\n",
+              disabledPct);
+  return 0;
+}

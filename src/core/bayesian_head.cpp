@@ -1,6 +1,7 @@
 #include "core/bayesian_head.hpp"
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/storage.hpp"
 
@@ -41,6 +42,7 @@ BayesianHead::Prediction BayesianHead::predict(const Tensor& u,
                                                const WeightDistribution& q,
                                                std::int32_t numSamples,
                                                Rng& rng) const {
+  DAGT_TRACE_SCOPE("bayes/predict");
   DAGT_CHECK(numSamples >= 1);
   DAGT_CHECK(u.shape() == q.mu.shape());
   // The K-sample Monte-Carlo loop below allocates several temporaries per
@@ -55,6 +57,7 @@ BayesianHead::Prediction BayesianHead::predict(const Tensor& u,
   out.samples.reserve(static_cast<std::size_t>(numSamples));
   Tensor sum;
   for (std::int32_t k = 0; k < numSamples; ++k) {
+    DAGT_TRACE_SCOPE("bayes/mc_sample");
     const Tensor eps = Tensor::randn(u.shape(), rng);  // constant w.r.t. tape
     const Tensor w = tensor::add(q.mu, tensor::mul(std, eps));
     // \hat y_i = W_i . u + bias

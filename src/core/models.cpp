@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace dagt::core {
@@ -62,7 +63,11 @@ Dac23Model::Dac23Model(std::int64_t pinFeatureDim, const ModelConfig& config,
 }
 
 Tensor Dac23Model::forwardBatch(const DesignBatch& batch) const {
-  const Tensor u = extractor_.extract(batch);
+  DAGT_TRACE_SCOPE("model/forward");
+  const Tensor u = [&] {
+    DAGT_TRACE_SCOPE("model/extract");
+    return extractor_.extract(batch);
+  }();
   const nn::Linear* head = readout_.get();
   const Tensor* w0 = &bypass_;
   if (readoutTarget_ &&
@@ -111,12 +116,20 @@ OursModel::OursModel(std::int64_t pinFeatureDim, const ModelConfig& config,
 OursModel::BatchForward OursModel::forward(const DesignBatch& batch,
                                            std::int32_t mcSamples,
                                            Rng& rng) const {
+  DAGT_TRACE_SCOPE("model/forward");
   BatchForward out;
-  out.u = extractor_.extract(batch);
-  const auto split = disentangler_.forward(out.u);
+  {
+    DAGT_TRACE_SCOPE("model/extract");
+    out.u = extractor_.extract(batch);
+  }
+  const auto split = [&] {
+    DAGT_TRACE_SCOPE("model/disentangle");
+    return disentangler_.forward(out.u);
+  }();
   out.un = split.nodeDependent;
   out.ud = split.designDependent;
   const Tensor joint = tensor::concat1({out.un, out.ud});
+  DAGT_TRACE_SCOPE("model/head");
   if (usesBayesianHead()) {
     out.q = bayesHead_->distribution(joint);
     auto prediction = bayesHead_->predict(joint, out.q, mcSamples, rng);

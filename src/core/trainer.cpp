@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/trace.hpp"
 #include "tensor/storage.hpp"
 
 namespace dagt::core {
@@ -127,14 +128,23 @@ std::unique_ptr<TimingModel> Trainer::trainBaseline(Strategy strategy,
         // step end — across epochs the optimizer loop stops touching the
         // heap for tensor buffers.
         tensor::Workspace workspace;
-        const DesignBatch batch =
-            data_->sampleBatch(*design, config_.endpointCap, rng);
+        DAGT_TRACE_SCOPE("train/step");
+        const DesignBatch batch = [&] {
+          DAGT_TRACE_SCOPE("train/sample_batch");
+          return data_->sampleBatch(*design, config_.endpointCap, rng);
+        }();
         const Tensor pred = model->forwardBatch(batch);
         Tensor loss = mse(pred, batch.labels);
         adam.zeroGrad();
-        loss.backward();
-        adam.clipGradNorm(config_.gradClip);
-        adam.step();
+        {
+          DAGT_TRACE_SCOPE("train/backward");
+          loss.backward();
+        }
+        {
+          DAGT_TRACE_SCOPE("train/optimizer");
+          adam.clipGradNorm(config_.gradClip);
+          adam.step();
+        }
         epochLoss += loss.item();
       }
       if (stats) {
@@ -176,14 +186,17 @@ std::unique_ptr<TimingModel> Trainer::trainOurs(Strategy strategy,
     for (const DesignData* source : order) {
       // Per-step buffer recycling scope (see trainBaseline).
       tensor::Workspace workspace;
+      DAGT_TRACE_SCOPE("train/step");
       // One transfer step: a source-node batch paired with a target-node
       // batch (the paper samples N'_S and N'_T per batch).
       const DesignData* target =
           targets_[rng.uniformInt(targets_.size())];
-      const DesignBatch batchS =
-          data_->sampleBatch(*source, config_.endpointCap, rng);
-      const DesignBatch batchT =
-          data_->sampleBatch(*target, config_.endpointCap, rng);
+      const auto sample = [&](const DesignData& design) {
+        DAGT_TRACE_SCOPE("train/sample_batch");
+        return data_->sampleBatch(design, config_.endpointCap, rng);
+      };
+      const DesignBatch batchS = sample(*source);
+      const DesignBatch batchT = sample(*target);
 
       const auto fS = model->forward(batchS, config_.mcSamples, rng);
       const auto fT = model->forward(batchT, config_.mcSamples, rng);
@@ -204,9 +217,13 @@ std::unique_ptr<TimingModel> Trainer::trainOurs(Strategy strategy,
         return tensor::mulScalar(
             acc, 1.0f / static_cast<float>(f.samples.size()));
       };
-      loss = tensor::add(likelihood(fS, batchS), likelihood(fT, batchT));
+      {
+        DAGT_TRACE_SCOPE("train/loss_likelihood");
+        loss = tensor::add(likelihood(fS, batchS), likelihood(fT, batchT));
+      }
 
       if (model->usesBayesianHead()) {
+        DAGT_TRACE_SCOPE("train/loss_kl");
         // KL(q(W|G') || p(W|N)) with the amortized prior (Eq. 10): pooled
         // design-dependent mean across both nodes, per-node u^n mean.
         // The cross-node pooling of u^d is justified by the paper only
@@ -232,17 +249,28 @@ std::unique_ptr<TimingModel> Trainer::trainOurs(Strategy strategy,
       }
 
       if (model->usesAlignmentLosses()) {
-        const Tensor clr = nodeContrastiveLoss(fS.un, fT.un, config_.tau);
-        const Tensor cmd =
-            centralMomentDiscrepancy(fS.ud, fT.ud, config_.cmdMaxOrder);
+        const Tensor clr = [&] {
+          DAGT_TRACE_SCOPE("train/loss_contrastive");
+          return nodeContrastiveLoss(fS.un, fT.un, config_.tau);
+        }();
+        const Tensor cmd = [&] {
+          DAGT_TRACE_SCOPE("train/loss_cmd");
+          return centralMomentDiscrepancy(fS.ud, fT.ud, config_.cmdMaxOrder);
+        }();
         loss = tensor::add(loss, tensor::mulScalar(clr, config_.gamma1));
         loss = tensor::add(loss, tensor::mulScalar(cmd, config_.gamma2));
       }
 
       adam.zeroGrad();
-      loss.backward();
-      adam.clipGradNorm(config_.gradClip);
-      adam.step();
+      {
+        DAGT_TRACE_SCOPE("train/backward");
+        loss.backward();
+      }
+      {
+        DAGT_TRACE_SCOPE("train/optimizer");
+        adam.clipGradNorm(config_.gradClip);
+        adam.step();
+      }
       epochLoss += loss.item();
     }
     if (stats) {

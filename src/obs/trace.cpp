@@ -1,0 +1,218 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace dagt::obs {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread state: the ring handle (shared with the registry so it
+/// survives thread exit) and the current span nesting depth.
+struct ThreadState {
+  std::shared_ptr<ThreadTraceBuffer> buffer;
+  std::int32_t depth = 0;
+};
+
+ThreadState& threadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> gTracingEnabled{false};
+
+std::uint64_t spanBegin() {
+  ++threadState().depth;
+  return TraceRegistry::global().nowNs();
+}
+
+void spanEnd(const char* name, std::uint64_t startNs) {
+  TraceRegistry& registry = TraceRegistry::global();
+  const std::uint64_t endNs = registry.nowNs();
+  ThreadState& state = threadState();
+  --state.depth;
+  TraceEvent event;
+  event.name = name;
+  event.startNs = startNs;
+  event.durNs = endNs - startNs;
+  event.depth = state.depth;  // depth of this span itself (0 = top level)
+  event.kind = EventKind::kSpan;
+  registry.emit(event);
+}
+
+void instant(const char* name, const char* argName, double argValue) {
+  TraceRegistry& registry = TraceRegistry::global();
+  TraceEvent event;
+  event.name = name;
+  event.startNs = registry.nowNs();
+  event.depth = threadState().depth;
+  event.kind = EventKind::kInstant;
+  event.argName = argName;
+  event.argValue = argValue;
+  registry.emit(event);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// ThreadTraceBuffer
+// ---------------------------------------------------------------------------
+
+ThreadTraceBuffer::ThreadTraceBuffer(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), capacity_(capacity == 0 ? 1 : capacity) {
+  // One up-front reservation; emit never reallocates after this.
+  ring_.reserve(capacity_);
+}
+
+void ThreadTraceBuffer::append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[written_ % capacity_] = event;  // wraparound: overwrite oldest
+  }
+  ++written_;
+  if (event.kind == EventKind::kSpan) {
+    Agg& agg = agg_[event.name];
+    ++agg.count;
+    agg.totalNs += event.durNs;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceRegistry
+// ---------------------------------------------------------------------------
+
+TraceRegistry::TraceRegistry() : epochSteadyNs_(steadyNowNs()) {}
+
+TraceRegistry& TraceRegistry::global() {
+  static TraceRegistry* registry = new TraceRegistry();  // leaked: see header
+  return *registry;
+}
+
+void TraceRegistry::setEnabled(bool on) {
+  detail::gTracingEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool TraceRegistry::enabled() const { return tracingEnabled(); }
+
+void TraceRegistry::setRingCapacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ringCapacity_ = events == 0 ? 1 : events;
+}
+
+std::uint64_t TraceRegistry::nowNs() const {
+  return steadyNowNs() - epochSteadyNs_;
+}
+
+ThreadTraceBuffer& TraceRegistry::threadBuffer() {
+  ThreadState& state = threadState();
+  if (!state.buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state.buffer = std::make_shared<ThreadTraceBuffer>(
+        static_cast<std::uint32_t>(buffers_.size()), ringCapacity_);
+    buffers_.push_back(state.buffer);
+  }
+  return *state.buffer;
+}
+
+void TraceRegistry::emit(const TraceEvent& event) {
+  TraceEvent stamped = event;
+  ThreadTraceBuffer& buffer = threadBuffer();
+  stamped.tid = buffer.tid_;
+  buffer.append(stamped);
+}
+
+TraceSnapshot TraceRegistry::collect() const {
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  TraceSnapshot snapshot;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex_);
+    const std::size_t held = buffer->ring_.size();
+    if (buffer->written_ > held) snapshot.dropped += buffer->written_ - held;
+    // Chronological stitch: when wrapped, the oldest surviving event sits
+    // at written_ % capacity.
+    const std::size_t start =
+        buffer->written_ > held
+            ? static_cast<std::size_t>(buffer->written_ % buffer->capacity_)
+            : 0;
+    for (std::size_t i = 0; i < held; ++i) {
+      snapshot.events.push_back(buffer->ring_[(start + i) % held]);
+    }
+  }
+  std::sort(snapshot.events.begin(), snapshot.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              return a.durNs > b.durNs;  // parent before equal-start child
+            });
+  return snapshot;
+}
+
+std::vector<SpanStats> TraceRegistry::aggregate(
+    const std::string& prefix) const {
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  // Merge by name *contents*: two threads may hold distinct literal
+  // pointers for the same span name.
+  std::unordered_map<std::string, SpanStats> merged;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex_);
+    for (const auto& [name, agg] : buffer->agg_) {
+      if (std::strncmp(name, prefix.c_str(), prefix.size()) != 0) continue;
+      SpanStats& stats = merged[name];
+      stats.name = name;
+      stats.count += agg.count;
+      stats.totalNs += agg.totalNs;
+    }
+  }
+  std::vector<SpanStats> out;
+  out.reserve(merged.size());
+  for (auto& [name, stats] : merged) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              if (a.totalNs != b.totalNs) return a.totalNs > b.totalNs;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void TraceRegistry::reset() {
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex_);
+    buffer->ring_.clear();
+    buffer->written_ = 0;
+    buffer->agg_.clear();
+  }
+}
+
+std::size_t TraceRegistry::threadCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffers_.size();
+}
+
+}  // namespace dagt::obs

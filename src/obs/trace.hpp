@@ -1,0 +1,247 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// DAGT_TRACING selects whether the DAGT_TRACE_* macros compile to span
+/// emission or to nothing at all. The build system passes it explicitly
+/// (DAGT_TRACING CMake option, ON by default); with it off the macros leave
+/// zero code behind — not even the enabled check — so a DAGT_TRACING=0
+/// build is bit-identical in behaviour to an uninstrumented tree.
+///
+/// With tracing compiled in, emission is still gated at runtime by
+/// TraceRegistry::setEnabled (default off). The disabled hot path is one
+/// relaxed atomic load and a branch per site; bench_trace_overhead holds
+/// that cost under 2% on a Release tensor workload.
+#ifndef DAGT_TRACING
+#define DAGT_TRACING 1
+#endif
+
+namespace dagt::obs {
+
+enum class EventKind : std::uint8_t {
+  kSpan,     // closed interval [startNs, startNs + durNs)
+  kInstant,  // point event (heap-alloc fallthrough, workspace drain, ...)
+};
+
+/// One trace record. `name` (and `argName`) must outlive collection —
+/// the macros only ever pass string literals, which is the reason direct
+/// TraceRegistry::emit calls are banned outside src/obs/ (lint rule
+/// trace-macro-only).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t startNs = 0;  // since the registry's process epoch
+  std::uint64_t durNs = 0;    // 0 for instants
+  std::int32_t depth = 0;     // span nesting depth on the emitting thread
+  std::uint32_t tid = 0;      // dense registry-assigned thread index
+  EventKind kind = EventKind::kSpan;
+  const char* argName = nullptr;  // optional numeric payload
+  double argValue = 0.0;
+};
+
+/// Wrap-proof per-name aggregate (count + total time), kept alongside the
+/// ring so long-running servers report span totals even after the ring has
+/// discarded the oldest events.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+
+  double meanUs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(totalNs) / 1000.0 /
+                            static_cast<double>(count);
+  }
+  double totalUs() const { return static_cast<double>(totalNs) / 1000.0; }
+};
+
+/// Point-in-time copy of every thread's ring, chronologically ordered per
+/// thread. `dropped` counts events lost to ring wraparound since the last
+/// reset.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+/// Fixed-capacity event ring owned by one thread. The owner appends under
+/// mutex_, which is uncontended by construction — the only other party
+/// that ever takes it is TraceRegistry::collect/aggregate/reset, so the
+/// per-event cost is an uncontended lock plus two stores. Oldest events
+/// are overwritten once `capacity` is exceeded (counted as dropped).
+class ThreadTraceBuffer {
+ public:
+  ThreadTraceBuffer(std::uint32_t tid, std::size_t capacity);
+
+  /// Owner thread only. Spans also feed the per-name aggregate.
+  void append(const TraceEvent& event);
+
+ private:
+  friend class TraceRegistry;
+
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+  };
+
+  const std::uint32_t tid_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // GUARDED_BY(mutex_), bounded by capacity_
+  std::uint64_t written_ = 0;     // GUARDED_BY(mutex_), total ever appended
+  std::unordered_map<const char*, Agg> agg_;  // GUARDED_BY(mutex_)
+};
+
+/// Process-wide owner of the per-thread ring buffers.
+///
+/// The hot path never touches the registry: a span site reads one relaxed
+/// global atomic (tracingEnabled) and, when on, appends to its own
+/// thread's ring. The registry mutex only guards the buffer list — taken
+/// once per thread lifetime at registration and by the drain-side APIs
+/// (collect / aggregate / reset), which lock each ring briefly to copy.
+class TraceRegistry {
+ public:
+  /// The process-wide registry (leaked singleton, same rationale as
+  /// tensor::BufferPool::global: spans may close during static teardown).
+  static TraceRegistry& global();
+
+  /// Runtime gate for every DAGT_TRACE_* site.
+  void setEnabled(bool on);
+  bool enabled() const;
+
+  /// Ring capacity (events per thread) for buffers created after the call;
+  /// existing threads keep the capacity they registered with. Intended for
+  /// startup / tests, not mid-trace reconfiguration.
+  void setRingCapacity(std::size_t events);
+
+  /// Append one event to the calling thread's ring. Outside src/obs/ this
+  /// must only be reached through the DAGT_TRACE_* macros (lint rule
+  /// trace-macro-only) so that DAGT_TRACING=0 compiles every call out.
+  void emit(const TraceEvent& event);
+
+  /// Non-destructive drain: copies every ring under its mutex, stitches
+  /// the snapshot sorted by (tid, startNs). Events still being produced
+  /// concurrently are picked up by the next collect.
+  TraceSnapshot collect() const;
+
+  /// Per-name totals from the wrap-proof aggregates, optionally filtered
+  /// to names starting with `prefix`, sorted by total time descending.
+  std::vector<SpanStats> aggregate(const std::string& prefix = "") const;
+
+  /// Clear every ring, aggregate and drop counter (buffers stay
+  /// registered — thread_local handles keep pointing at them).
+  void reset();
+
+  /// Number of thread buffers ever registered (tests).
+  std::size_t threadCount() const;
+
+  /// Nanoseconds since the registry's construction (the trace epoch).
+  std::uint64_t nowNs() const;
+
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 15;  // events
+
+ private:
+  TraceRegistry();
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadTraceBuffer& threadBuffer();
+
+  std::uint64_t epochSteadyNs_ = 0;
+  mutable std::mutex mutex_;
+  // GUARDED_BY(mutex_): shared_ptr so rings of exited threads survive
+  // until collected (serve workers are joined before the CLI exports).
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers_;
+  std::size_t ringCapacity_ = kDefaultRingCapacity;  // GUARDED_BY(mutex_)
+};
+
+namespace detail {
+
+/// The runtime gate, kept as a namespace-scope atomic (not a member behind
+/// the singleton) so the disabled check inlines to one relaxed load with
+/// no static-init guard on it.
+extern std::atomic<bool> gTracingEnabled;
+
+/// Out-of-line slow paths of the macros (trace.cpp).
+std::uint64_t spanBegin();  // timestamp + thread depth++
+void spanEnd(const char* name, std::uint64_t startNs);
+void instant(const char* name, const char* argName, double argValue);
+
+}  // namespace detail
+
+/// True when tracing is compiled in and runtime-enabled. This is the whole
+/// disabled-mode hot path of every DAGT_TRACE_* site.
+inline bool tracingEnabled() {
+#if DAGT_TRACING
+  return detail::gTracingEnabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// RAII span: stamps the start on construction, emits one kSpan event on
+/// destruction. Spans opened while tracing was off stay disarmed even if
+/// tracing turns on before they close (and vice versa: a span armed at
+/// construction emits even if tracing was just turned off, so nesting
+/// stays balanced per thread).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (tracingEnabled()) {
+      name_ = name;
+      startNs_ = detail::spanBegin();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) detail::spanEnd(name_, startNs_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t startNs_ = 0;
+};
+
+}  // namespace dagt::obs
+
+#define DAGT_TRACE_CONCAT_IMPL(a, b) a##b
+#define DAGT_TRACE_CONCAT(a, b) DAGT_TRACE_CONCAT_IMPL(a, b)
+
+#if DAGT_TRACING
+
+/// Trace the enclosing scope as one span. `name` must be a string literal
+/// (the event stores the pointer). Naming scheme: docs/observability.md.
+#define DAGT_TRACE_SCOPE(name) \
+  ::dagt::obs::ScopedSpan DAGT_TRACE_CONCAT(dagtTraceSpan_, __LINE__)(name)
+
+/// Emit a point event with one numeric payload, e.g.
+/// DAGT_TRACE_INSTANT("pool/heap_alloc", "bytes", cap). `name`/`argName`
+/// must be string literals; `argValue` is evaluated only when tracing is
+/// runtime-enabled.
+#define DAGT_TRACE_INSTANT(name, argName, argValue)                        \
+  do {                                                                     \
+    if (::dagt::obs::tracingEnabled()) {                                   \
+      ::dagt::obs::detail::instant(name, argName,                          \
+                                   static_cast<double>(argValue));         \
+    }                                                                      \
+  } while (false)
+
+#else  // DAGT_TRACING == 0: sites vanish; operands type-check, never run.
+
+#define DAGT_TRACE_SCOPE(name)  \
+  do {                          \
+    (void)sizeof(name);         \
+  } while (false)
+
+#define DAGT_TRACE_INSTANT(name, argName, argValue) \
+  do {                                              \
+    (void)sizeof(name);                             \
+    (void)sizeof(argName);                          \
+    (void)sizeof((argValue, 0));                    \
+  } while (false)
+
+#endif  // DAGT_TRACING

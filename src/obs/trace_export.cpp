@@ -1,0 +1,144 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/table.hpp"
+
+namespace dagt::obs {
+
+namespace {
+
+double toUs(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+JsonValue chromeTraceJson(const TraceSnapshot& snapshot) {
+  JsonValue events = JsonValue::array();
+  for (const TraceEvent& event : snapshot.events) {
+    JsonValue record = JsonValue::object();
+    record.set("name", event.name);
+    record.set("cat", "dagt");
+    record.set("pid", 1);
+    record.set("tid", static_cast<std::int64_t>(event.tid));
+    record.set("ts", toUs(event.startNs));
+    if (event.kind == EventKind::kSpan) {
+      record.set("ph", "X");
+      record.set("dur", toUs(event.durNs));
+    } else {
+      record.set("ph", "i");
+      record.set("s", "t");  // thread-scoped instant
+    }
+    if (event.argName != nullptr) {
+      record.set("args",
+                 JsonValue::object().set(event.argName, event.argValue));
+    }
+    events.push(std::move(record));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  doc.set("dagt_dropped_events",
+          static_cast<std::uint64_t>(snapshot.dropped));
+  return doc;
+}
+
+std::vector<ProfileRow> profileRows(const TraceSnapshot& snapshot) {
+  // Snapshot events are sorted by (tid, startNs, dur desc), so within a
+  // thread a parent always precedes its children. Walk each thread with an
+  // interval stack; child time is charged against the innermost open span.
+  struct Open {
+    const char* name;
+    std::uint64_t startNs;
+    std::uint64_t endNs;
+    std::uint64_t childNs = 0;
+  };
+  std::unordered_map<std::string, ProfileRow> rows;
+  std::vector<Open> stack;
+  std::uint32_t currentTid = 0;
+  bool first = true;
+
+  auto charge = [&](const Open& top, std::uint64_t totalNs) {
+    ProfileRow& row = rows[top.name];
+    if (row.name.empty()) row.name = top.name;
+    ++row.count;
+    row.totalUs += toUs(totalNs);
+    const std::uint64_t selfNs =
+        totalNs >= top.childNs ? totalNs - top.childNs : 0;
+    row.selfUs += toUs(selfNs);
+  };
+
+  auto popUntil = [&](std::uint64_t startNs, bool flushAll) {
+    while (!stack.empty() &&
+           (flushAll || stack.back().endNs <= startNs)) {
+      const Open top = stack.back();
+      stack.pop_back();
+      const std::uint64_t totalNs = top.endNs - top.startNs;
+      charge(top, totalNs);
+      if (!stack.empty()) stack.back().childNs += totalNs;
+    }
+  };
+
+  for (const TraceEvent& event : snapshot.events) {
+    if (event.kind != EventKind::kSpan) continue;
+    if (first || event.tid != currentTid) {
+      popUntil(0, /*flushAll=*/true);
+      currentTid = event.tid;
+      first = false;
+    }
+    popUntil(event.startNs, /*flushAll=*/false);
+    stack.push_back(
+        Open{event.name, event.startNs, event.startNs + event.durNs, 0});
+  }
+  popUntil(0, /*flushAll=*/true);
+
+  std::vector<ProfileRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const ProfileRow& a,
+                                       const ProfileRow& b) {
+    if (a.selfUs != b.selfUs) return a.selfUs > b.selfUs;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string renderProfile(const std::vector<ProfileRow>& rows,
+                          double wallUs) {
+  std::vector<std::string> header = {"span", "count", "total_us", "self_us",
+                                     "mean_us"};
+  if (wallUs > 0.0) header.push_back("%wall");
+  TextTable table(header);
+  for (const ProfileRow& row : rows) {
+    std::vector<std::string> cells = {
+        row.name, std::to_string(row.count), TextTable::num(row.totalUs, 1),
+        TextTable::num(row.selfUs, 1),
+        TextTable::num(row.count == 0 ? 0.0
+                                      : row.totalUs /
+                                            static_cast<double>(row.count),
+                       1)};
+    if (wallUs > 0.0) {
+      cells.push_back(TextTable::num(100.0 * row.totalUs / wallUs, 1));
+    }
+    table.addRow(std::move(cells));
+  }
+  return table.render();
+}
+
+double spanCoverage(const TraceSnapshot& snapshot, std::uint64_t wallNs) {
+  if (wallNs == 0) return 0.0;
+  // Sum depth-0 span time per thread (those spans cannot overlap within a
+  // thread), cap each thread at the wall, and report the best-covered
+  // thread — the wrapper's root span lives on the main thread.
+  std::unordered_map<std::uint32_t, std::uint64_t> perTid;
+  for (const TraceEvent& event : snapshot.events) {
+    if (event.kind != EventKind::kSpan || event.depth != 0) continue;
+    perTid[event.tid] += event.durNs;
+  }
+  std::uint64_t best = 0;
+  for (const auto& [tid, ns] : perTid) best = std::max(best, ns);
+  best = std::min(best, wallNs);
+  return static_cast<double>(best) / static_cast<double>(wallNs);
+}
+
+}  // namespace dagt::obs

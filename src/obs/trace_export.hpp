@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+
+namespace dagt::obs {
+
+/// Render a snapshot in the Chrome trace_event format (the JSON object
+/// flavour: {"traceEvents": [...], ...}). Load the file at chrome://tracing
+/// or https://ui.perfetto.dev. Spans become "ph":"X" complete events,
+/// instants "ph":"i"; timestamps are microseconds since the trace epoch.
+JsonValue chromeTraceJson(const TraceSnapshot& snapshot);
+
+/// One line of the text profile, aggregated per span name.
+struct ProfileRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double totalUs = 0.0;  // wall time inside spans of this name
+  double selfUs = 0.0;   // totalUs minus time inside nested spans
+};
+
+/// Aggregate a snapshot into per-name total/self time, sorted by self time
+/// descending. Self time is computed per thread from span nesting: a
+/// parent's self time excludes every directly-nested child interval.
+std::vector<ProfileRow> profileRows(const TraceSnapshot& snapshot);
+
+/// Fixed-width text profile of the given rows. `wallUs` (when > 0) adds a
+/// %wall column relating each row's total time to the measured wall time.
+std::string renderProfile(const std::vector<ProfileRow>& rows,
+                          double wallUs = 0.0);
+
+/// Fraction of `wallNs` covered by top-level (depth 0) spans, summed over
+/// threads and clamped to [0, 1] per thread. The `dagt trace` wrapper
+/// reports this as span coverage.
+double spanCoverage(const TraceSnapshot& snapshot, std::uint64_t wallNs);
+
+}  // namespace dagt::obs

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "features/path_extractor.hpp"
 #include "netlist/io.hpp"
+#include "obs/trace.hpp"
 #include "sta/sta_engine.hpp"
 
 namespace dagt::serve {
@@ -173,9 +174,12 @@ std::shared_ptr<const ServableDesign> FeatureService::fromFiles(
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.fingerprint == fingerprint) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      DAGT_TRACE_INSTANT("serve/feature_cache_hit", "endpoints",
+                         it->second.design->numEndpoints());
       return it->second.design;
     }
   }
+  DAGT_TRACE_SCOPE("serve/feature_build");
 
   // The file library identifies the node; cells resolve against this
   // service's own deterministic library for that node so the gate-type
@@ -211,9 +215,12 @@ std::shared_ptr<const ServableDesign> FeatureService::fromNetlist(
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.fingerprint == revision) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      DAGT_TRACE_INSTANT("serve/feature_cache_hit", "endpoints",
+                         it->second.design->numEndpoints());
       return it->second.design;
     }
   }
+  DAGT_TRACE_SCOPE("serve/feature_build");
   auto servable = build(std::move(netlist), node, placement);
   std::lock_guard<std::mutex> lock(mutex_);
   misses_.fetch_add(1, std::memory_order_relaxed);

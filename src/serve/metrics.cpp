@@ -41,6 +41,11 @@ std::string MetricsSnapshot::renderTable() const {
   table.addRow({"pool bytes outstanding",
                 std::to_string(pool.bytesOutstanding)});
   table.addRow({"pool bytes parked", std::to_string(pool.bytesPooled)});
+  for (const obs::SpanStats& span : traceSpans) {
+    table.addRow({"span " + span.name + " (count / mean us)",
+                  std::to_string(span.count) + " / " +
+                      TextTable::num(span.meanUs(), 1)});
+  }
   return table.render();
 }
 
@@ -63,6 +68,16 @@ JsonValue MetricsSnapshot::toJson() const {
       .set("pool_hit_rate", pool.hitRate())
       .set("pool_bytes_outstanding", pool.bytesOutstanding)
       .set("pool_bytes_parked", pool.bytesPooled);
+  if (!traceSpans.empty()) {
+    JsonValue spans = JsonValue::object();
+    for (const obs::SpanStats& span : traceSpans) {
+      spans.set(span.name, JsonValue::object()
+                               .set("count", span.count)
+                               .set("total_us", span.totalUs())
+                               .set("mean_us", span.meanUs()));
+    }
+    j.set("trace_spans", std::move(spans));
+  }
   return j;
 }
 

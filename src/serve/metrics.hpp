@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/trace.hpp"
 #include "tensor/storage.hpp"
 
 namespace dagt::serve {
@@ -28,6 +29,9 @@ struct MetricsSnapshot {
   /// Tensor buffer-pool counters (process-wide): how much of the serving
   /// hot path is running allocation-free. See tensor::PoolStats.
   tensor::PoolStats pool;
+  /// Per-span totals of the serve path ("serve/" names, process-wide),
+  /// populated only while tracing is runtime-enabled. Empty otherwise.
+  std::vector<obs::SpanStats> traceSpans;
 
   /// Two-column table ("metric", "value") for terminal output.
   std::string renderTable() const;

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "netlist/io.hpp"
+#include "obs/trace.hpp"
 #include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 
@@ -166,6 +167,7 @@ float PredictionEngine::predictEndpoint(const std::string& key,
 
 std::vector<float> PredictionEngine::predictEndpoints(
     const std::string& key, const std::vector<std::int64_t>& endpoints) {
+  DAGT_TRACE_SCOPE("serve/request");
   DAGT_CHECK_MSG(!endpoints.empty(), "empty endpoint query");
   RequestGroup group;
   group.ref = designRef(key);
@@ -197,6 +199,7 @@ std::vector<float> PredictionEngine::predictEndpoints(
 }
 
 std::vector<float> PredictionEngine::predictDesign(const std::string& key) {
+  DAGT_TRACE_SCOPE("serve/full_design");
   const DesignRef ref = designRef(key);
   tensor::Workspace workspace;
   auto predictions = ref.node->bundle.model().predictDesign(
@@ -207,6 +210,7 @@ std::vector<float> PredictionEngine::predictDesign(const std::string& key) {
 
 void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
   if (groups.empty()) return;
+  DAGT_TRACE_SCOPE("serve/batch");
   try {
     tensor::NoGradGuard guard;
     const DesignRef& ref = groups.front().ref;
@@ -221,8 +225,10 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
       combined.insert(combined.end(), group.endpoints.begin(),
                       group.endpoints.end());
     }
-    const core::DesignBatch batch =
-        design.dataset->batchFor(design.data, combined);
+    const core::DesignBatch batch = [&] {
+      DAGT_TRACE_SCOPE("serve/batch_assembly");
+      return design.dataset->batchFor(design.data, combined);
+    }();
     // Batch-assembly contract: one masked image of the manifest's trained
     // resolution per coalesced endpoint (feature-width agreement).
     const std::int64_t res = ref.node->bundle.manifest().model.imageResolution;
@@ -233,14 +239,17 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
 
     core::TimingModel& model = ref.node->bundle.model();
     tensor::Tensor predictionNs;
-    if (auto* dac23 = dynamic_cast<core::Dac23Model*>(&model)) {
-      predictionNs = dac23->forwardBatch(batch);
-    } else if (auto* ours = dynamic_cast<core::OursModel*>(&model)) {
-      Rng rng(batchSeed(design.data.name, combined));
-      predictionNs =
-          ours->forward(batch, config_.mcSamples, rng).prediction;
-    } else {
-      DAGT_CHECK_MSG(false, "unservable TimingModel subclass");
+    {
+      DAGT_TRACE_SCOPE("serve/forward");
+      if (auto* dac23 = dynamic_cast<core::Dac23Model*>(&model)) {
+        predictionNs = dac23->forwardBatch(batch);
+      } else if (auto* ours = dynamic_cast<core::OursModel*>(&model)) {
+        Rng rng(batchSeed(design.data.name, combined));
+        predictionNs =
+            ours->forward(batch, config_.mcSamples, rng).prediction;
+      } else {
+        DAGT_CHECK_MSG(false, "unservable TimingModel subclass");
+      }
     }
 
     DAGT_DCHECK_MSG(predictionNs.numel() ==
@@ -248,6 +257,7 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
                     "model returned " << predictionNs.numel()
                                       << " predictions for "
                                       << combined.size() << " endpoints");
+    DAGT_TRACE_SCOPE("serve/readout");
     const float* values = predictionNs.data();
     const auto now = std::chrono::steady_clock::now();
     std::size_t offset = 0;
@@ -301,9 +311,14 @@ void PredictionEngine::workerLoop() {
       }
       return total;
     };
-    while (!stopping_ && pendingForLead() < config_.maxBatch &&
-           std::chrono::steady_clock::now() < deadline) {
-      queueCv_.wait_until(lock, deadline);
+    {
+      // The deliberate hold-open for followers on the lead's design (NOT
+      // idle time waiting for any work at all — that sits outside spans).
+      DAGT_TRACE_SCOPE("serve/coalesce_wait");
+      while (!stopping_ && pendingForLead() < config_.maxBatch &&
+             std::chrono::steady_clock::now() < deadline) {
+        queueCv_.wait_until(lock, deadline);
+      }
     }
 
     std::vector<RequestGroup> taken;
@@ -338,7 +353,14 @@ MetricsSnapshot PredictionEngine::metrics() const {
   }
   // Buffer-pool counters are process-wide (the pool is shared by every
   // engine and the trainer), which is the view an operator wants anyway.
-  return metrics_.snapshot(hits, misses, tensor::BufferPool::global().stats());
+  MetricsSnapshot snap =
+      metrics_.snapshot(hits, misses, tensor::BufferPool::global().stats());
+  if (obs::tracingEnabled()) {
+    // Per-request span summary (process-wide, like the pool counters):
+    // only populated while `dagt trace` / setEnabled has tracing on.
+    snap.traceSpans = obs::TraceRegistry::global().aggregate("serve/");
+  }
+  return snap;
 }
 
 }  // namespace dagt::serve

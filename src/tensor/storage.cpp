@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace dagt::tensor {
 
@@ -64,6 +65,9 @@ std::shared_ptr<Buffer> BufferPool::acquire(std::size_t n) {
   if (!buffer) {
     buffer = std::make_unique<Buffer>(cap, bucket);
     heapAllocs_.fetch_add(1, std::memory_order_relaxed);
+    // Steady-state hot loops should never reach here; a burst of these
+    // instants in a trace flags a pool-bypass regression.
+    DAGT_TRACE_INSTANT("pool/heap_alloc", "bytes", cap * sizeof(float));
   }
   DAGT_DCHECK_MSG(buffer->bucket() == bucket,
                   "pool handed out a buffer from bucket " << buffer->bucket()
@@ -167,6 +171,7 @@ Workspace::~Workspace() {
   DAGT_CHECK_MSG(tActiveWorkspace == this,
                  "Workspace destroyed out of LIFO order");
   tActiveWorkspace = previous_;
+  DAGT_TRACE_INSTANT("pool/workspace_drain", "buffers", cachedBuffers());
   // Step end: hand the local cache back to the global pool so the next
   // step (possibly on another thread) reuses these buffers.
   BufferPool& pool = BufferPool::global();

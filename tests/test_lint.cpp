@@ -157,6 +157,22 @@ TEST(DagtLint, StdoutLoggingExemptOutsideSrc) {
   }
 }
 
+TEST(DagtLint, TraceMacroOnlyFiresOnceAndHonorsAllow) {
+  const auto findings =
+      lintFixture("src/serve/fixture.cpp", "trace_emit.cpp");
+  EXPECT_EQ(countRule(findings, "trace-macro-only"), 1)
+      << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 11);
+}
+
+TEST(DagtLint, TraceMacroOnlyExemptInsideObs) {
+  const auto findings =
+      lintFixture("src/obs/trace_fixture.cpp", "trace_emit.cpp");
+  EXPECT_EQ(countRule(findings, "trace-macro-only"), 0)
+      << renderAll(findings);
+}
+
 TEST(DagtLint, CleanFixtureProducesNoFindings) {
   const auto findings =
       lintFixture("src/serve/clean_fixture.hpp", "clean.hpp");

@@ -1,0 +1,493 @@
+// Trace-layer correctness (label `obs`): span nesting and balance across
+// threads, ring-buffer wraparound accounting, disabled-mode zero cost
+// (asserted via BufferPool stats and registry state), aggregate/profile
+// math, and the Chrome trace_event JSON export — including a golden-file
+// lock on the exact serialization and a mini JSON parser proving the real
+// export is well-formed. The whole binary also runs under ThreadSanitizer
+// (tools/verify.sh `obs` stage).
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "serve/metrics.hpp"
+#include "tensor/storage.hpp"
+
+#ifndef DAGT_OBS_GOLDEN_DIR
+#error "DAGT_OBS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace dagt::obs {
+namespace {
+
+/// Registry state is process-global; every test starts from a clean slate
+/// with tracing off.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRegistry::global().setEnabled(false);
+    TraceRegistry::global().reset();
+  }
+  void TearDown() override { TraceRegistry::global().setEnabled(false); }
+};
+
+std::vector<TraceEvent> eventsNamed(const TraceSnapshot& snapshot,
+                                    const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : snapshot.events) {
+    if (name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser — the repo's JsonValue is write-only by design, so the
+// well-formedness check brings its own reader (syntax + structure only).
+// ---------------------------------------------------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Parses one complete JSON value; true iff the whole input is consumed.
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+  int objectsSeen() const { return objects_; }
+  int arraysSeen() const { return arrays_; }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++objects_;
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++arrays_;
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int objects_ = 0;
+  int arrays_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Span nesting / balance
+// ---------------------------------------------------------------------------
+
+void nestedWork() {
+  DAGT_TRACE_SCOPE("obs_test/outer");
+  for (int i = 0; i < 3; ++i) {
+    DAGT_TRACE_SCOPE("obs_test/mid");
+    DAGT_TRACE_SCOPE("obs_test/inner");
+  }
+}
+
+TEST_F(ObsTest, SpanNestingAndBalanceAcrossThreads) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.setEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 5;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int r = 0; r < kRepeats; ++r) nestedWork();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  registry.setEnabled(false);
+
+  const TraceSnapshot snapshot = registry.collect();
+  EXPECT_EQ(snapshot.dropped, 0u);
+  EXPECT_EQ(eventsNamed(snapshot, "obs_test/outer").size(),
+            static_cast<std::size_t>(kThreads * kRepeats));
+  EXPECT_EQ(eventsNamed(snapshot, "obs_test/mid").size(),
+            static_cast<std::size_t>(kThreads * kRepeats * 3));
+  EXPECT_EQ(eventsNamed(snapshot, "obs_test/inner").size(),
+            static_cast<std::size_t>(kThreads * kRepeats * 3));
+
+  // Per thread: every span closed at the depth it opened (outer 0, mid 1,
+  // inner 2) and nested spans sit inside their parent's interval.
+  std::map<std::uint32_t, std::vector<TraceEvent>> byTid;
+  for (const TraceEvent& e : snapshot.events) {
+    ASSERT_EQ(e.kind, EventKind::kSpan);
+    byTid[e.tid].push_back(e);
+  }
+  EXPECT_EQ(byTid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, events] : byTid) {
+    std::vector<TraceEvent> open;  // interval stack, parents first
+    for (const TraceEvent& e : events) {
+      while (!open.empty() &&
+             open.back().startNs + open.back().durNs <= e.startNs) {
+        open.pop_back();
+      }
+      EXPECT_EQ(e.depth, static_cast<std::int32_t>(open.size()))
+          << e.name << " on tid " << tid;
+      if (!open.empty()) {
+        const TraceEvent& parent = open.back();
+        EXPECT_GE(e.startNs, parent.startNs);
+        EXPECT_LE(e.startNs + e.durNs, parent.startNs + parent.durNs)
+            << e.name << " escapes its parent " << parent.name;
+      }
+      open.push_back(e);
+    }
+  }
+}
+
+TEST_F(ObsTest, ConcurrentEmissionAndDrainIsRaceFree) {
+  // Emitters keep producing while another thread collects, aggregates and
+  // a third toggles the runtime gate — the TSan build of this binary is
+  // the actual assertion; the counts only sanity-check liveness.
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.setEnabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 3; ++t) {
+    emitters.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) nestedWork();
+    });
+  }
+  std::thread drainer([&] {
+    for (int i = 0; i < 50; ++i) {
+      (void)registry.collect();
+      (void)registry.aggregate("obs_test/");
+    }
+  });
+  std::thread toggler([&] {
+    for (int i = 0; i < 200; ++i) {
+      registry.setEnabled(i % 2 == 0);
+    }
+    registry.setEnabled(true);
+  });
+  toggler.join();
+  drainer.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : emitters) thread.join();
+  registry.setEnabled(false);
+
+  const auto stats = registry.aggregate("obs_test/");
+  ASSERT_FALSE(stats.empty());
+  EXPECT_GT(stats[0].count, 0u);
+}
+
+TEST_F(ObsTest, SpanOpenedWhileDisabledStaysDisarmed) {
+  TraceRegistry& registry = TraceRegistry::global();
+  {
+    ScopedSpan span("obs_test/disarmed");
+    registry.setEnabled(true);  // toggled on while the span is open
+  }
+  registry.setEnabled(false);
+  const TraceSnapshot snapshot = registry.collect();
+  EXPECT_TRUE(eventsNamed(snapshot, "obs_test/disarmed").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Ring wraparound
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RingWraparoundDropsOldestAndKeepsAggregates) {
+  TraceRegistry& registry = TraceRegistry::global();
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kSpans = 200;
+  registry.setRingCapacity(kCapacity);
+  registry.setEnabled(true);
+  // Capacity applies to buffers created after the call — emit from a fresh
+  // thread so its ring is the small one.
+  std::thread emitter([] {
+    for (int i = 0; i < kSpans; ++i) {
+      DAGT_TRACE_SCOPE("obs_test/wrap");
+    }
+  });
+  emitter.join();
+  registry.setEnabled(false);
+  registry.setRingCapacity(TraceRegistry::kDefaultRingCapacity);
+
+  const TraceSnapshot snapshot = registry.collect();
+  const auto wrapped = eventsNamed(snapshot, "obs_test/wrap");
+  EXPECT_EQ(wrapped.size(), kCapacity);  // ring holds the newest events
+  EXPECT_EQ(snapshot.dropped, static_cast<std::uint64_t>(kSpans) - kCapacity);
+  // Survivors are the newest and still chronologically ordered.
+  for (std::size_t i = 1; i < wrapped.size(); ++i) {
+    EXPECT_GE(wrapped[i].startNs, wrapped[i - 1].startNs);
+  }
+  // The per-name aggregate is wrap-proof: all 200 spans counted.
+  const auto stats = registry.aggregate("obs_test/wrap");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, static_cast<std::uint64_t>(kSpans));
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: zero allocation, zero recording
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledModeAllocatesNothingAndRecordsNothing) {
+  TraceRegistry& registry = TraceRegistry::global();
+  ASSERT_FALSE(tracingEnabled());
+  const std::size_t threadsBefore = registry.threadCount();
+  const std::size_t eventsBefore = registry.collect().events.size();
+
+  tensor::BufferPool::global().resetStats();
+  int argEvaluations = 0;
+  for (int i = 0; i < 10000; ++i) {
+    DAGT_TRACE_SCOPE("obs_test/disabled");
+    DAGT_TRACE_INSTANT("obs_test/disabled_instant", "n", ++argEvaluations);
+  }
+  const tensor::PoolStats pool = tensor::BufferPool::global().stats();
+
+  // No buffer-pool traffic, no heap-backed tensor allocations, no thread
+  // buffer registered, no events recorded — and the instant's argument
+  // expression was never evaluated.
+  EXPECT_EQ(pool.heapAllocs, 0u);
+  EXPECT_EQ(pool.poolReuses + pool.workspaceReuses, 0u);
+  EXPECT_EQ(registry.threadCount(), threadsBefore);
+  EXPECT_EQ(registry.collect().events.size(), eventsBefore);
+  EXPECT_EQ(argEvaluations, 0);
+}
+
+TEST_F(ObsTest, InstantArgEvaluatedExactlyOnceWhenEnabled) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.setEnabled(true);
+  int argEvaluations = 0;
+  DAGT_TRACE_INSTANT("obs_test/instant", "n", ++argEvaluations);
+  registry.setEnabled(false);
+  EXPECT_EQ(argEvaluations, 1);
+  const auto found = eventsNamed(registry.collect(), "obs_test/instant");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].kind, EventKind::kInstant);
+  EXPECT_STREQ(found[0].argName, "n");
+  EXPECT_EQ(found[0].argValue, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate / profile math
+// ---------------------------------------------------------------------------
+
+TraceSnapshot handBuiltSnapshot() {
+  // One thread: root [1000, 10000) with children [2000, 5000) and
+  // [6000, 8000); a second thread with a lone span; one instant.
+  TraceSnapshot snap;
+  snap.dropped = 2;
+  snap.events.push_back(
+      {"cli/predict", 1000, 9000, 0, 0, EventKind::kSpan, nullptr, 0.0});
+  snap.events.push_back(
+      {"serve/batch", 2000, 3000, 1, 0, EventKind::kSpan, nullptr, 0.0});
+  snap.events.push_back(
+      {"serve/batch", 6000, 2000, 1, 0, EventKind::kSpan, nullptr, 0.0});
+  snap.events.push_back(
+      {"serve/forward", 500, 1500, 0, 1, EventKind::kSpan, nullptr, 0.0});
+  snap.events.push_back({"pool/heap_alloc", 2500, 0, 2, 0,
+                         EventKind::kInstant, "bytes", 4096.0});
+  return snap;
+}
+
+TEST_F(ObsTest, ProfileRowsComputeSelfTime) {
+  const auto rows = profileRows(handBuiltSnapshot());
+  std::map<std::string, ProfileRow> byName;
+  for (const auto& row : rows) byName[row.name] = row;
+  ASSERT_EQ(byName.size(), 3u);  // the instant contributes no profile row
+  EXPECT_EQ(byName["cli/predict"].count, 1u);
+  EXPECT_DOUBLE_EQ(byName["cli/predict"].totalUs, 9.0);
+  EXPECT_DOUBLE_EQ(byName["cli/predict"].selfUs, 4.0);  // 9 - (3 + 2)
+  EXPECT_EQ(byName["serve/batch"].count, 2u);
+  EXPECT_DOUBLE_EQ(byName["serve/batch"].totalUs, 5.0);
+  EXPECT_DOUBLE_EQ(byName["serve/batch"].selfUs, 5.0);
+  EXPECT_DOUBLE_EQ(byName["serve/forward"].totalUs, 1.5);
+  // Rendered table carries every row and the %wall column.
+  const std::string table = renderProfile(rows, /*wallUs=*/10.0);
+  EXPECT_NE(table.find("cli/predict"), std::string::npos);
+  EXPECT_NE(table.find("%wall"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanCoverageUsesTopLevelSpansOfBestThread) {
+  const TraceSnapshot snap = handBuiltSnapshot();
+  // Thread 0's depth-0 time is 9000ns; thread 1's is 1500ns.
+  EXPECT_DOUBLE_EQ(spanCoverage(snap, 10000), 0.9);
+  EXPECT_DOUBLE_EQ(spanCoverage(snap, 9000), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(spanCoverage(snap, 0), 0.0);      // degenerate wall
+}
+
+TEST_F(ObsTest, AggregatePrefixFilterAndOrdering) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.setEnabled(true);
+  {
+    DAGT_TRACE_SCOPE("obs_test/agg_a");
+  }
+  {
+    DAGT_TRACE_SCOPE("obs_test/agg_b");
+  }
+  {
+    DAGT_TRACE_SCOPE("other/agg_c");
+  }
+  registry.setEnabled(false);
+  const auto all = registry.aggregate();
+  EXPECT_EQ(all.size(), 3u);
+  const auto filtered = registry.aggregate("obs_test/");
+  ASSERT_EQ(filtered.size(), 2u);
+  for (const auto& s : filtered) {
+    EXPECT_EQ(s.name.rfind("obs_test/", 0), 0u) << s.name;
+    EXPECT_EQ(s.count, 1u);
+  }
+  // Sorted by total time descending.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].totalNs, all[i].totalNs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome JSON export
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeJsonMatchesGoldenFile) {
+  // The golden file ends with the conventional trailing newline; dump()
+  // itself emits none.
+  const std::string actual =
+      chromeTraceJson(handBuiltSnapshot()).dump(2) + "\n";
+  const std::string goldenPath =
+      std::string(DAGT_OBS_GOLDEN_DIR) + "/chrome_trace.json";
+  std::ifstream in(goldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << goldenPath
+                  << "\nexpected contents:\n" << actual;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str())
+      << "Chrome export changed; update " << goldenPath
+      << " after verifying the new output loads in chrome://tracing";
+}
+
+TEST_F(ObsTest, RealExportIsWellFormedAndLoadable) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.setEnabled(true);
+  std::thread worker([] { nestedWork(); });
+  worker.join();
+  nestedWork();
+  DAGT_TRACE_INSTANT("obs_test/marker", "value", 7);
+  registry.setEnabled(false);
+
+  const TraceSnapshot snapshot = registry.collect();
+  const std::string text = chromeTraceJson(snapshot).dump(2);
+  JsonReader reader(text);
+  EXPECT_TRUE(reader.valid()) << text.substr(0, 400);
+  // One record object per event, plus the root and the instant's args.
+  EXPECT_GE(reader.objectsSeen(),
+            static_cast<int>(snapshot.events.size()) + 1);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ServeMetrics integration
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, MetricsSnapshotRendersTraceSpans) {
+  serve::MetricsSnapshot snap;
+  SpanStats stats;
+  stats.name = "serve/forward";
+  stats.count = 4;
+  stats.totalNs = 8'000'000;  // 8 ms -> mean 2000 us
+  snap.traceSpans.push_back(stats);
+
+  const std::string json = snap.toJson().dump(2);
+  EXPECT_NE(json.find("\"trace_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve/forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_us\""), std::string::npos);
+  JsonReader reader(json);
+  EXPECT_TRUE(reader.valid());
+
+  const std::string table = snap.renderTable();
+  EXPECT_NE(table.find("serve/forward"), std::string::npos);
+
+  // Without tracing, the JSON omits the section entirely.
+  serve::MetricsSnapshot empty;
+  EXPECT_EQ(empty.toJson().dump(2).find("trace_spans"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dagt::obs

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Docs-drift checker (the `docs` stage of tools/verify.sh).
+#
+# The operator docs in docs/ promise to cover every exported metric and
+# every trace span by name; this script makes that promise mechanical:
+#
+#   1. every JSON key emitted via .set("...") in src/serve/metrics.cpp
+#      must appear (backticked) inside the GENERATED section of
+#      docs/metrics-reference.md;
+#   2. every span/instant name passed to DAGT_TRACE_SCOPE/INSTANT in
+#      src/, tools/ and bench/ (tests and lint fixtures are exempt) must
+#      appear (backticked) in docs/observability.md.
+#
+# Adding a metric or a span without documenting it fails verify. Exits
+# non-zero with one line per missing name.
+
+set -u
+cd "$(dirname "$0")/.."
+
+MISSING=0
+
+miss() {
+  echo "check_docs: $1"
+  MISSING=1
+}
+
+# --- 1. serve metrics keys -> docs/metrics-reference.md -------------------
+
+REF=docs/metrics-reference.md
+if [[ ! -f "$REF" ]]; then
+  miss "$REF does not exist"
+else
+  grep -q 'BEGIN GENERATED: serve-metrics-keys' "$REF" &&
+    grep -q 'END GENERATED: serve-metrics-keys' "$REF" ||
+    miss "$REF lost its GENERATED section markers"
+
+  # The cross-checked region only (so prose elsewhere can't satisfy a key).
+  SECTION=$(sed -n '/BEGIN GENERATED: serve-metrics-keys/,/END GENERATED: serve-metrics-keys/p' "$REF")
+
+  KEYS=$(grep -ho '\.set("[A-Za-z0-9_]*"' src/serve/metrics.cpp src/serve/metrics.hpp 2>/dev/null |
+    sed 's/.*("\([^"]*\)".*/\1/' | sort -u)
+  [[ -n "$KEYS" ]] || miss "no .set(\"...\") keys found in src/serve/metrics.* (extraction broke?)"
+
+  for key in $KEYS; do
+    # Documented = the key appears inside backticks in the generated
+    # section (alone, or as a path segment like `trace_spans.<name>.count`).
+    if ! grep -qE "\`([^\`]*[^A-Za-z0-9_])?${key}([^A-Za-z0-9_][^\`]*)?\`" <<<"$SECTION"; then
+      miss "metric key '${key}' (src/serve/metrics.cpp) is not documented in $REF"
+    fi
+  done
+fi
+
+# --- 2. trace span names -> docs/observability.md -------------------------
+
+OBS=docs/observability.md
+if [[ ! -f "$OBS" ]]; then
+  miss "$OBS does not exist"
+else
+  SPANS=$(grep -rhoE 'DAGT_TRACE_(SCOPE|INSTANT)\("[^"]+"' src tools bench |
+    sed 's/.*("\([^"]*\)".*/\1/' | sort -u)
+  [[ -n "$SPANS" ]] || miss "no DAGT_TRACE_* names found under src/ tools/ bench/ (extraction broke?)"
+
+  for span in $SPANS; do
+    if ! grep -qF "\`${span}\`" "$OBS"; then
+      miss "span '${span}' is not documented in $OBS"
+    fi
+  done
+fi
+
+if [[ "$MISSING" != 0 ]]; then
+  echo "check_docs: FAILED — update docs/ to match the source (or vice versa)"
+  exit 1
+fi
+echo "check_docs: docs are in sync with the source"

@@ -36,6 +36,12 @@
 //       serves the listed endpoints through the batching queue. Serving
 //       metrics are printed afterwards (--metrics-json writes them as
 //       JSON).
+//
+//   dagt trace <command> [args...] [--trace-out F]
+//       Run any of the commands above with tracing enabled; writes the
+//       Chrome trace_event JSON to F (default dagt_trace.json — load it
+//       at chrome://tracing or ui.perfetto.dev) and prints the self-time
+//       profile and span coverage. See docs/observability.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +58,8 @@
 #include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "core/trainer.hpp"
 #include "features/design_data.hpp"
 #include "netlist/io.hpp"
@@ -157,7 +165,8 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dagt <gen|stats|sta|opt|train|export|predict> [args]\n"
+               "usage: dagt <gen|stats|sta|opt|train|export|predict|trace> "
+               "[args]\n"
                "run 'dagt' with a command to see its flags in the header "
                "of tools/dagt_cli.cpp\n");
   return 2;
@@ -478,11 +487,9 @@ int cmdPredict(const Args& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+/// Parse argv for the named subcommand and run it. argv[1] must be the
+/// command; `trace` recurses through here for the wrapped command.
+int dispatch(int argc, char** argv) {
   static const std::map<std::string,
                         std::pair<std::vector<std::string>, int (*)(const Args&)>>
       commands = {
@@ -497,6 +504,7 @@ int main(int argc, char** argv) {
                         "metrics-json"},
                        cmdPredict}},
       };
+  const std::string command = argv[1];
   const auto it = commands.find(command);
   if (it == commands.end()) return usage();
   const Args args = Args::parse(argc, argv, it->second.first);
@@ -511,4 +519,81 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+}
+
+/// `dagt trace <cmd> [args...] [--trace-out F]` — run any subcommand with
+/// tracing runtime-enabled, then write the Chrome trace_event JSON (load
+/// at chrome://tracing or ui.perfetto.dev) and print the self-time
+/// profile plus span coverage of the measured wall time.
+int cmdTrace(int argc, char** argv) {
+#if !DAGT_TRACING
+  std::fprintf(stderr,
+               "dagt trace: this binary was built with -DDAGT_TRACING=OFF; "
+               "rebuild with tracing compiled in\n");
+  return 2;
+#endif
+  std::string traceOut = "dagt_trace.json";
+  std::vector<char*> inner;
+  inner.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dagt trace: --trace-out expects a value\n");
+        return 2;
+      }
+      traceOut = argv[++i];
+      continue;
+    }
+    if (token.rfind("--trace-out=", 0) == 0) {
+      traceOut = token.substr(std::strlen("--trace-out="));
+      continue;
+    }
+    inner.push_back(argv[i]);
+  }
+  if (inner.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: dagt trace <command> [args...] [--trace-out F]\n");
+    return 2;
+  }
+
+  obs::TraceRegistry& registry = obs::TraceRegistry::global();
+  registry.setEnabled(true);
+  const std::uint64_t wallStartNs = registry.nowNs();
+  int rc;
+  // Root span named after the wrapped command; the string must stay alive
+  // until collect() below (span names are stored by pointer).
+  const std::string rootName = std::string("cli/") + inner[1];
+  {
+    obs::ScopedSpan root(rootName.c_str());
+    rc = dispatch(static_cast<int>(inner.size()), inner.data());
+  }
+  registry.setEnabled(false);
+  const std::uint64_t wallNs = registry.nowNs() - wallStartNs;
+
+  const obs::TraceSnapshot snapshot = registry.collect();
+  try {
+    writeJsonFile(obs::chromeTraceJson(snapshot), traceOut);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dagt trace: %s\n", e.what());
+    return 1;
+  }
+  const double wallUs = static_cast<double>(wallNs) / 1000.0;
+  std::printf("%s", obs::renderProfile(obs::profileRows(snapshot),
+                                       wallUs).c_str());
+  std::printf("trace: %zu events (%llu dropped) -> %s\n",
+              snapshot.events.size(),
+              static_cast<unsigned long long>(snapshot.dropped),
+              traceOut.c_str());
+  std::printf("span coverage: %.1f%% of %.1f ms wall\n",
+              100.0 * obs::spanCoverage(snapshot, wallNs), wallUs / 1000.0);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::string(argv[1]) == "trace") return cmdTrace(argc, argv);
+  return dispatch(argc, argv);
 }

@@ -473,6 +473,20 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
         }
       }
     }
+
+    // -- trace-macro-only ---------------------------------------------------
+    if (!startsWith(file.path, "src/obs/")) {
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if ((toks[i].text == "." || toks[i].text == "::" ||
+             toks[i].text == "->") &&
+            toks[i + 1].text == "emit" && toks[i + 2].text == "(") {
+          emit(toks[i + 1].line, "trace-macro-only",
+               "TraceRegistry::emit is called directly only inside src/obs/; "
+               "everywhere else use DAGT_TRACE_SCOPE/DAGT_TRACE_INSTANT so "
+               "DAGT_TRACING=0 compiles the site out");
+        }
+      }
+    }
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -29,6 +29,10 @@
 //   stdout-logging          no std::cout / std::cerr / printf outside
 //                           src/common/logging (CLI, tools, benches and
 //                           examples are exempt).
+//   trace-macro-only        no direct TraceRegistry::emit calls outside
+//                           src/obs/ — span sites go through the
+//                           DAGT_TRACE_* macros so a DAGT_TRACING=0 build
+//                           compiles every site out.
 //
 // Suppression: a comment "dagt-lint: allow(<rule>)" on the offending line
 // or the line directly above it silences that rule for that line.

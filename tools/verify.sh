@@ -3,11 +3,13 @@
 #
 #   default   RelWithDebInfo build + complete ctest suite (DAGT_CHECKS on)
 #   lint      dagt-lint over the checkout (ctest -L lint)
+#   docs      tools/check_docs.sh — docs/ in sync with metrics + span names
 #   asan      ASan/UBSan build, tensor + concurrency suites
 #   tsan      ThreadSanitizer build, concurrency stress suite
+#   obs       ThreadSanitizer build, tracing-layer suite (dagt_obs_tests)
 #
 # Usage: tools/verify.sh [--fast]
-#   --fast skips the sanitizer stages (default + lint only).
+#   --fast skips the sanitizer stages (default + lint + docs only).
 #
 # Each sanitizer preset gets its own build tree (build-asan/, build-tsan/) —
 # the runtimes are mutually exclusive, and CMake enforces that (see
@@ -61,13 +63,28 @@ run_tsan() {
     ./build-tsan/tests/dagt_concurrency_tests
 }
 
+# Shares build-tsan with run_tsan: the tracing hot path (span emission vs
+# collect/aggregate/setEnabled) is a concurrency surface, so the obs suite
+# runs under ThreadSanitizer, not just the default build.
+run_obs() {
+  cmake -B build-tsan -S . -DDAGT_SANITIZE=thread &&
+    cmake --build build-tsan -j "$JOBS" --target dagt_obs_tests &&
+    ./build-tsan/tests/dagt_obs_tests
+}
+
+run_docs() {
+  tools/check_docs.sh
+}
+
 mkdir -p build
 stage default build/verify-default.log run_default
 stage lint build/verify-lint.log run_lint
+stage docs build/verify-docs.log run_docs
 if [[ "$FAST" == 0 ]]; then
   mkdir -p build-asan build-tsan
   stage asan build-asan/verify-asan.log run_asan
   stage tsan build-tsan/verify-tsan.log run_tsan
+  stage obs build-tsan/verify-obs.log run_obs
 fi
 
 if [[ "$FAILED" != 0 ]]; then
