@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
+#include <limits>
 
 #include "common/json.hpp"
 #include "core/models.hpp"
@@ -15,6 +17,7 @@
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
 #include "sta/sta_engine.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/storage.hpp"
 
@@ -40,6 +43,36 @@ tensor::PoolStats poolDelta() { return tensor::BufferPool::global().stats(); }
 // ---------------------------------------------------------------------------
 // Tensor kernels
 // ---------------------------------------------------------------------------
+
+/// GEMM with the kernel tier pinned — the dispatch layer's before/after
+/// dashboard. Register one instance per tier; unsupported tiers skip.
+void BM_KernelGemmTier(benchmark::State& state, tensor::kernels::Tier tier) {
+  if (!tensor::kernels::tierSupported(tier)) {
+    state.SkipWithError("tier not supported on this host");
+    return;
+  }
+  tensor::kernels::forceTier(tier);
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const auto a = tensor::Tensor::randn({n, n}, rng);
+  const auto b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Workspace workspace;
+  benchmark::DoNotOptimize(tensor::matmul(a, b));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  tensor::kernels::resetTier();
+}
+BENCHMARK_CAPTURE(BM_KernelGemmTier, scalar, tensor::kernels::Tier::kScalar)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_KernelGemmTier, avx2, tensor::kernels::Tier::kAvx2)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK_CAPTURE(BM_KernelGemmTier, avx2fma, tensor::kernels::Tier::kAvx2Fma)
+    ->Arg(64)
+    ->Arg(256);
 
 void BM_TensorMatmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -229,16 +262,66 @@ JsonValue allocationProfile() {
   return j;
 }
 
+/// Per-tier GEMM throughput, measured directly (min over repeats) so the
+/// JSON carries the dispatch layer's speedup regardless of which --filter
+/// the benchmark runner used. 256x256x256 single-threaded matmul.
+JsonValue kernelsProfile() {
+  namespace k = tensor::kernels;
+  constexpr std::int64_t n = 256;
+  constexpr int kRepeats = 7;
+  Rng rng(8);
+  const auto a = tensor::Tensor::randn({n, n}, rng);
+  const auto b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Workspace workspace;
+
+  JsonValue tiers = JsonValue::object();
+  double scalarSeconds = 0.0;
+  double bestSpeedup = 1.0;
+  for (int t = 0; t < k::kTierCount; ++t) {
+    const k::Tier tier = static_cast<k::Tier>(t);
+    if (!k::tierSupported(tier)) continue;
+    k::forceTier(tier);
+    benchmark::DoNotOptimize(tensor::matmul(a, b));  // warm
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(tensor::matmul(a, b));
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      best = std::min(best, s);
+    }
+    k::resetTier();
+    const double gflops =
+        2.0 * static_cast<double>(n) * n * n / best / 1e9;
+    if (tier == k::Tier::kScalar) scalarSeconds = best;
+    const double speedup = scalarSeconds > 0.0 ? scalarSeconds / best : 1.0;
+    bestSpeedup = std::max(bestSpeedup, speedup);
+    tiers.set(k::tierName(tier), JsonValue::object()
+                                     .set("gemm256_seconds", best)
+                                     .set("gemm256_gflops", gflops)
+                                     .set("speedup_vs_scalar", speedup));
+  }
+  JsonValue j = JsonValue::object();
+  j.set("active_tier", k::tierName(k::activeTier()))
+      .set("tiers", std::move(tiers))
+      .set("best_gemm_speedup_vs_scalar", bestSpeedup);
+  return j;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN, plus a machine-readable allocation profile: the pool
-// hit-rate / heap-alloc numbers land in BENCH_micro_ops.json so perf
-// tracking can diff the memory model across commits.
+// hit-rate / heap-alloc numbers and the kernel dispatch layer's per-tier
+// GEMM throughput land in BENCH_micro_ops.json so perf tracking can diff
+// the memory model and the SIMD tiers across commits.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  bench::writeBenchJson("micro_ops", allocationProfile());
+  JsonValue payload = allocationProfile();
+  payload.set("kernels", kernelsProfile());
+  bench::writeBenchJson("micro_ops", payload);
   return 0;
 }

@@ -16,6 +16,14 @@ std::size_t& parallelThreadCount() {
   return count;
 }
 
+namespace {
+// Set on parallelFor worker threads for the duration of their chunk loop;
+// nested parallelFor calls from inside a worker degrade to a serial run.
+thread_local bool tlInParallelRegion = false;
+}  // namespace
+
+bool inParallelRegion() { return tlInParallelRegion; }
+
 namespace detail {
 
 void parallelForChunks(std::size_t begin, std::size_t end,
@@ -24,7 +32,9 @@ void parallelForChunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t threads =
-      std::min(parallelThreadCount(), (n + grainSize - 1) / grainSize);
+      tlInParallelRegion
+          ? 1
+          : std::min(parallelThreadCount(), (n + grainSize - 1) / grainSize);
   if (threads <= 1) {
     chunk(context, begin, end);
     return;
@@ -38,6 +48,7 @@ void parallelForChunks(std::size_t begin, std::size_t end,
   std::vector<std::thread> pool;
   pool.reserve(threads);
   auto worker = [&] {
+    tlInParallelRegion = true;
     while (true) {
       const std::size_t chunkBegin =
           cursor.fetch_add(grainSize, std::memory_order_relaxed);

@@ -51,4 +51,28 @@ void parallelFor(std::size_t begin, std::size_t end, F&& fn,
       grainSize);
 }
 
+/// Run fn(chunkBegin, chunkEnd) over contiguous sub-ranges of [begin, end),
+/// each at most grainSize long. Same pool and stealing as parallelFor, but
+/// the body receives whole ranges — this is what the SIMD kernel layer
+/// wants: one call per row block instead of one per row.
+template <typename F>
+void parallelForRange(std::size_t begin, std::size_t end, F&& fn,
+                      std::size_t grainSize = 256) {
+  using Body = std::remove_reference_t<F>;
+  detail::parallelForChunks(
+      begin, end,
+      [](void* context, std::size_t chunkBegin, std::size_t chunkEnd) {
+        (*static_cast<Body*>(context))(chunkBegin, chunkEnd);
+      },
+      const_cast<void*>(
+          static_cast<const void*>(std::addressof(fn))),
+      grainSize);
+}
+
+/// True while the calling thread is a parallelFor worker. parallelFor
+/// nested inside a worker runs serially on that worker (no thread
+/// explosion); the data-parallel trainer relies on this when its shard
+/// workers drive full forward/backward passes through the tensor ops.
+bool inParallelRegion();
+
 }  // namespace dagt

@@ -43,6 +43,18 @@ struct TrainConfig {
   std::uint64_t seed = 1234;
   ModelConfig model;
   bool verbose = false;
+  /// Data-parallel gradient shards per optimizer step. 1 keeps the classic
+  /// single-stream path. S > 1 runs S micro-batches per step on model
+  /// replicas (weights aliased to the master, gradients private) spread
+  /// over parallelFor workers, then tree-reduces the shard gradients in a
+  /// fixed order — loss curves are bitwise identical for any
+  /// parallelThreadCount(). Effective data per step scales by S.
+  std::int32_t gradShards = 1;
+  /// Sample upcoming batches on an async producer thread (double-buffered
+  /// depth-1 slot feeding each step). Purely a pipelining optimization:
+  /// the producer owns the whole sampling RNG stream, so results are
+  /// bitwise identical with prefetching on or off.
+  bool prefetch = true;
 };
 
 struct TrainStats {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/table.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace dagt::serve {
 
@@ -22,6 +23,8 @@ double percentile(const std::vector<float>& sorted, double q) {
 
 std::string MetricsSnapshot::renderTable() const {
   TextTable table({"metric", "value"});
+  table.addRow({"kernel tier",
+                tensor::kernels::tierName(tensor::kernels::activeTier())});
   table.addRow({"requests", std::to_string(requests)});
   table.addRow({"full-design requests", std::to_string(fullDesignRequests)});
   table.addRow({"batches", std::to_string(batches)});
@@ -51,7 +54,8 @@ std::string MetricsSnapshot::renderTable() const {
 
 JsonValue MetricsSnapshot::toJson() const {
   JsonValue j = JsonValue::object();
-  j.set("requests", requests)
+  j.set("kernel_tier", tensor::kernels::tierName(tensor::kernels::activeTier()))
+      .set("requests", requests)
       .set("full_design_requests", fullDesignRequests)
       .set("batches", batches)
       .set("mean_batch_size", meanBatchSize)
@@ -82,7 +86,10 @@ JsonValue MetricsSnapshot::toJson() const {
 }
 
 void ServeMetrics::recordRequests(std::uint64_t count) {
-  requests_.fetch_add(count, std::memory_order_relaxed);
+  // Release: a snapshot that observes these requests (acquire load) must
+  // also observe the recordBatch() increment that precedes this call on the
+  // worker thread — pollers may assert requests imply batches.
+  requests_.fetch_add(count, std::memory_order_release);
 }
 
 void ServeMetrics::recordFullDesign() {
@@ -104,9 +111,13 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
                                        const tensor::PoolStats& pool) const {
   MetricsSnapshot snap;
   snap.pool = pool;
-  // One relaxed load per counter: each is monotone, so the snapshot is a
+  // One load per counter: each is monotone, so the snapshot is a
   // point-in-time lower bound per metric (no torn or decreasing values).
-  snap.requests = requests_.load(std::memory_order_relaxed);
+  // The requests load is acquire (paired with recordRequests' release RMW
+  // chain) and happens first, so any observed request also makes its
+  // batch's recordBatch increment visible below: requests > 0 implies
+  // batches > 0 in every snapshot.
+  snap.requests = requests_.load(std::memory_order_acquire);
   snap.fullDesignRequests = fullDesignRequests_.load(std::memory_order_relaxed);
   snap.batches = batches_.load(std::memory_order_relaxed);
   const std::uint64_t coalesced = coalesced_.load(std::memory_order_relaxed);

@@ -260,6 +260,10 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
     DAGT_TRACE_SCOPE("serve/readout");
     const float* values = predictionNs.data();
     const auto now = std::chrono::steady_clock::now();
+    // Batch before requests: snapshots must never observe requests from a
+    // batch whose batch counter is still 0 (recordRequests publishes with
+    // release ordering, so this increment is visible with it).
+    metrics_.recordBatch(combined.size());
     std::size_t offset = 0;
     for (auto& group : groups) {
       std::vector<float> reply(group.endpoints.size());
@@ -271,7 +275,6 @@ void PredictionEngine::serveBatch(std::vector<RequestGroup> groups) {
       metrics_.recordLatencyUs(microsSince(group.enqueued, now));
       group.reply.set_value(std::move(reply));
     }
-    metrics_.recordBatch(combined.size());
   } catch (...) {
     for (auto& group : groups) {
       try {

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+// Runtime-dispatched SIMD kernel layer for the tensor engine.
+//
+// Every hot inner loop of src/tensor/ops_*.cpp funnels through one of the
+// entry points below; which implementation runs is decided ONCE per process
+// (CPUID probe, overridable with the DAGT_KERNEL_TIER environment variable
+// or forceTier() in tests/benches) and read through a single atomic load.
+//
+// Rounding contract (what "parity" means across tiers — the kernel parity
+// suite in tests/test_kernels.cpp enforces this, docs/performance.md
+// explains it):
+//   * Elementwise and accumulate kernels perform exactly one multiply
+//     rounding and one add rounding per element in every tier, so scalar,
+//     avx2 and avx2fma are bitwise identical.
+//   * Reductions (sumVec/dotVec) use a lane-blocked accumulation: 8 double
+//     lanes filled in stride order, combined by a fixed binary tree, tail
+//     added sequentially. The scalar tier implements the identical lane
+//     scheme, so reductions are bitwise identical in every tier.
+//   * GEMM kernels accumulate each C element over p = 0..k-1 in order.
+//     scalar and avx2 round every step as mul-then-add and are bitwise
+//     identical; avx2fma fuses the step (_mm256_fmadd_ps), which keeps the
+//     same accumulation ORDER but one rounding less per step — results
+//     differ from scalar by bounded ulps and the parity suite compares
+//     them under a tight relative tolerance instead.
+// Every tier is bitwise-reproducible run-to-run and across thread counts:
+// parallelism only ever splits work along C rows, never along the
+// accumulation dimension.
+namespace dagt::tensor::kernels {
+
+/// Dispatch tiers, weakest to strongest. kAvx2 vectorizes without changing
+/// a single result bit; kAvx2Fma adds fused multiply-add plus register
+/// blocking and B-panel packing in the GEMM microkernel.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx2Fma = 2,
+};
+
+inline constexpr int kTierCount = 3;
+
+/// One table of function pointers per tier. All pointers are always
+/// non-null; unsupported tiers simply never become active.
+struct KernelTable {
+  // -- GEMM family (accumulating; callers parallelize over C rows) ----------
+  /// C[rowBegin:rowEnd, :] += A[rowBegin:rowEnd, :] * B for A [n,k], B [k,m].
+  void (*gemmRows)(const float* a, const float* b, float* c,
+                   std::int64_t rowBegin, std::int64_t rowEnd, std::int64_t k,
+                   std::int64_t m);
+  /// C[rowBegin:rowEnd, :] += (A^T B)[rows] for A [k,n], B [k,m], C [n,m].
+  void (*gemmTransARows)(const float* a, const float* b, float* c,
+                         std::int64_t rowBegin, std::int64_t rowEnd,
+                         std::int64_t k, std::int64_t n, std::int64_t m);
+  /// C[rowBegin:rowEnd, :] += (A B^T)[rows] for A [n,m], B [kOut,m],
+  /// C [n,kOut]. Dot-product based: bitwise identical in every tier.
+  void (*gemmTransBRows)(const float* a, const float* b, float* c,
+                         std::int64_t rowBegin, std::int64_t rowEnd,
+                         std::int64_t m, std::int64_t kOut);
+
+  // -- Elementwise (out must not partially alias the inputs) ----------------
+  void (*addVec)(const float* x, const float* y, float* out, std::size_t n);
+  void (*subVec)(const float* x, const float* y, float* out, std::size_t n);
+  void (*mulVec)(const float* x, const float* y, float* out, std::size_t n);
+  void (*divVec)(const float* x, const float* y, float* out, std::size_t n);
+  /// out[i] = x[i] * s
+  void (*scaleVec)(const float* x, float s, float* out, std::size_t n);
+  /// out[i] = x[i] + s
+  void (*addScalarVec)(const float* x, float s, float* out, std::size_t n);
+  /// out[i] = max(x[i], 0)
+  void (*reluVec)(const float* x, float* out, std::size_t n);
+
+  // -- Accumulating forms (the backward-pass workhorses) --------------------
+  /// acc[i] += x[i]
+  void (*accAddVec)(const float* x, float* acc, std::size_t n);
+  /// acc[i] += x[i] * s
+  void (*accScaleVec)(const float* x, float s, float* acc, std::size_t n);
+  /// acc[i] += x[i] * y[i]
+  void (*accMulVec)(const float* x, const float* y, float* acc,
+                    std::size_t n);
+
+  // -- Lane-blocked reductions (bitwise identical in every tier) ------------
+  double (*sumVec)(const float* x, std::size_t n);
+  double (*dotVec)(const float* x, const float* y, std::size_t n);
+};
+
+/// Canonical lower-case tier name ("scalar", "avx2", "avx2fma") — the
+/// values DAGT_KERNEL_TIER accepts and docs/performance.md documents.
+const char* tierName(Tier tier);
+
+/// Parse a tier name (as accepted by DAGT_KERNEL_TIER); nullopt when the
+/// string names no tier. "auto" is handled by the dispatcher, not here.
+std::optional<Tier> parseTier(std::string_view name);
+
+/// True when this binary carries the tier's code AND the running CPU can
+/// execute it (CPUID probe for the SIMD tiers).
+bool tierSupported(Tier tier);
+
+/// Strongest supported tier on this machine.
+Tier detectTier();
+
+/// The tier in effect: forceTier() override if set, else DAGT_KERNEL_TIER
+/// if set and valid, else detectTier(). Resolved once, then one relaxed
+/// atomic load per call.
+Tier activeTier();
+
+/// Kernel table of an explicit tier (must be supported).
+const KernelTable& table(Tier tier);
+
+/// Kernel table of the active tier.
+const KernelTable& active();
+
+/// Pin the active tier (tests / benches). Checks tierSupported(tier).
+void forceTier(Tier tier);
+
+/// Drop a forceTier() pin: back to the env/CPUID resolution.
+void resetTier();
+
+}  // namespace dagt::tensor::kernels

@@ -1,0 +1,223 @@
+#include <immintrin.h>
+
+#include "tensor/kernels/kernels_internal.hpp"
+
+// AVX2 tier, no FMA: every operation below performs the exact same sequence
+// of IEEE-rounded mul/add steps as kernels_scalar.cpp, just 8 lanes at a
+// time, so results are bitwise identical to the scalar tier (the parity
+// suite asserts this with memcmp). That rules out _mm256_fmadd_ps here —
+// fusion lives in kernels_avx2fma.cpp where the contract allows it.
+
+namespace dagt::tensor::kernels {
+namespace avx2 {
+
+void gemmRows(const float* a, const float* b, float* c, std::int64_t rowBegin,
+              std::int64_t rowEnd, std::int64_t k, std::int64_t m) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const __m256 av = _mm256_set1_ps(arow[p]);
+      const float* brow = b + p * m;
+      std::int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 cv = _mm256_loadu_ps(crow + j);
+        const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(cv, prod));
+      }
+      const float as = arow[p];
+      for (; j < m; ++j) crow[j] += as * brow[j];
+    }
+  }
+}
+
+void gemmTransARows(const float* a, const float* b, float* c,
+                    std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t k, std::int64_t n, std::int64_t m) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float as = a[p * n + i];
+      const __m256 av = _mm256_set1_ps(as);
+      const float* brow = b + p * m;
+      std::int64_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        const __m256 cv = _mm256_loadu_ps(crow + j);
+        const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(cv, prod));
+      }
+      for (; j < m; ++j) crow[j] += as * brow[j];
+    }
+  }
+}
+
+// Shared tail of the lane-blocked reductions: combine the 8 double lanes
+// (acc_lo = lanes 0..3, acc_hi = lanes 4..7) with the contract's fixed tree.
+static inline double combineLanes(__m256d accLo, __m256d accHi) {
+  alignas(32) double lo[4];
+  alignas(32) double hi[4];
+  _mm256_store_pd(lo, accLo);
+  _mm256_store_pd(hi, accHi);
+  return ((lo[0] + lo[1]) + (lo[2] + lo[3])) +
+         ((hi[0] + hi[1]) + (hi[2] + hi[3]));
+}
+
+double sumVec(const float* x, std::size_t n) {
+  __m256d accLo = _mm256_setzero_pd();
+  __m256d accHi = _mm256_setzero_pd();
+  const std::size_t blocks = n / 8;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const __m256 v = _mm256_loadu_ps(x + b * 8);
+    accLo = _mm256_add_pd(accLo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    accHi = _mm256_add_pd(accHi, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  double total = combineLanes(accLo, accHi);
+  for (std::size_t i = blocks * 8; i < n; ++i) {
+    total += static_cast<double>(x[i]);
+  }
+  return total;
+}
+
+double dotVec(const float* x, const float* y, std::size_t n) {
+  __m256d accLo = _mm256_setzero_pd();
+  __m256d accHi = _mm256_setzero_pd();
+  const std::size_t blocks = n / 8;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    // Product rounded to float first (the contract), then widened.
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(x + b * 8), _mm256_loadu_ps(y + b * 8));
+    accLo =
+        _mm256_add_pd(accLo, _mm256_cvtps_pd(_mm256_castps256_ps128(prod)));
+    accHi =
+        _mm256_add_pd(accHi, _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1)));
+  }
+  double total = combineLanes(accLo, accHi);
+  for (std::size_t i = blocks * 8; i < n; ++i) {
+    total += static_cast<double>(x[i] * y[i]);
+  }
+  return total;
+}
+
+void gemmTransBRows(const float* a, const float* b, float* c,
+                    std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t m, std::int64_t kOut) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    const float* arow = a + i * m;
+    float* crow = c + i * kOut;
+    for (std::int64_t p = 0; p < kOut; ++p) {
+      crow[p] += static_cast<float>(
+          dotVec(arow, b + p * m, static_cast<std::size_t>(m)));
+    }
+  }
+}
+
+void addVec(const float* x, const float* y, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void subVec(const float* x, const float* y, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void mulVec(const float* x, const float* y, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void divVec(const float* x, const float* y, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] / y[i];
+}
+
+void scaleVec(const float* x, float s, float* out, std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), sv));
+  }
+  for (; i < n; ++i) out[i] = x[i] * s;
+}
+
+void addScalarVec(const float* x, float s, float* out, std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i), sv));
+  }
+  for (; i < n; ++i) out[i] = x[i] + s;
+}
+
+void reluVec(const float* x, float* out, std::size_t n) {
+  // cmp+and, not max: matches the scalar `x > 0 ? x : 0` bit-for-bit on
+  // -0.0f (scalar yields +0.0f) and NaN (scalar yields 0.0f).
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 mask = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(v, mask));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void accAddVec(const float* x, float* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                                            _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void accScaleVec(const float* x, float s, float* acc, std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(x + i), sv);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), prod));
+  }
+  for (; i < n; ++i) acc[i] += x[i] * s;
+}
+
+void accMulVec(const float* x, const float* y, float* acc, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), prod));
+  }
+  for (; i < n; ++i) acc[i] += x[i] * y[i];
+}
+
+}  // namespace avx2
+
+const KernelTable& avx2Table() {
+  static const KernelTable t = {
+      avx2::gemmRows,   avx2::gemmTransARows, avx2::gemmTransBRows,
+      avx2::addVec,     avx2::subVec,         avx2::mulVec,
+      avx2::divVec,     avx2::scaleVec,       avx2::addScalarVec,
+      avx2::reluVec,    avx2::accAddVec,      avx2::accScaleVec,
+      avx2::accMulVec,  avx2::sumVec,         avx2::dotVec,
+  };
+  return t;
+}
+
+}  // namespace dagt::tensor::kernels

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "tensor/kernels/kernels.hpp"
+
+// Internal wiring between the per-tier translation units and dispatch.cpp.
+// Each SIMD TU is compiled with its own -m flags (see src/tensor/CMakeLists),
+// so the tables are handed across as opaque references — nothing here may be
+// called before tierSupported() said yes for the matching tier.
+namespace dagt::tensor::kernels {
+
+const KernelTable& scalarTable();
+
+#if DAGT_SIMD_X86
+const KernelTable& avx2Table();
+const KernelTable& avx2FmaTable();
+#endif
+
+}  // namespace dagt::tensor::kernels

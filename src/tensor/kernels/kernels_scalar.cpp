@@ -1,0 +1,143 @@
+#include "tensor/kernels/kernels.hpp"
+
+// Scalar (reference) tier. Every other tier is defined against this file:
+// the avx2 tier must reproduce these results bit-for-bit, avx2fma may only
+// deviate where the header documents fused rounding. Keep these loops
+// boring — no early-outs, no reassociation — because any cleverness here
+// becomes part of the cross-tier contract.
+
+namespace dagt::tensor::kernels {
+namespace scalar {
+
+void gemmRows(const float* a, const float* b, float* c, std::int64_t rowBegin,
+              std::int64_t rowEnd, std::int64_t k, std::int64_t m) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemmTransARows(const float* a, const float* b, float* c,
+                    std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t k, std::int64_t n, std::int64_t m) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * n + i];
+      const float* brow = b + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Lane-blocked reduction scheme (the cross-tier contract): 8 double lanes
+// filled in stride order (lane l accumulates elements 8*b + l), combined by
+// the fixed tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), then the tail added
+// sequentially. Products are rounded to float BEFORE widening, matching
+// what _mm256_mul_ps + _mm256_cvtps_pd computes.
+
+double sumVec(const float* x, std::size_t n) {
+  double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const std::size_t blocks = n / 8;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      lane[l] += static_cast<double>(x[b * 8 + l]);
+    }
+  }
+  double total = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                 ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (std::size_t i = blocks * 8; i < n; ++i) {
+    total += static_cast<double>(x[i]);
+  }
+  return total;
+}
+
+double dotVec(const float* x, const float* y, std::size_t n) {
+  double lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const std::size_t blocks = n / 8;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const std::size_t i = b * 8 + l;
+      lane[l] += static_cast<double>(x[i] * y[i]);
+    }
+  }
+  double total = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                 ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (std::size_t i = blocks * 8; i < n; ++i) {
+    total += static_cast<double>(x[i] * y[i]);
+  }
+  return total;
+}
+
+void gemmTransBRows(const float* a, const float* b, float* c,
+                    std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t m, std::int64_t kOut) {
+  for (std::int64_t i = rowBegin; i < rowEnd; ++i) {
+    const float* arow = a + i * m;
+    float* crow = c + i * kOut;
+    for (std::int64_t p = 0; p < kOut; ++p) {
+      crow[p] += static_cast<float>(
+          dotVec(arow, b + p * m, static_cast<std::size_t>(m)));
+    }
+  }
+}
+
+void addVec(const float* x, const float* y, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void subVec(const float* x, const float* y, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void mulVec(const float* x, const float* y, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void divVec(const float* x, const float* y, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] / y[i];
+}
+
+void scaleVec(const float* x, float s, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * s;
+}
+
+void addScalarVec(const float* x, float s, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] + s;
+}
+
+void reluVec(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void accAddVec(const float* x, float* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void accScaleVec(const float* x, float s, float* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i] * s;
+}
+
+void accMulVec(const float* x, const float* y, float* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i] * y[i];
+}
+
+}  // namespace scalar
+
+const KernelTable& scalarTable() {
+  static const KernelTable t = {
+      scalar::gemmRows,   scalar::gemmTransARows, scalar::gemmTransBRows,
+      scalar::addVec,     scalar::subVec,         scalar::mulVec,
+      scalar::divVec,     scalar::scaleVec,       scalar::addScalarVec,
+      scalar::reluVec,    scalar::accAddVec,      scalar::accScaleVec,
+      scalar::accMulVec,  scalar::sumVec,         scalar::dotVec,
+  };
+  return t;
+}
+
+}  // namespace dagt::tensor::kernels

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dagt::tensor::detail {
@@ -82,9 +83,7 @@ inline void accumulate(const std::shared_ptr<TensorImpl>& dst,
                   "grad scatter source aliases destination grad");
   DAGT_DCHECK_MSG(!src.aliases(dst->data),
                   "grad scatter source aliases destination data");
-  float* g = dst->grad.data();
-  const float* s = src.data();
-  for (std::size_t i = 0; i < src.size(); ++i) g[i] += s[i];
+  kernels::active().accAddVec(src.data(), dst->grad.data(), src.size());
 }
 
 }  // namespace dagt::tensor::detail

@@ -1,6 +1,8 @@
 #include <limits>
 
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -103,25 +105,23 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const std::int64_t imgSize = d.c * d.h * d.w;
   const std::int64_t outSize = d.f * d.colCols;
 
+  const kernels::KernelTable& kt = kernels::active();
   parallelFor(0, static_cast<std::size_t>(d.n), [&](std::size_t s) {
     std::vector<float> col(
         static_cast<std::size_t>(d.colRows * d.colCols));
     im2col(ip + static_cast<std::int64_t>(s) * imgSize, d, col.data());
     float* op = out->data.data() + static_cast<std::int64_t>(s) * outSize;
-    // out[f, :] = sum_r W[f, r] * col[r, :] (+ bias)
-    for (std::int64_t f = 0; f < d.f; ++f) {
-      float* orow = op + f * d.colCols;
-      if (bp) {
+    // out = W[f, colRows] * col[colRows, colCols] (+ bias), one GEMM per
+    // sample through the active kernel tier. makeOut zero-filled `op`, so
+    // without bias the accumulate starts from 0; with bias we seed rows.
+    if (bp) {
+      for (std::int64_t f = 0; f < d.f; ++f) {
+        float* orow = op + f * d.colCols;
         for (std::int64_t j = 0; j < d.colCols; ++j) orow[j] = bp[f];
       }
-      const float* wrow = wp + f * d.colRows;
-      for (std::int64_t r = 0; r < d.colRows; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0f) continue;
-        const float* crow = col.data() + r * d.colCols;
-        for (std::int64_t j = 0; j < d.colCols; ++j) orow[j] += wv * crow[j];
-      }
     }
+    DAGT_TRACE_SCOPE("kernel/gemm");
+    kt.gemmRows(wp, col.data(), op, 0, d.f, d.colRows, d.colCols);
   }, /*grainSize=*/1);
 
   if (tapeActive({&input, &weight, &bias})) {
@@ -133,6 +133,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                  if (wi->requiresGrad) wi->ensureGrad();
                  if (bi && bi->requiresGrad) bi->ensureGrad();
                  if (ii->requiresGrad) ii->ensureGrad();
+                 const kernels::KernelTable& kt = kernels::active();
                  std::vector<float> col(
                      static_cast<std::size_t>(d.colRows * d.colCols));
                  std::vector<float> colGrad(col.size());
@@ -141,45 +142,29 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
                    const float* go = self.grad.data() + s * outSize;
                    im2col(ii->data.data() + s * imgSize, d, col.data());
                    if (wi->requiresGrad) {
-                     // dW[f, r] += sum_j go[f, j] * col[r, j]
-                     for (std::int64_t f = 0; f < d.f; ++f) {
-                       const float* grow = go + f * d.colCols;
-                       float* wgrow = wi->grad.data() + f * d.colRows;
-                       for (std::int64_t r = 0; r < d.colRows; ++r) {
-                         const float* crow = col.data() + r * d.colCols;
-                         double acc = 0.0;
-                         for (std::int64_t j = 0; j < d.colCols; ++j) {
-                           acc += grow[j] * crow[j];
-                         }
-                         wgrow[r] += static_cast<float>(acc);
-                       }
-                     }
+                     // dW[f, r] += sum_j go[f, j] * col[r, j]: one
+                     // A*B^T GEMM (dot-based, bitwise across tiers).
+                     DAGT_TRACE_SCOPE("kernel/gemm");
+                     kt.gemmTransBRows(go, col.data(), wi->grad.data(), 0,
+                                       d.f, d.colCols, d.colRows);
                    }
                    if (bi && bi->requiresGrad) {
                      float* bg = bi->grad.data();
                      for (std::int64_t f = 0; f < d.f; ++f) {
-                       const float* grow = go + f * d.colCols;
-                       double acc = 0.0;
-                       for (std::int64_t j = 0; j < d.colCols; ++j) {
-                         acc += grow[j];
-                       }
-                       bg[f] += static_cast<float>(acc);
+                       bg[f] += static_cast<float>(
+                           kt.sumVec(go + f * d.colCols,
+                                     static_cast<std::size_t>(d.colCols)));
                      }
                    }
                    if (ii->requiresGrad) {
-                     // dcol[r, j] = sum_f W[f, r] * go[f, j]; then col2im.
+                     // dcol = W^T * dOut (A^T B GEMM over the col rows),
+                     // then scatter back with col2im.
                      std::fill(colGrad.begin(), colGrad.end(), 0.0f);
-                     for (std::int64_t f = 0; f < d.f; ++f) {
-                       const float* wrow = wi->data.data() + f * d.colRows;
-                       const float* grow = go + f * d.colCols;
-                       for (std::int64_t r = 0; r < d.colRows; ++r) {
-                         const float wv = wrow[r];
-                         if (wv == 0.0f) continue;
-                         float* cgrow = colGrad.data() + r * d.colCols;
-                         for (std::int64_t j = 0; j < d.colCols; ++j) {
-                           cgrow[j] += wv * grow[j];
-                         }
-                       }
+                     {
+                       DAGT_TRACE_SCOPE("kernel/gemm");
+                       kt.gemmTransARows(wi->data.data(), go, colGrad.data(),
+                                         0, d.colRows, d.f, d.colRows,
+                                         d.colCols);
                      }
                      col2imAcc(colGrad.data(), d,
                                ii->grad.data() + s * imgSize);
@@ -250,24 +235,24 @@ Tensor globalAvgPool(const Tensor& input) {
   auto out = makeOut({n, c});
   const float* p = input.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
   for (std::int64_t plane = 0; plane < n * c; ++plane) {
-    double acc = 0.0;
-    for (std::int64_t i = 0; i < spatial; ++i) acc += p[plane * spatial + i];
-    po[plane] = static_cast<float>(acc / static_cast<double>(spatial));
+    po[plane] = static_cast<float>(
+        kt.sumVec(p + plane * spatial, static_cast<std::size_t>(spatial)) /
+        static_cast<double>(spatial));
   }
   if (tapeActive({&input})) {
     auto ii = input.impl();
     attachTape(out, {&input}, [ii, spatial](TensorImpl& self) {
       ii->ensureGrad();
+      const kernels::KernelTable& kt = kernels::active();
       float* gi = ii->grad.data();
       const float* gs = self.grad.data();
       const float inv = 1.0f / static_cast<float>(spatial);
       for (std::size_t plane = 0; plane < self.data.size(); ++plane) {
-        const float g = gs[plane] * inv;
         float* grow = gi + plane * static_cast<std::size_t>(spatial);
-        for (std::int64_t i = 0; i < spatial; ++i) {
-          grow[i] += g;
-        }
+        kt.addScalarVec(grow, gs[plane] * inv, grow,
+                        static_cast<std::size_t>(spatial));
       }
     });
   }

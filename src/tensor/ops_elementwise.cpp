@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -12,47 +13,11 @@ using detail::tapeActive;
 
 namespace {
 
-/// Shared scaffolding for elementwise binary ops.
-/// fwd(a, b) computes the output element; dA / dB give the local partials
-/// as functions of (a, b, outGrad).
-template <typename Fwd, typename DA, typename DB>
-Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
-                DA dA, DB dB) {
-  checkSameShape(a, b, name);
-  auto out = makeOut(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out->data.data();
-  const std::size_t n = out->data.size();
-  for (std::size_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
-  if (tapeActive({&a, &b})) {
-    auto ai = a.impl();
-    auto bi = b.impl();
-    attachTape(out, {&a, &b}, [ai, bi, dA, dB](TensorImpl& self) {
-      const std::size_t count = self.data.size();
-      const float* ga = ai->data.data();
-      const float* gb = bi->data.data();
-      const float* gs = self.grad.data();
-      if (ai->requiresGrad) {
-        ai->ensureGrad();
-        float* g = ai->grad.data();
-        for (std::size_t i = 0; i < count; ++i) {
-          g[i] += dA(ga[i], gb[i], gs[i]);
-        }
-      }
-      if (bi->requiresGrad) {
-        bi->ensureGrad();
-        float* g = bi->grad.data();
-        for (std::size_t i = 0; i < count; ++i) {
-          g[i] += dB(ga[i], gb[i], gs[i]);
-        }
-      }
-    });
-  }
-  return Tensor(std::move(out));
-}
-
-/// Shared scaffolding for unary ops. dX(input, output, outGrad) -> inGrad.
+/// Shared scaffolding for unary ops whose forward/backward are genuinely
+/// scalar math (transcendentals, branches). The linear ops below (add, sub,
+/// mul, scale, relu, ...) are written out against the kernel table instead
+/// so they vectorize under the active dispatch tier.
+/// dX(input, output, outGrad) -> inGrad.
 template <typename Fwd, typename DX>
 Tensor unaryOp(const Tensor& t, Fwd fwd, DX dX) {
   auto out = makeOut(t.shape());
@@ -80,31 +45,108 @@ Tensor unaryOp(const Tensor& t, Fwd fwd, DX dX) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binaryOp(
-      a, b, "add", [](float x, float y) { return x + y; },
-      [](float, float, float g) { return g; },
-      [](float, float, float g) { return g; });
+  checkSameShape(a, b, "add");
+  auto out = makeOut(a.shape());
+  kernels::active().addVec(a.data(), b.data(), out->data.data(),
+                           out->data.size());
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi](TensorImpl& self) {
+      const kernels::KernelTable& kt = kernels::active();
+      const std::size_t n = self.data.size();
+      const float* gs = self.grad.data();
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        kt.accAddVec(gs, ai->grad.data(), n);
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        kt.accAddVec(gs, bi->grad.data(), n);
+      }
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binaryOp(
-      a, b, "sub", [](float x, float y) { return x - y; },
-      [](float, float, float g) { return g; },
-      [](float, float, float g) { return -g; });
+  checkSameShape(a, b, "sub");
+  auto out = makeOut(a.shape());
+  kernels::active().subVec(a.data(), b.data(), out->data.data(),
+                           out->data.size());
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi](TensorImpl& self) {
+      const kernels::KernelTable& kt = kernels::active();
+      const std::size_t n = self.data.size();
+      const float* gs = self.grad.data();
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        kt.accAddVec(gs, ai->grad.data(), n);
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        kt.accScaleVec(gs, -1.0f, bi->grad.data(), n);
+      }
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binaryOp(
-      a, b, "mul", [](float x, float y) { return x * y; },
-      [](float, float y, float g) { return g * y; },
-      [](float x, float, float g) { return g * x; });
+  checkSameShape(a, b, "mul");
+  auto out = makeOut(a.shape());
+  kernels::active().mulVec(a.data(), b.data(), out->data.data(),
+                           out->data.size());
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi](TensorImpl& self) {
+      const kernels::KernelTable& kt = kernels::active();
+      const std::size_t n = self.data.size();
+      const float* gs = self.grad.data();
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        kt.accMulVec(gs, bi->data.data(), ai->grad.data(), n);
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        kt.accMulVec(gs, ai->data.data(), bi->grad.data(), n);
+      }
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binaryOp(
-      a, b, "div", [](float x, float y) { return x / y; },
-      [](float, float y, float g) { return g / y; },
-      [](float x, float y, float g) { return -g * x / (y * y); });
+  checkSameShape(a, b, "div");
+  auto out = makeOut(a.shape());
+  kernels::active().divVec(a.data(), b.data(), out->data.data(),
+                           out->data.size());
+  if (tapeActive({&a, &b})) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    attachTape(out, {&a, &b}, [ai, bi](TensorImpl& self) {
+      const std::size_t n = self.data.size();
+      const float* x = ai->data.data();
+      const float* y = bi->data.data();
+      const float* gs = self.grad.data();
+      if (ai->requiresGrad) {
+        ai->ensureGrad();
+        float* g = ai->grad.data();
+        for (std::size_t i = 0; i < n; ++i) g[i] += gs[i] / y[i];
+      }
+      if (bi->requiresGrad) {
+        bi->ensureGrad();
+        float* g = bi->grad.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          g[i] += -gs[i] * x[i] / (y[i] * y[i]);
+        }
+      }
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor addBias(const Tensor& matrix, const Tensor& bias) {
@@ -118,10 +160,10 @@ Tensor addBias(const Tensor& matrix, const Tensor& bias) {
   const float* pm = matrix.data();
   const float* pb = bias.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
+  const std::size_t width = static_cast<std::size_t>(cols);
   for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      po[r * cols + c] = pm[r * cols + c] + pb[c];
-    }
+    kt.addVec(pm + r * cols, pb, po + r * cols, width);
   }
   if (tapeActive({&matrix, &bias})) {
     auto mi = matrix.impl();
@@ -130,12 +172,12 @@ Tensor addBias(const Tensor& matrix, const Tensor& bias) {
       if (mi->requiresGrad) detail::accumulate(mi, self.grad);
       if (bi->requiresGrad) {
         bi->ensureGrad();
+        const kernels::KernelTable& kt = kernels::active();
         float* g = bi->grad.data();
         const float* gs = self.grad.data();
+        const std::size_t width = static_cast<std::size_t>(cols);
         for (std::int64_t r = 0; r < rows; ++r) {
-          for (std::int64_t c = 0; c < cols; ++c) {
-            g[c] += gs[r * cols + c];
-          }
+          kt.accAddVec(gs + r * cols, g, width);
         }
       }
     });
@@ -154,10 +196,10 @@ Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
   const float* pm = matrix.data();
   const float* pv = colVec.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
+  const std::size_t width = static_cast<std::size_t>(cols);
   for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      po[r * cols + c] = pm[r * cols + c] + pv[r];
-    }
+    kt.addScalarVec(pm + r * cols, pv[r], po + r * cols, width);
   }
   if (tapeActive({&matrix, &colVec})) {
     auto mi = matrix.impl();
@@ -167,14 +209,13 @@ Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
                  if (mi->requiresGrad) detail::accumulate(mi, self.grad);
                  if (vi->requiresGrad) {
                    vi->ensureGrad();
+                   const kernels::KernelTable& kt = kernels::active();
                    float* g = vi->grad.data();
                    const float* gs = self.grad.data();
+                   const std::size_t width = static_cast<std::size_t>(cols);
                    for (std::int64_t r = 0; r < rows; ++r) {
-                     float acc = 0.0f;
-                     for (std::int64_t c = 0; c < cols; ++c) {
-                       acc += gs[r * cols + c];
-                     }
-                     g[r] += acc;
+                     g[r] += static_cast<float>(
+                         kt.sumVec(gs + r * cols, width));
                    }
                  }
                });
@@ -193,25 +234,25 @@ Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
   const float* pm = matrix.data();
   const float* pv = colVec.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
+  const std::size_t width = static_cast<std::size_t>(cols);
   for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      po[r * cols + c] = pm[r * cols + c] * pv[r];
-    }
+    kt.scaleVec(pm + r * cols, pv[r], po + r * cols, width);
   }
   if (tapeActive({&matrix, &colVec})) {
     auto mi = matrix.impl();
     auto vi = colVec.impl();
     attachTape(out, {&matrix, &colVec},
                [mi, vi, rows, cols](TensorImpl& self) {
+                 const kernels::KernelTable& kt = kernels::active();
                  const float* gs = self.grad.data();
+                 const std::size_t width = static_cast<std::size_t>(cols);
                  if (mi->requiresGrad) {
                    mi->ensureGrad();
                    float* g = mi->grad.data();
                    const float* v = vi->data.data();
                    for (std::int64_t r = 0; r < rows; ++r) {
-                     for (std::int64_t c = 0; c < cols; ++c) {
-                       g[r * cols + c] += gs[r * cols + c] * v[r];
-                     }
+                     kt.accScaleVec(gs + r * cols, v[r], g + r * cols, width);
                    }
                  }
                  if (vi->requiresGrad) {
@@ -219,11 +260,8 @@ Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
                    float* g = vi->grad.data();
                    const float* pm = mi->data.data();
                    for (std::int64_t r = 0; r < rows; ++r) {
-                     float acc = 0.0f;
-                     for (std::int64_t c = 0; c < cols; ++c) {
-                       acc += gs[r * cols + c] * pm[r * cols + c];
-                     }
-                     g[r] += acc;
+                     g[r] += static_cast<float>(
+                         kt.dotVec(gs + r * cols, pm + r * cols, width));
                    }
                  }
                });
@@ -248,12 +286,12 @@ Tensor repeatRows(const Tensor& row, std::int64_t n) {
     auto ri = row.impl();
     attachTape(out, {&row}, [ri, n, cols](TensorImpl& self) {
       ri->ensureGrad();
+      const kernels::KernelTable& kt = kernels::active();
       float* g = ri->grad.data();
       const float* gs = self.grad.data();
+      const std::size_t width = static_cast<std::size_t>(cols);
       for (std::int64_t r = 0; r < n; ++r) {
-        for (std::int64_t c = 0; c < cols; ++c) {
-          g[c] += gs[r * cols + c];
-        }
+        kt.accAddVec(gs + r * cols, g, width);
       }
     });
   }
@@ -261,23 +299,54 @@ Tensor repeatRows(const Tensor& row, std::int64_t n) {
 }
 
 Tensor addScalar(const Tensor& t, float s) {
-  return unaryOp(
-      t, [s](float x) { return x + s; },
-      [](float, float, float g) { return g; });
+  auto out = makeOut(t.shape());
+  kernels::active().addScalarVec(t.data(), s, out->data.data(),
+                                 out->data.size());
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti](TensorImpl& self) {
+      ti->ensureGrad();
+      kernels::active().accAddVec(self.grad.data(), ti->grad.data(),
+                                  self.data.size());
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor mulScalar(const Tensor& t, float s) {
-  return unaryOp(
-      t, [s](float x) { return x * s; },
-      [s](float, float, float g) { return g * s; });
+  auto out = makeOut(t.shape());
+  kernels::active().scaleVec(t.data(), s, out->data.data(),
+                             out->data.size());
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti, s](TensorImpl& self) {
+      ti->ensureGrad();
+      kernels::active().accScaleVec(self.grad.data(), s, ti->grad.data(),
+                                    self.data.size());
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor neg(const Tensor& t) { return mulScalar(t, -1.0f); }
 
 Tensor relu(const Tensor& t) {
-  return unaryOp(
-      t, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+  auto out = makeOut(t.shape());
+  kernels::active().reluVec(t.data(), out->data.data(), out->data.size());
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti](TensorImpl& self) {
+      ti->ensureGrad();
+      const std::size_t n = self.data.size();
+      const float* in = ti->data.data();
+      const float* gs = self.grad.data();
+      float* g = ti->grad.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        g[i] += in[i] > 0.0f ? gs[i] : 0.0f;
+      }
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor leakyRelu(const Tensor& t, float slope) {
@@ -319,9 +388,21 @@ Tensor sqrtOp(const Tensor& t, float eps) {
 }
 
 Tensor square(const Tensor& t) {
-  return unaryOp(
-      t, [](float x) { return x * x; },
-      [](float x, float, float g) { return 2.0f * x * g; });
+  auto out = makeOut(t.shape());
+  kernels::active().mulVec(t.data(), t.data(), out->data.data(),
+                           out->data.size());
+  if (tapeActive({&t})) {
+    auto ti = t.impl();
+    attachTape(out, {&t}, [ti](TensorImpl& self) {
+      ti->ensureGrad();
+      const std::size_t n = self.data.size();
+      const float* in = ti->data.data();
+      const float* gs = self.grad.data();
+      float* g = ti->grad.data();
+      for (std::size_t i = 0; i < n; ++i) g[i] += 2.0f * in[i] * gs[i];
+    });
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor softplus(const Tensor& t) {

@@ -1,4 +1,6 @@
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -10,54 +12,57 @@ using detail::tapeActive;
 
 namespace {
 
-/// C[n,m] += A[n,k] * B[k,m] with ikj loop order (B row reuse, contiguous
-/// inner writes). Parallel over rows of A.
+// The three GEMM shapes (forward, dA, dB) all dispatch through the active
+// kernel tier and parallelize over blocks of C rows — never over the
+// accumulation dimension, which is what keeps every tier bitwise
+// reproducible across thread counts (see src/tensor/kernels/kernels.hpp).
+constexpr std::size_t kGemmRowGrain = 32;
+
+/// C[n,m] += A[n,k] * B[k,m].
 void gemmAcc(const float* a, const float* b, float* c, std::int64_t n,
              std::int64_t k, std::int64_t m) {
-  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t i) {
-    float* crow = c + static_cast<std::int64_t>(i) * m;
-    const float* arow = a + static_cast<std::int64_t>(i) * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }, /*grainSize=*/16);
+  DAGT_TRACE_SCOPE("kernel/gemm");
+  const kernels::KernelTable& kt = kernels::active();
+  parallelForRange(0, static_cast<std::size_t>(n),
+                   [&](std::size_t rowBegin, std::size_t rowEnd) {
+                     kt.gemmRows(a, b, c, static_cast<std::int64_t>(rowBegin),
+                                 static_cast<std::int64_t>(rowEnd), k, m);
+                   },
+                   kGemmRowGrain);
 }
 
-/// C[n,m] += A^T where A is [k,n]: C = A^T * B, A [k,n], B [k,m].
+/// C[n,m] += A^T * B for A [k,n], B [k,m]. Each worker owns a block of C
+/// rows outright and accumulates its full sum over k, so there is no
+/// cross-thread write sharing; the column reads a[p*n + i] are strided, but
+/// the contiguous B-row reads and C-row writes dominate.
 void gemmTransAAcc(const float* a, const float* b, float* c, std::int64_t k,
                    std::int64_t n, std::int64_t m) {
-  // Parallel over rows of C, matching the other two GEMM kernels: each
-  // worker owns row i outright and accumulates its full sum over k, so
-  // there is no cross-thread write sharing. The column reads a[p*n + i]
-  // are strided, but the contiguous B-row reads and C-row writes dominate.
-  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t row) {
-    const std::int64_t i = static_cast<std::int64_t>(row);
-    float* crow = c + i * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a[p * n + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }, /*grainSize=*/16);
+  DAGT_TRACE_SCOPE("kernel/gemm");
+  const kernels::KernelTable& kt = kernels::active();
+  parallelForRange(0, static_cast<std::size_t>(n),
+                   [&](std::size_t rowBegin, std::size_t rowEnd) {
+                     kt.gemmTransARows(a, b, c,
+                                       static_cast<std::int64_t>(rowBegin),
+                                       static_cast<std::int64_t>(rowEnd), k, n,
+                                       m);
+                   },
+                   kGemmRowGrain);
 }
 
-/// C[n,k] += A[n,m] * B^T where B is [k,m].
+/// C[n,k] += A[n,m] * B^T where B is [k,m]. Dot-product based: bitwise
+/// identical in every kernel tier.
 void gemmTransBAcc(const float* a, const float* b, float* c, std::int64_t n,
                    std::int64_t m, std::int64_t k) {
-  parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t i) {
-    const float* arow = a + static_cast<std::int64_t>(i) * m;
-    float* crow = c + static_cast<std::int64_t>(i) * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * m;
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) acc += arow[j] * brow[j];
-      crow[p] += static_cast<float>(acc);
-    }
-  }, /*grainSize=*/16);
+  DAGT_TRACE_SCOPE("kernel/gemm");
+  const kernels::KernelTable& kt = kernels::active();
+  parallelForRange(0, static_cast<std::size_t>(n),
+                   [&](std::size_t rowBegin, std::size_t rowEnd) {
+                     kt.gemmTransBRows(a, b, c,
+                                       static_cast<std::int64_t>(rowBegin),
+                                       static_cast<std::int64_t>(rowEnd), m,
+                                       k);
+                   },
+                   kGemmRowGrain);
 }
 
 }  // namespace

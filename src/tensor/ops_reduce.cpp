@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -12,17 +13,17 @@ using detail::tapeActive;
 
 Tensor sumAll(const Tensor& t) {
   auto out = makeOut({1});
-  const float* p = t.data();
-  double acc = 0.0;  // accumulate in double to keep long sums stable
-  const std::size_t n = static_cast<std::size_t>(t.numel());
-  for (std::size_t i = 0; i < n; ++i) acc += p[i];
-  out->data[0] = static_cast<float>(acc);
+  // Lane-blocked double accumulation (see kernels.hpp): stable over long
+  // sums and bitwise identical in every dispatch tier.
+  out->data[0] = static_cast<float>(kernels::active().sumVec(
+      t.data(), static_cast<std::size_t>(t.numel())));
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti](TensorImpl& self) {
       ti->ensureGrad();
       const float g = self.grad[0];
-      for (auto& v : ti->grad) v += g;
+      kernels::active().addScalarVec(ti->grad.data(), g, ti->grad.data(),
+                                     ti->grad.size());
     });
   }
   return Tensor(std::move(out));
@@ -40,10 +41,9 @@ Tensor sumDim0(const Tensor& t) {
   auto out = makeOut({cols});
   const float* p = t.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
   for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) {
-      po[c] += p[r * cols + c];
-    }
+    kt.accAddVec(p + r * cols, po, static_cast<std::size_t>(cols));
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
@@ -73,22 +73,21 @@ Tensor sumDim1(const Tensor& t) {
   auto out = makeOut({rows});
   const float* p = t.data();
   float* po = out->data.data();
+  const kernels::KernelTable& kt = kernels::active();
   for (std::int64_t r = 0; r < rows; ++r) {
-    double acc = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) acc += p[r * cols + c];
-    po[r] = static_cast<float>(acc);
+    po[r] = static_cast<float>(
+        kt.sumVec(p + r * cols, static_cast<std::size_t>(cols)));
   }
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, rows, cols](TensorImpl& self) {
       ti->ensureGrad();
+      const kernels::KernelTable& kt = kernels::active();
       float* gt = ti->grad.data();
       const float* gs = self.grad.data();
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float g = gs[r];
-        for (std::int64_t c = 0; c < cols; ++c) {
-          gt[r * cols + c] += g;
-        }
+        float* grow = gt + r * cols;
+        kt.addScalarVec(grow, gs[r], grow, static_cast<std::size_t>(cols));
       }
     });
   }

@@ -26,6 +26,9 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "core/batch_prefetcher.hpp"
+#include "core/dataset.hpp"
+#include "core/trainer.hpp"
 #include "features/design_data.hpp"
 #include "serve/model_bundle.hpp"
 #include "serve/prediction_engine.hpp"
@@ -331,6 +334,103 @@ TEST(ConcurrencyStress, ParallelForPropagatesFirstError) {
                             }
                           }),
       CheckError);
+}
+
+TEST(ConcurrencyStress, BatchPrefetcherDeliversEveryStepInOrder) {
+  // Hammer the async producer/consumer handoff: the producer allocates a
+  // real payload per step (so TSan sees the memory cross threads) and the
+  // consumer asserts strict ordering and exact count.
+  constexpr std::size_t kSteps = 2000;
+  struct Step {
+    std::size_t seq = 0;
+    std::vector<float> payload;
+  };
+  for (int round = 0; round < 4; ++round) {
+    std::size_t produced = 0;
+    core::BatchPrefetcher<Step> prefetcher(
+        [&](Step& out) {
+          if (produced >= kSteps) return false;
+          out.seq = produced++;
+          out.payload.assign(64, static_cast<float>(out.seq));
+          return true;
+        },
+        /*async=*/true);
+    Step step;
+    std::size_t consumed = 0;
+    while (prefetcher.next(step)) {
+      ASSERT_EQ(step.seq, consumed);
+      ASSERT_EQ(step.payload.at(63), static_cast<float>(consumed));
+      ++consumed;
+    }
+    EXPECT_EQ(consumed, kSteps);
+  }
+}
+
+TEST(ConcurrencyStress, BatchPrefetcherAbandonedMidStreamShutsDownCleanly) {
+  // The consumer may stop early (exception paths, test teardown); the
+  // destructor must unblock and join a producer stuck on a full slot.
+  struct Step {
+    std::vector<float> payload;
+  };
+  for (int round = 0; round < 16; ++round) {
+    core::BatchPrefetcher<Step> prefetcher(
+        [&](Step& out) {
+          out.payload.assign(256, 1.0f);
+          return true;  // endless stream
+        },
+        /*async=*/true);
+    Step step;
+    ASSERT_TRUE(prefetcher.next(step));
+    // Drop the prefetcher with the producer mid-flight.
+  }
+}
+
+TEST(ConcurrencyStress, BatchPrefetcherPropagatesProducerException) {
+  struct Step {
+    int value = 0;
+  };
+  std::size_t produced = 0;
+  core::BatchPrefetcher<Step> prefetcher(
+      [&](Step& out) -> bool {
+        if (produced++ == 3) throw CheckError("producer exploded");
+        out.value = static_cast<int>(produced);
+        return true;
+      },
+      /*async=*/true);
+  Step step;
+  std::size_t got = 0;
+  try {
+    while (prefetcher.next(step)) ++got;
+    FAIL() << "expected the producer's exception";
+  } catch (const CheckError&) {
+  }
+  EXPECT_EQ(got, 3u);
+}
+
+TEST(ConcurrencyStress, ShardedTrainingWithPrefetchUnderThreads) {
+  // End-to-end data-parallel training: async batch producer feeding 4
+  // gradient shards over 4 workers — replicas share weight storage with
+  // the master, gradients tree-reduce between steps. This is the TSan
+  // surface for the whole train-side pipeline.
+  ThreadCountGuard guard(4);
+  const auto& d7 = target7();
+  core::TimingDataset trainSet({&d7});
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.endpointCap = 16;
+  tc.gradShards = 4;
+  tc.prefetch = true;
+  tc.model.gnnHidden = 8;
+  tc.model.cnnBaseChannels = 2;
+  tc.model.cnnDim = 4;
+  tc.model.headHidden = 8;
+  const core::Trainer trainer(trainSet, tc);
+  core::TrainStats stats;
+  auto model = trainer.train(core::Strategy::kAdvOnly, &stats);
+  ASSERT_NE(model, nullptr);
+  for (const float loss : stats.epochLoss) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
 }
 
 }  // namespace

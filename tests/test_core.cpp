@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "core/bayesian_head.hpp"
 #include "core/dataset.hpp"
 #include "core/disentangler.hpp"
@@ -431,6 +432,74 @@ TEST(Trainer, TransferStrategiesRequireSources) {
   EXPECT_THROW(trainer.train(Strategy::kSimpleMerge), CheckError);
   EXPECT_THROW(trainer.train(Strategy::kOurs), CheckError);
   EXPECT_NO_THROW(trainer.train(Strategy::kAdvOnly));
+}
+
+/// Force a real parallelFor worker count for one scope.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) : saved_(parallelThreadCount()) {
+    parallelThreadCount() = n;
+  }
+  ~ThreadCountGuard() { parallelThreadCount() = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<float> trainLossCurve(const TimingDataset& trainSet,
+                                  const TrainConfig& tc, Strategy strategy) {
+  const Trainer trainer(trainSet, tc);
+  TrainStats stats;
+  (void)trainer.train(strategy, &stats);
+  return stats.epochLoss;
+}
+
+TEST(Trainer, ShardedLossCurveIsThreadCountInvariant) {
+  // The data-parallel contract: with a fixed gradShards, the loss curve is
+  // bitwise identical no matter how many parallelFor workers execute the
+  // shards (producer owns all RNG; gradients tree-reduce in a fixed order).
+  const auto& d7 = target7();
+  const auto& d130 = source130();
+  TimingDataset trainSet({&d7, &d130});
+  TrainConfig tc = tinyTrainConfig();
+  tc.epochs = 2;
+  tc.gradShards = 2;
+  for (const Strategy strategy :
+       {Strategy::kSimpleMerge, Strategy::kOurs}) {
+    std::vector<float> curve1;
+    {
+      ThreadCountGuard threads(1);
+      curve1 = trainLossCurve(trainSet, tc, strategy);
+    }
+    for (const std::size_t workers : {2ul, 8ul}) {
+      ThreadCountGuard threads(workers);
+      const std::vector<float> curveN = trainLossCurve(trainSet, tc, strategy);
+      EXPECT_EQ(curve1, curveN)
+          << strategyName(strategy) << " workers=" << workers;
+    }
+  }
+}
+
+TEST(Trainer, PrefetchDoesNotChangeResults) {
+  // Async batch prefetching is a pure pipelining change — the producer
+  // callback runs the identical RNG stream either way.
+  const auto& d7 = target7();
+  const auto& d130 = source130();
+  TimingDataset trainSet({&d7, &d130});
+  for (const std::int32_t shards : {1, 2}) {
+    TrainConfig tc = tinyTrainConfig();
+    tc.epochs = 2;
+    tc.gradShards = shards;
+    for (const Strategy strategy :
+         {Strategy::kPretrainFinetune, Strategy::kOurs}) {
+      tc.prefetch = true;
+      const std::vector<float> async = trainLossCurve(trainSet, tc, strategy);
+      tc.prefetch = false;
+      const std::vector<float> sync = trainLossCurve(trainSet, tc, strategy);
+      EXPECT_EQ(async, sync)
+          << strategyName(strategy) << " gradShards=" << shards;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,384 @@
+// Kernel parity suite: proves the dispatch tiers honor the rounding
+// contract documented in src/tensor/kernels/kernels.hpp.
+//
+//   * Elementwise / accumulate / reduction kernels: bitwise identical
+//     outputs in every supported tier (memcmp, including -0.0 and NaN).
+//   * GEMM: scalar vs avx2 bitwise; avx2fma under a tight relative
+//     tolerance (same accumulation order, fused rounding).
+//   * Autograd correctness per tier (finite-difference gradcheck with the
+//     tier pinned).
+//   * Thread-count invariance: op results are bitwise identical whether
+//     parallelFor runs 1 or 4 workers, in every tier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt::tensor::kernels {
+namespace {
+
+std::vector<Tier> supportedTiers() {
+  std::vector<Tier> tiers;
+  for (int t = 0; t < kTierCount; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    if (tierSupported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+/// Pin the active tier for one test body; resetTier() on scope exit.
+class TierGuard {
+ public:
+  explicit TierGuard(Tier tier) { forceTier(tier); }
+  ~TierGuard() { resetTier(); }
+};
+
+/// Force a real worker count (the test box may report one core).
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) : saved_(parallelThreadCount()) {
+    parallelThreadCount() = n;
+  }
+  ~ThreadCountGuard() { parallelThreadCount() = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<float> randomVec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+bool bitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// Odd sizes on purpose: exercise the 8-lane blocks AND the scalar tails.
+const std::size_t kVecSizes[] = {1, 2, 7, 8, 9, 16, 31, 64, 67, 257};
+
+TEST(KernelDispatch, TierNamesRoundTrip) {
+  EXPECT_STREQ(tierName(Tier::kScalar), "scalar");
+  EXPECT_STREQ(tierName(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(tierName(Tier::kAvx2Fma), "avx2fma");
+  for (int t = 0; t < kTierCount; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    const auto parsed = parseTier(tierName(tier));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, tier);
+  }
+  EXPECT_FALSE(parseTier("sse9").has_value());
+  EXPECT_FALSE(parseTier("").has_value());
+  // "auto" is a dispatcher keyword, not a tier.
+  EXPECT_FALSE(parseTier("auto").has_value());
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupportedAndActiveTierIs) {
+  EXPECT_TRUE(tierSupported(Tier::kScalar));
+  EXPECT_TRUE(tierSupported(activeTier()));
+  EXPECT_TRUE(tierSupported(detectTier()));
+}
+
+TEST(KernelDispatch, ForceTierPinsActiveTier) {
+  for (const Tier tier : supportedTiers()) {
+    TierGuard guard(tier);
+    EXPECT_EQ(activeTier(), tier);
+    EXPECT_EQ(&active(), &table(tier));
+  }
+}
+
+TEST(KernelParity, ElementwiseBitwiseAcrossTiers) {
+  const KernelTable& ref = table(Tier::kScalar);
+  Rng rng(7);
+  for (const std::size_t n : kVecSizes) {
+    std::vector<float> x = randomVec(n, rng);
+    std::vector<float> y = randomVec(n, rng);
+    // Edge bits the contract must preserve: signed zero, NaN, infinity.
+    x[0] = -0.0f;
+    if (n > 2) {
+      x[1] = std::numeric_limits<float>::quiet_NaN();
+      y[2] = std::numeric_limits<float>::infinity();
+    }
+    const float s = 1.7f;
+    for (const Tier tier : supportedTiers()) {
+      if (tier == Tier::kScalar) continue;
+      const KernelTable& kt = table(tier);
+      const auto check2 = [&](auto refFn, auto tierFn, const char* name) {
+        std::vector<float> a(n, 0.5f), b(n, 0.5f);
+        refFn(ref, a.data());
+        tierFn(kt, b.data());
+        EXPECT_TRUE(bitwiseEqual(a, b))
+            << name << " n=" << n << " tier=" << tierName(tier);
+      };
+      check2([&](const KernelTable& t, float* o) { t.addVec(x.data(), y.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.addVec(x.data(), y.data(), o, n); },
+             "addVec");
+      check2([&](const KernelTable& t, float* o) { t.subVec(x.data(), y.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.subVec(x.data(), y.data(), o, n); },
+             "subVec");
+      check2([&](const KernelTable& t, float* o) { t.mulVec(x.data(), y.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.mulVec(x.data(), y.data(), o, n); },
+             "mulVec");
+      check2([&](const KernelTable& t, float* o) { t.divVec(x.data(), y.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.divVec(x.data(), y.data(), o, n); },
+             "divVec");
+      check2([&](const KernelTable& t, float* o) { t.scaleVec(x.data(), s, o, n); },
+             [&](const KernelTable& t, float* o) { t.scaleVec(x.data(), s, o, n); },
+             "scaleVec");
+      check2([&](const KernelTable& t, float* o) { t.addScalarVec(x.data(), s, o, n); },
+             [&](const KernelTable& t, float* o) { t.addScalarVec(x.data(), s, o, n); },
+             "addScalarVec");
+      check2([&](const KernelTable& t, float* o) { t.reluVec(x.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.reluVec(x.data(), o, n); },
+             "reluVec");
+      check2([&](const KernelTable& t, float* o) { t.accAddVec(x.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.accAddVec(x.data(), o, n); },
+             "accAddVec");
+      check2([&](const KernelTable& t, float* o) { t.accScaleVec(x.data(), s, o, n); },
+             [&](const KernelTable& t, float* o) { t.accScaleVec(x.data(), s, o, n); },
+             "accScaleVec");
+      check2([&](const KernelTable& t, float* o) { t.accMulVec(x.data(), y.data(), o, n); },
+             [&](const KernelTable& t, float* o) { t.accMulVec(x.data(), y.data(), o, n); },
+             "accMulVec");
+    }
+  }
+}
+
+TEST(KernelParity, ReluMatchesScalarOnSignedZeroAndNan) {
+  // relu(x) must equal the scalar `x > 0 ? x : 0` bit-for-bit: -0.0 -> -0.0
+  // is WRONG (scalar yields +0.0? no: -0.0 > 0 is false, so result is 0.0f
+  // literal = +0.0), NaN -> 0.0. A max_ps-based kernel fails both.
+  const float in[3] = {-0.0f, std::numeric_limits<float>::quiet_NaN(), -1.0f};
+  for (const Tier tier : supportedTiers()) {
+    float out[3] = {9.0f, 9.0f, 9.0f};
+    table(tier).reluVec(in, out, 3);
+    const float positiveZero = 0.0f;
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(std::memcmp(&out[i], &positiveZero, sizeof(float)), 0)
+          << "tier=" << tierName(tier) << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelParity, ReductionsBitwiseAcrossTiers) {
+  const KernelTable& ref = table(Tier::kScalar);
+  Rng rng(11);
+  for (const std::size_t n : kVecSizes) {
+    const std::vector<float> x = randomVec(n, rng);
+    const std::vector<float> y = randomVec(n, rng);
+    const double refSum = ref.sumVec(x.data(), n);
+    const double refDot = ref.dotVec(x.data(), y.data(), n);
+    for (const Tier tier : supportedTiers()) {
+      const KernelTable& kt = table(tier);
+      const double sum = kt.sumVec(x.data(), n);
+      const double dot = kt.dotVec(x.data(), y.data(), n);
+      EXPECT_EQ(std::memcmp(&sum, &refSum, sizeof(double)), 0)
+          << "sumVec n=" << n << " tier=" << tierName(tier);
+      EXPECT_EQ(std::memcmp(&dot, &refDot, sizeof(double)), 0)
+          << "dotVec n=" << n << " tier=" << tierName(tier);
+    }
+  }
+}
+
+struct GemmShape {
+  std::int64_t n, k, m;
+};
+// Cover the 4-row x 16-col FMA microkernel, its row tail, its column tail,
+// and shapes smaller than one block.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1}, {3, 5, 7}, {4, 9, 16}, {13, 9, 21}, {33, 47, 29}, {8, 16, 64}};
+
+TEST(KernelParity, GemmScalarVsAvx2Bitwise) {
+  if (!tierSupported(Tier::kAvx2)) GTEST_SKIP() << "no avx2 on this host";
+  Rng rng(13);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = randomVec(static_cast<std::size_t>(s.n * s.k), rng);
+    const auto b = randomVec(static_cast<std::size_t>(s.k * s.m), rng);
+    std::vector<float> cRef(static_cast<std::size_t>(s.n * s.m), 0.25f);
+    std::vector<float> cGot = cRef;
+    table(Tier::kScalar)
+        .gemmRows(a.data(), b.data(), cRef.data(), 0, s.n, s.k, s.m);
+    table(Tier::kAvx2)
+        .gemmRows(a.data(), b.data(), cGot.data(), 0, s.n, s.k, s.m);
+    EXPECT_TRUE(bitwiseEqual(cRef, cGot))
+        << "gemmRows " << s.n << "x" << s.k << "x" << s.m;
+
+    // A^T B: A is [k, n].
+    std::vector<float> tRef(static_cast<std::size_t>(s.n * s.m), -0.5f);
+    std::vector<float> tGot = tRef;
+    const auto at = randomVec(static_cast<std::size_t>(s.k * s.n), rng);
+    table(Tier::kScalar)
+        .gemmTransARows(at.data(), b.data(), tRef.data(), 0, s.n, s.k, s.n,
+                        s.m);
+    table(Tier::kAvx2)
+        .gemmTransARows(at.data(), b.data(), tGot.data(), 0, s.n, s.k, s.n,
+                        s.m);
+    EXPECT_TRUE(bitwiseEqual(tRef, tGot))
+        << "gemmTransARows " << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(KernelParity, GemmTransBBitwiseEveryTier) {
+  // A B^T is dot-product based — the contract promises bitwise identity
+  // even in the FMA tier.
+  Rng rng(17);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = randomVec(static_cast<std::size_t>(s.n * s.m), rng);
+    const auto b = randomVec(static_cast<std::size_t>(s.k * s.m), rng);
+    std::vector<float> cRef(static_cast<std::size_t>(s.n * s.k), 1.0f);
+    table(Tier::kScalar)
+        .gemmTransBRows(a.data(), b.data(), cRef.data(), 0, s.n, s.m, s.k);
+    for (const Tier tier : supportedTiers()) {
+      std::vector<float> cGot(static_cast<std::size_t>(s.n * s.k), 1.0f);
+      table(tier).gemmTransBRows(a.data(), b.data(), cGot.data(), 0, s.n,
+                                 s.m, s.k);
+      EXPECT_TRUE(bitwiseEqual(cRef, cGot))
+          << "gemmTransBRows " << s.n << "x" << s.m << "x" << s.k
+          << " tier=" << tierName(tier);
+    }
+  }
+}
+
+TEST(KernelParity, GemmFmaMatchesScalarWithinUlps) {
+  if (!tierSupported(Tier::kAvx2Fma)) GTEST_SKIP() << "no fma on this host";
+  Rng rng(19);
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = randomVec(static_cast<std::size_t>(s.n * s.k), rng);
+    const auto b = randomVec(static_cast<std::size_t>(s.k * s.m), rng);
+    std::vector<float> cRef(static_cast<std::size_t>(s.n * s.m), 0.0f);
+    std::vector<float> cGot = cRef;
+    table(Tier::kScalar)
+        .gemmRows(a.data(), b.data(), cRef.data(), 0, s.n, s.k, s.m);
+    table(Tier::kAvx2Fma)
+        .gemmRows(a.data(), b.data(), cGot.data(), 0, s.n, s.k, s.m);
+    for (std::size_t i = 0; i < cRef.size(); ++i) {
+      const float scale = std::max(1.0f, std::abs(cRef[i]));
+      EXPECT_NEAR(cGot[i], cRef[i], 1e-5f * scale)
+          << "gemmRows(fma) " << s.n << "x" << s.k << "x" << s.m << " @" << i;
+    }
+  }
+}
+
+TEST(KernelParity, MatmulOpBitwiseAcrossThreadCounts) {
+  // parallelFor splits GEMM along C rows only, so the op result must not
+  // depend on the worker count — in any tier.
+  Rng rng(23);
+  Tensor a = Tensor::randn({37, 19}, rng);
+  Tensor b = Tensor::randn({19, 41}, rng);
+  for (const Tier tier : supportedTiers()) {
+    TierGuard tierGuard(tier);
+    std::vector<float> single;
+    {
+      ThreadCountGuard threads(1);
+      single = matmul(a, b).toVector();
+    }
+    for (const std::size_t workers : {2ul, 4ul}) {
+      ThreadCountGuard threads(workers);
+      const std::vector<float> multi = matmul(a, b).toVector();
+      EXPECT_TRUE(bitwiseEqual(single, multi))
+          << "tier=" << tierName(tier) << " workers=" << workers;
+    }
+  }
+}
+
+TEST(KernelParity, OpsBitwiseScalarVsAvx2EndToEnd) {
+  if (!tierSupported(Tier::kAvx2)) GTEST_SKIP() << "no avx2 on this host";
+  // Whole-graph check through the public ops: forward AND gradients.
+  Rng rng(29);
+  Tensor a = Tensor::randn({9, 17}, rng, 1.0f, /*requiresGrad=*/true);
+  Tensor b = Tensor::randn({17, 13}, rng, 1.0f, /*requiresGrad=*/true);
+  const auto run = [&](Tier tier) {
+    TierGuard guard(tier);
+    a.zeroGrad();
+    b.zeroGrad();
+    Tensor loss = sumAll(relu(matmul(a, b)));
+    loss.backward();
+    std::vector<float> out = loss.grad().toVector();
+    const auto ga = a.grad().toVector();
+    const auto gb = b.grad().toVector();
+    out.insert(out.end(), ga.begin(), ga.end());
+    out.insert(out.end(), gb.begin(), gb.end());
+    out.push_back(loss.item());
+    return out;
+  };
+  const auto ref = run(Tier::kScalar);
+  const auto got = run(Tier::kAvx2);
+  EXPECT_TRUE(bitwiseEqual(ref, got));
+}
+
+/// Finite-difference gradcheck (same scheme as test_tensor.cpp).
+void gradCheck(Tensor& input, const std::function<Tensor()>& lossFn,
+               float tol = 2e-2f, float eps = 1e-3f) {
+  input.zeroGrad();
+  Tensor loss = lossFn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.backward();
+  const Tensor analytic = input.grad();
+  ASSERT_TRUE(analytic.defined());
+  float* p = input.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float saved = p[i];
+    p[i] = saved + eps;
+    const float up = lossFn().item();
+    p[i] = saved - eps;
+    const float down = lossFn().item();
+    p[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float got = analytic.data()[i];
+    const float scale = std::max({1.0f, std::abs(numeric), std::abs(got)});
+    EXPECT_NEAR(got, numeric, tol * scale)
+        << "element " << i << " analytic=" << got << " numeric=" << numeric;
+  }
+}
+
+TEST(KernelParity, GradCheckEveryTier) {
+  for (const Tier tier : supportedTiers()) {
+    SCOPED_TRACE(tierName(tier));
+    TierGuard guard(tier);
+    Rng rng(31);
+    Tensor a = Tensor::randn({5, 6}, rng, 0.8f, /*requiresGrad=*/true);
+    Tensor b = Tensor::randn({6, 4}, rng, 0.8f, /*requiresGrad=*/true);
+    Tensor c = Tensor::randn({5, 4}, rng, 0.8f, /*requiresGrad=*/true);
+    const auto lossFn = [&] {
+      // matmul + elementwise + reduction in one graph, so gemmRows,
+      // gemmTransARows, gemmTransBRows, mul/add/relu and the reductions
+      // all participate in the backward pass.
+      return sumAll(mul(relu(matmul(a, b)), c));
+    };
+    gradCheck(a, lossFn);
+    gradCheck(b, lossFn);
+    gradCheck(c, lossFn);
+  }
+}
+
+TEST(KernelParity, Conv2dGradCheckEveryTier) {
+  for (const Tier tier : supportedTiers()) {
+    SCOPED_TRACE(tierName(tier));
+    TierGuard guard(tier);
+    Rng rng(37);
+    Tensor img = Tensor::randn({2, 2, 5, 5}, rng, 0.7f, /*requiresGrad=*/true);
+    Tensor w = Tensor::randn({3, 2, 3, 3}, rng, 0.7f, /*requiresGrad=*/true);
+    Tensor bias = Tensor::randn({3}, rng, 0.2f, /*requiresGrad=*/true);
+    const auto lossFn = [&] {
+      return sumAll(conv2d(img, w, bias, /*stride=*/1, /*padding=*/1));
+    };
+    gradCheck(img, lossFn, 3e-2f);
+    gradCheck(w, lossFn, 3e-2f);
+    gradCheck(bias, lossFn, 3e-2f);
+  }
+}
+
+}  // namespace
+}  // namespace dagt::tensor::kernels

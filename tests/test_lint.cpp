@@ -173,6 +173,26 @@ TEST(DagtLint, TraceMacroOnlyExemptInsideObs) {
       << renderAll(findings);
 }
 
+TEST(DagtLint, IntrinsicsOutsideKernelsFiresAndHonorsAllow) {
+  const auto findings =
+      lintFixture("src/core/simd_fixture.cpp", "raw_intrinsics.cpp");
+  // Line 5: the <immintrin.h> include. Line 9: __m256 + _mm256_loadu_ps.
+  // The _mm256_setzero_ps on line 13 sits under an allow comment.
+  EXPECT_EQ(countRule(findings, "intrinsics-outside-kernels"), 3)
+      << renderAll(findings);
+  EXPECT_EQ(findings.size(), 3u) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[1].line, 9);
+  EXPECT_EQ(findings[2].line, 9);
+}
+
+TEST(DagtLint, IntrinsicsAllowedInsideKernelTierFiles) {
+  const auto findings = lintFixture("src/tensor/kernels/kernels_fixture.cpp",
+                                    "raw_intrinsics.cpp");
+  EXPECT_EQ(countRule(findings, "intrinsics-outside-kernels"), 0)
+      << renderAll(findings);
+}
+
 TEST(DagtLint, CleanFixtureProducesNoFindings) {
   const auto findings =
       lintFixture("src/serve/clean_fixture.hpp", "clean.hpp");

@@ -9,19 +9,35 @@
 #      docs/metrics-reference.md;
 #   2. every span/instant name passed to DAGT_TRACE_SCOPE/INSTANT in
 #      src/, tools/ and bench/ (tests and lint fixtures are exempt) must
-#      appear (backticked) in docs/observability.md.
+#      appear (backticked) in docs/observability.md;
+#   3. every kernel dispatch tier named in kTierNames
+#      (src/tensor/kernels/dispatch.cpp), every DAGT_* CMake option /
+#      cache variable and every DAGT_* environment variable read via
+#      getenv, and every bench_* target in bench/CMakeLists.txt must
+#      appear (backticked) in docs/performance.md.
 #
-# Adding a metric or a span without documenting it fails verify. Exits
-# non-zero with one line per missing name.
+# Adding a metric, span, tier, knob or bench without documenting it fails
+# verify. Exits non-zero with one line per missing name.
+#
+# `--selftest` runs the negative mode instead: phantom names are injected
+# into every extracted list and the script asserts each one is reported
+# missing — proof the checkers actually fire, not just that the docs
+# happen to be in sync.
 
 set -u
 cd "$(dirname "$0")/.."
 
+SELFTEST=0
+[[ "${1:-}" == "--selftest" ]] && SELFTEST=1
+
 MISSING=0
+MISSED_NAMES=""
 
 miss() {
   echo "check_docs: $1"
   MISSING=1
+  MISSED_NAMES="$MISSED_NAMES
+$1"
 }
 
 # --- 1. serve metrics keys -> docs/metrics-reference.md -------------------
@@ -65,6 +81,85 @@ else
       miss "span '${span}' is not documented in $OBS"
     fi
   done
+fi
+
+# --- 3. performance knobs -> docs/performance.md --------------------------
+
+PERF=docs/performance.md
+
+# Kernel dispatch tiers, from the canonical kTierNames initializer.
+TIERS=$(sed -n '/kTierNames\[kTierCount\]/,/};/p' src/tensor/kernels/dispatch.cpp |
+  grep -o '"[a-z0-9_]*"' | tr -d '"' | sort -u)
+[[ -n "$TIERS" ]] || miss "no tier names found in src/tensor/kernels/dispatch.cpp (extraction broke?)"
+
+# DAGT_* CMake options / cache variables (any CMakeLists.txt in the tree).
+OPTIONS=$(grep -rhoE '(option|set)\(DAGT_[A-Z_]+' --include=CMakeLists.txt . |
+  sed 's/.*(//' | sort -u)
+[[ -n "$OPTIONS" ]] || miss "no DAGT_* CMake options found (extraction broke?)"
+
+# DAGT_* environment variables read at runtime.
+ENVVARS=$(grep -rhoE 'getenv\("DAGT_[A-Z_]+"\)' src tools bench |
+  sed 's/.*"\(DAGT_[A-Z_]*\)".*/\1/' | sort -u)
+[[ -n "$ENVVARS" ]] || miss "no getenv(\"DAGT_*\") env vars found under src/ tools/ bench/ (extraction broke?)"
+
+# Benchmark targets: declared via the dagt_bench() macro or directly with
+# add_executable(bench_...) — both spellings exist in bench/CMakeLists.txt.
+BENCHES=$(grep -hoE '(dagt_bench|add_executable)\(bench_[a-z0-9_]+' bench/CMakeLists.txt |
+  sed 's/.*(//' | sort -u)
+[[ -n "$BENCHES" ]] || miss "no bench_* targets found in bench/CMakeLists.txt (extraction broke?)"
+
+if [[ "$SELFTEST" == 1 ]]; then
+  # Inject one phantom name per list; each must surface as a miss below,
+  # otherwise that checker is dead and would let real drift through.
+  TIERS="$TIERS
+phantom_tier_zz"
+  OPTIONS="$OPTIONS
+DAGT_PHANTOM_OPTION"
+  ENVVARS="$ENVVARS
+DAGT_PHANTOM_ENV"
+  BENCHES="$BENCHES
+bench_phantom_target"
+fi
+
+if [[ ! -f "$PERF" ]]; then
+  miss "$PERF does not exist"
+else
+  for tier in $TIERS; do
+    grep -qF "\`${tier}\`" "$PERF" ||
+      miss "kernel tier '${tier}' (src/tensor/kernels/dispatch.cpp) is not documented in $PERF"
+  done
+  for opt in $OPTIONS; do
+    grep -qF "\`${opt}\`" "$PERF" ||
+      miss "CMake knob '${opt}' is not documented in $PERF"
+  done
+  for var in $ENVVARS; do
+    grep -qF "\`${var}\`" "$PERF" ||
+      miss "env var '${var}' is not documented in $PERF"
+  done
+  for b in $BENCHES; do
+    grep -qF "\`${b}\`" "$PERF" ||
+      miss "bench target '${b}' is not documented in $PERF"
+  done
+fi
+
+# --- verdict ---------------------------------------------------------------
+
+if [[ "$SELFTEST" == 1 ]]; then
+  rc=0
+  for phantom in phantom_tier_zz DAGT_PHANTOM_OPTION DAGT_PHANTOM_ENV \
+    bench_phantom_target; do
+    case "$MISSED_NAMES" in
+      *"'${phantom}'"*) ;;
+      *)
+        echo "check_docs: SELFTEST FAILED — phantom '${phantom}' was not flagged"
+        rc=1
+        ;;
+    esac
+  done
+  if [[ "$rc" == 0 ]]; then
+    echo "check_docs: selftest ok — all phantom names were flagged"
+  fi
+  exit "$rc"
 fi
 
 if [[ "$MISSING" != 0 ]]; then

@@ -201,9 +201,27 @@ bool isHotHeader(const std::string& path) {
   return path == "src/tensor/ops_common.hpp" || path == "src/common/parallel.hpp";
 }
 
+bool isKernelTierFile(const std::string& path) {
+  return startsWith(path, "src/tensor/kernels/");
+}
+
+/// Raw x86 SIMD surface: _mm_/_mm256_/_mm512_ intrinsic calls and the
+/// __m128/__m256/__m512 register types.
+bool isRawSimdIdent(const std::string& t) {
+  if (startsWith(t, "_mm")) {
+    return t.size() > 3 &&
+           (t[3] == '_' || std::isdigit(static_cast<unsigned char>(t[3])));
+  }
+  if (startsWith(t, "__m")) {
+    return t.size() > 3 && std::isdigit(static_cast<unsigned char>(t[3]));
+  }
+  return false;
+}
+
 bool isGuardedByScope(const std::string& path) {
   return (startsWith(path, "src/serve/") && endsWith(path, ".hpp")) ||
-         path == "src/tensor/storage.hpp";
+         path == "src/tensor/storage.hpp" ||
+         path == "src/core/batch_prefetcher.hpp";
 }
 
 bool isLoggingExempt(const std::string& path) {
@@ -394,6 +412,36 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
                "hot-path header must stay free of std::function (type-"
                "erased calls inside per-element loops); take a template "
                "parameter instead");
+        }
+      }
+    }
+
+    // -- intrinsics-outside-kernels -----------------------------------------
+    // Raw SIMD belongs behind the dispatch table: the kernel TUs carry the
+    // per-tier compile flags (-mavx2/-mfma with -ffp-contract=off) and the
+    // rounding contract; an intrinsic anywhere else silently escapes both.
+    if (!isKernelTierFile(file.path)) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (isRawSimdIdent(toks[i].text)) {
+          emit(toks[i].line, "intrinsics-outside-kernels",
+               "raw SIMD intrinsic '" + toks[i].text +
+                   "' outside src/tensor/kernels/; call through "
+                   "kernels::active() so dispatch and the rounding contract "
+                   "stay in one place");
+        }
+      }
+      static const std::set<std::string> simdHeaders = {
+          "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+          "avxintrin.h", "smmintrin.h", "tmmintrin.h"};
+      for (const auto& [line, directive] : lexed.directives) {
+        if (directive.find("include") == std::string::npos) continue;
+        for (const auto& header : simdHeaders) {
+          if (directive.find(header) != std::string::npos) {
+            emit(line, "intrinsics-outside-kernels",
+                 "#include <" + header +
+                     "> outside src/tensor/kernels/; SIMD code lives behind "
+                     "the kernel dispatch table");
+          }
         }
       }
     }

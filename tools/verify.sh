@@ -3,13 +3,15 @@
 #
 #   default   RelWithDebInfo build + complete ctest suite (DAGT_CHECKS on)
 #   lint      dagt-lint over the checkout (ctest -L lint)
-#   docs      tools/check_docs.sh — docs/ in sync with metrics + span names
+#   docs      tools/check_docs.sh (+ --selftest) — docs/ in sync with
+#             metrics keys, span names, kernel tiers, DAGT_* knobs, benches
+#   bench     bench_micro_ops smoke run + BENCH JSON validation (tier table)
 #   asan      ASan/UBSan build, tensor + concurrency suites
 #   tsan      ThreadSanitizer build, concurrency stress suite
 #   obs       ThreadSanitizer build, tracing-layer suite (dagt_obs_tests)
 #
 # Usage: tools/verify.sh [--fast]
-#   --fast skips the sanitizer stages (default + lint + docs only).
+#   --fast skips the sanitizer stages (default + lint + docs + bench only).
 #
 # Each sanitizer preset gets its own build tree (build-asan/, build-tsan/) —
 # the runtimes are mutually exclusive, and CMake enforces that (see
@@ -72,14 +74,46 @@ run_obs() {
     ./build-tsan/tests/dagt_obs_tests
 }
 
+# Positive pass first (docs in sync), then the negative selftest: phantom
+# names injected into every extracted list must each be flagged, proving
+# the drift checkers still fire.
 run_docs() {
-  tools/check_docs.sh
+  tools/check_docs.sh &&
+    tools/check_docs.sh --selftest
+}
+
+# Smoke-run the perf dashboard at tiny shapes, then validate the JSON it
+# writes: the kernel tier table must be present, every profiled tier must
+# have a real timing, and on SIMD-capable hosts the dispatch layer must
+# actually pay off (>= 2x GEMM speedup over the scalar tier).
+run_bench() {
+  cmake --build build -j "$JOBS" --target bench_micro_ops &&
+    rm -rf build/bench-smoke && mkdir -p build/bench-smoke &&
+    DAGT_BENCH_DIR=build/bench-smoke \
+      ./build/bench/bench_micro_ops \
+      --benchmark_filter='BM_KernelGemmTier/.*/64' \
+      --benchmark_min_time=0.02 &&
+    python3 - <<'EOF'
+import json
+doc = json.load(open("build/bench-smoke/BENCH_micro_ops.json"))
+kernels = doc["kernels"]
+tiers = kernels["tiers"]
+assert "scalar" in tiers, "scalar tier missing from kernels profile"
+assert kernels["active_tier"] in tiers, "active tier not profiled"
+for name, tier in tiers.items():
+    assert tier["gemm256_seconds"] > 0, f"non-positive timing for {name}"
+if len(tiers) > 1:
+    speedup = kernels["best_gemm_speedup_vs_scalar"]
+    assert speedup >= 2.0, f"SIMD GEMM speedup {speedup:.2f}x < 2x"
+print(f"bench-smoke: ok ({', '.join(sorted(tiers))})")
+EOF
 }
 
 mkdir -p build
 stage default build/verify-default.log run_default
 stage lint build/verify-lint.log run_lint
 stage docs build/verify-docs.log run_docs
+stage bench build/verify-bench.log run_bench
 if [[ "$FAST" == 0 ]]; then
   mkdir -p build-asan build-tsan
   stage asan build-asan/verify-asan.log run_asan
