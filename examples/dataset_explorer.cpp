@@ -38,13 +38,13 @@ int main() {
 
     // Timing-path cone sizes.
     std::size_t minCone = SIZE_MAX, maxCone = 0, sumCone = 0;
-    for (const auto& path : d.paths) {
+    for (const auto& path : d.paths()) {
       minCone = std::min(minCone, path.conePins.size());
       maxCone = std::max(maxCone, path.conePins.size());
       sumCone += path.conePins.size();
     }
     std::printf("  fanin cones: min %zu, avg %zu, max %zu pins\n", minCone,
-                sumCone / d.paths.size(), maxCone);
+                sumCone / d.paths().size(), maxCone);
 
     // Arrival-time distribution.
     const auto kde = eval::kernelDensity(d.labels, 32);

@@ -27,17 +27,26 @@ const DesignData& TimingDataset::design(const std::string& name) const {
   DAGT_CHECK_MSG(false, "dataset has no design " << name);
 }
 
-const std::vector<float>& TimingDataset::cachedImage(
+TimingDataset::ImageSlot TimingDataset::cachedImage(
     const DesignData& design, std::int64_t endpointIdx) const {
-  auto& perDesign = imageCache_[&design];
-  if (perDesign.empty()) {
-    perDesign.resize(design.paths.size());
+  {
+    std::lock_guard<std::mutex> lock(imageMutex_);
+    auto& perDesign = imageCache_[&design];
+    if (perDesign.empty()) perDesign.resize(design.paths().size());
+    const auto& slot = perDesign[static_cast<std::size_t>(endpointIdx)];
+    if (slot != nullptr) return slot;
   }
-  auto& slot = perDesign[static_cast<std::size_t>(endpointIdx)];
-  if (slot.empty()) {
-    slot = features::PathExtractor::maskedImage(
-        *design.maps, design.paths[static_cast<std::size_t>(endpointIdx)]);
-  }
+  // Compute outside the lock so concurrent threads filling different slots
+  // don't serialize. maskedImage is deterministic, so if two threads race
+  // on the SAME slot they produce identical bytes and the loser's copy is
+  // simply dropped.
+  auto image = std::make_shared<const std::vector<float>>(
+      features::PathExtractor::maskedImage(
+          *design.maps,
+          design.paths()[static_cast<std::size_t>(endpointIdx)]));
+  std::lock_guard<std::mutex> lock(imageMutex_);
+  auto& slot = imageCache_[&design][static_cast<std::size_t>(endpointIdx)];
+  if (slot == nullptr) slot = std::move(image);
   return slot;
 }
 
@@ -54,8 +63,8 @@ DesignBatch TimingDataset::makeBatch(
   for (std::int64_t i = 0; i < b; ++i) {
     const std::int64_t e = endpointIdx[static_cast<std::size_t>(i)];
     DAGT_CHECK(e >= 0 && e < design.numEndpoints());
-    const auto& img = cachedImage(design, e);
-    std::memcpy(images.data() + i * imageNumel, img.data(),
+    const ImageSlot img = cachedImage(design, e);
+    std::memcpy(images.data() + i * imageNumel, img->data(),
                 static_cast<std::size_t>(imageNumel) * sizeof(float));
     labels[static_cast<std::size_t>(i)] =
         design.labels[static_cast<std::size_t>(e)] * kLabelScale;
@@ -123,6 +132,27 @@ void TimingDataset::restrictEndpoints(const DesignData& design,
   std::vector<std::int64_t> pool(picks.begin(), picks.end());
   std::sort(pool.begin(), pool.end());
   restriction_[&design] = std::move(pool);
+}
+
+std::vector<TimingDataset::ImageSlot> TimingDataset::exportImages(
+    const DesignData& design) const {
+  std::lock_guard<std::mutex> lock(imageMutex_);
+  const auto it = imageCache_.find(&design);
+  if (it == imageCache_.end()) {
+    return std::vector<ImageSlot>(design.paths().size());
+  }
+  return it->second;
+}
+
+void TimingDataset::importImages(const DesignData& design,
+                                 std::vector<ImageSlot> images) {
+  DAGT_CHECK_MSG(images.empty() || images.size() == design.paths().size(),
+                 "imported image cache has "
+                     << images.size() << " slots for "
+                     << design.paths().size() << " endpoints");
+  if (images.empty()) images.resize(design.paths().size());
+  std::lock_guard<std::mutex> lock(imageMutex_);
+  imageCache_[&design] = std::move(images);
 }
 
 std::int64_t TimingDataset::availableEndpoints(

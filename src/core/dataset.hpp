@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -58,20 +60,42 @@ class TimingDataset {
   /// fewer endpoints than the budget.
   void restrictEndpoints(const features::DesignData& design,
                          std::int64_t budget, std::uint64_t seed);
+
+  /// A cached masked image. Slots are shared between datasets so the
+  /// incremental what-if path can hand a snapshot's still-valid images to
+  /// its successor without copying the pixels (images are immutable once
+  /// built).
+  using ImageSlot = std::shared_ptr<const std::vector<float>>;
+
+  /// The design's per-endpoint masked-image cache (null slots for
+  /// endpoints never batched). O(endpoints) handle copies, no pixel
+  /// copies. The incremental what-if path exports the previous snapshot's
+  /// cache and re-imports the still-valid entries.
+  std::vector<ImageSlot> exportImages(
+      const features::DesignData& design) const;
+  /// Seed the cache for a design with precomputed images. Null entries
+  /// are built lazily on first use, exactly like a cold cache. The vector
+  /// must be empty or sized to the design's endpoint count.
+  void importImages(const features::DesignData& design,
+                    std::vector<ImageSlot> images);
   /// Number of endpoints sampleBatch can draw from.
   std::int64_t availableEndpoints(const features::DesignData& design) const;
 
  private:
   DesignBatch makeBatch(const features::DesignData& design,
                         std::vector<std::int64_t> endpointIdx) const;
-  const std::vector<float>& cachedImage(const features::DesignData& design,
-                                        std::int64_t endpointIdx) const;
+  ImageSlot cachedImage(const features::DesignData& design,
+                        std::int64_t endpointIdx) const;
 
   std::vector<const features::DesignData*> designs_;
-  /// Cache: design pointer -> per-endpoint masked images.
+  /// Cache: design pointer -> per-endpoint masked images. Filled lazily
+  /// under imageMutex_, so concurrent batch assembly (serving workers,
+  /// what-if readers) is safe without a prewarm pass. A slot is written
+  /// at most once; the image bytes themselves are immutable.
   mutable std::unordered_map<const features::DesignData*,
-                             std::vector<std::vector<float>>>
+                             std::vector<ImageSlot>>
       imageCache_;
+  mutable std::mutex imageMutex_;
   /// Optional per-design endpoint whitelist (scarce-data restriction).
   std::unordered_map<const features::DesignData*, std::vector<std::int64_t>>
       restriction_;

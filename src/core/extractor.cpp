@@ -27,7 +27,7 @@ Tensor PathFeatureExtractor::extract(const DesignBatch& batch) const {
   endpointPins.reserve(batch.endpointIdx.size());
   for (const std::int64_t e : batch.endpointIdx) {
     endpointPins.push_back(
-        design.paths[static_cast<std::size_t>(e)].endpoint);
+        design.paths()[static_cast<std::size_t>(e)].endpoint);
   }
   const Tensor graphEmb = TimingGnn::select(gnnOut, endpointPins);
 

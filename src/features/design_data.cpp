@@ -58,7 +58,7 @@ DesignData DataPipeline::buildCustom(
   // 3. Pre-routing snapshot: layout images, pin graph, pin features, paths.
   data.maps = std::make_unique<place::LayoutMaps>(
       data.netlist, data.placement, config_.imageResolution);
-  data.graph = std::make_unique<PinGraph>(data.netlist);
+  data.graph = std::make_shared<const PinGraph>(data.netlist);
 
   // Optimistic pre-routing STA (Elmore, no optimization) — the classic
   // look-ahead baseline, and a per-pin input feature of the extractor.
@@ -68,7 +68,7 @@ DesignData DataPipeline::buildCustom(
   data.preRouteArrivals = preTiming.endpointArrivals(data.netlist);
 
   data.pinFeatures = featureBuilder_->build(data.netlist, &preTiming);
-  data.paths = PathExtractor::extract(data.netlist, data.maps.get());
+  data.setPaths(PathExtractor::extract(data.netlist, data.maps.get()));
   data.stats = data.netlist.stats();
 
   // 4. Sign-off flow on a copy: timing optimization restructures the
@@ -88,7 +88,7 @@ DesignData DataPipeline::buildCustom(
         sta::StaEngine::run(signoff, &signoffMaps, config_.signoffRoute);
     data.labels = signoffTiming.endpointArrivals(signoff);
   }
-  DAGT_CHECK(data.labels.size() == data.paths.size());
+  DAGT_CHECK(data.labels.size() == data.paths().size());
 
   DAGT_INFO << data.name << " (" << netlist::techNodeName(data.node)
             << "): " << data.stats.numPins << " pins, "

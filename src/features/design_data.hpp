@@ -45,9 +45,23 @@ struct DesignData {
   netlist::Netlist netlist;  // pre-routing snapshot (placed, un-optimized)
   place::PlacementResult placement;
   std::unique_ptr<place::LayoutMaps> maps;
-  std::unique_ptr<PinGraph> graph;
-  tensor::Tensor pinFeatures;       // [numPins, featureDim]
-  std::vector<TimingPath> paths;    // one per endpoint
+  /// Shared so the incremental what-if path can alias the prior snapshot's
+  /// graph instead of copying it (connectivity is identical across
+  /// non-structural edits). Immutable once built.
+  std::shared_ptr<const PinGraph> graph;
+  tensor::Tensor pinFeatures;  // [numPins, featureDim]
+  /// One TimingPath per endpoint. Shared for the same reason as `graph`:
+  /// when no pin moved, every cone and mask footprint is unchanged and
+  /// what-if snapshots alias one paths vector instead of deep-copying
+  /// ~1k small vectors per edit.
+  std::shared_ptr<const std::vector<TimingPath>> pathsPtr =
+      std::make_shared<const std::vector<TimingPath>>();
+
+  const std::vector<TimingPath>& paths() const { return *pathsPtr; }
+  void setPaths(std::vector<TimingPath> paths) {
+    pathsPtr = std::make_shared<const std::vector<TimingPath>>(
+        std::move(paths));
+  }
 
   /// Sign-off ground truth: arrival (ps) per endpoint after timing
   /// optimization + routing, ordered like netlist.endpoints().

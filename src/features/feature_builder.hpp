@@ -44,9 +44,23 @@ class FeatureBuilder {
   tensor::Tensor build(const netlist::Netlist& netlist,
                        const sta::TimingResult* preRouteTiming) const;
 
+  /// Rewrites the rows of `pins` inside `features` (a matrix produced by
+  /// build() for a netlist with the same pin-id space). A row is a pure
+  /// function of its own pin, so patching the changed rows is bitwise
+  /// identical to a full rebuild — this is the incremental what-if path's
+  /// cheap alternative when only a few pins changed.
+  void rebuildRows(const netlist::Netlist& netlist,
+                   const sta::TimingResult* preRouteTiming,
+                   const std::vector<netlist::PinId>& pins,
+                   tensor::Tensor& features) const;
+
   static constexpr std::int64_t kNumericFeatures = 11;
 
  private:
+  void fillRow(const netlist::Netlist& netlist,
+               const sta::TimingResult* preRouteTiming, netlist::PinId pin,
+               float* row) const;
+
   const netlist::GateTypeVocabulary* vocabulary_;
   FeatureConfig config_;
 };

@@ -9,6 +9,55 @@ namespace dagt::features {
 using netlist::Netlist;
 using netlist::PinId;
 
+namespace {
+
+/// Shared per-endpoint body of extract/extractOne, so the incremental path
+/// reproduces the batch extraction bit-for-bit. `visited` and `stack` are
+/// caller-owned scratch; `visited` is left all-zero again on return.
+TimingPath extractCone(const Netlist& nl, const place::LayoutMaps* maps,
+                       const PinId endpoint,
+                       std::vector<std::uint8_t>& visited,
+                       std::vector<PinId>& stack) {
+  TimingPath path;
+  path.endpoint = endpoint;
+
+  // Reverse DFS over timing fanin — the whole fanin cone.
+  stack.clear();
+  stack.push_back(endpoint);
+  visited[static_cast<std::size_t>(endpoint)] = 1;
+  while (!stack.empty()) {
+    const PinId p = stack.back();
+    stack.pop_back();
+    path.conePins.push_back(p);
+    for (const PinId f : nl.timingFanin(p)) {
+      if (!visited[static_cast<std::size_t>(f)]) {
+        visited[static_cast<std::size_t>(f)] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::sort(path.conePins.begin(), path.conePins.end());
+  // Reset the visited scratch for the next endpoint.
+  for (const PinId p : path.conePins) {
+    visited[static_cast<std::size_t>(p)] = 0;
+  }
+
+  if (maps != nullptr) {
+    const std::int32_t res = maps->resolution();
+    for (const PinId p : path.conePins) {
+      const auto [gx, gy] = maps->binOf(nl.pinLocation(p));
+      path.maskBins.push_back(gy * res + gx);
+    }
+    std::sort(path.maskBins.begin(), path.maskBins.end());
+    path.maskBins.erase(
+        std::unique(path.maskBins.begin(), path.maskBins.end()),
+        path.maskBins.end());
+  }
+  return path;
+}
+
+}  // namespace
+
 std::vector<TimingPath> PathExtractor::extract(const Netlist& nl,
                                                const place::LayoutMaps* maps) {
   std::vector<TimingPath> paths;
@@ -18,44 +67,17 @@ std::vector<TimingPath> PathExtractor::extract(const Netlist& nl,
   std::vector<std::uint8_t> visited(static_cast<std::size_t>(nl.numPins()), 0);
   std::vector<PinId> stack;
   for (const PinId endpoint : endpoints) {
-    TimingPath path;
-    path.endpoint = endpoint;
-
-    // Reverse DFS over timing fanin — the whole fanin cone.
-    stack.clear();
-    stack.push_back(endpoint);
-    visited[static_cast<std::size_t>(endpoint)] = 1;
-    while (!stack.empty()) {
-      const PinId p = stack.back();
-      stack.pop_back();
-      path.conePins.push_back(p);
-      for (const PinId f : nl.timingFanin(p)) {
-        if (!visited[static_cast<std::size_t>(f)]) {
-          visited[static_cast<std::size_t>(f)] = 1;
-          stack.push_back(f);
-        }
-      }
-    }
-    std::sort(path.conePins.begin(), path.conePins.end());
-    // Reset the visited scratch for the next endpoint.
-    for (const PinId p : path.conePins) {
-      visited[static_cast<std::size_t>(p)] = 0;
-    }
-
-    if (maps != nullptr) {
-      const std::int32_t res = maps->resolution();
-      for (const PinId p : path.conePins) {
-        const auto [gx, gy] = maps->binOf(nl.pinLocation(p));
-        path.maskBins.push_back(gy * res + gx);
-      }
-      std::sort(path.maskBins.begin(), path.maskBins.end());
-      path.maskBins.erase(
-          std::unique(path.maskBins.begin(), path.maskBins.end()),
-          path.maskBins.end());
-    }
-    paths.push_back(std::move(path));
+    paths.push_back(extractCone(nl, maps, endpoint, visited, stack));
   }
   return paths;
+}
+
+TimingPath PathExtractor::extractOne(const Netlist& nl,
+                                     const place::LayoutMaps* maps,
+                                     const PinId endpoint) {
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(nl.numPins()), 0);
+  std::vector<PinId> stack;
+  return extractCone(nl, maps, endpoint, visited, stack);
 }
 
 std::vector<float> PathExtractor::maskedImage(const place::LayoutMaps& maps,

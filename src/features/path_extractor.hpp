@@ -28,6 +28,12 @@ class PathExtractor {
   static std::vector<TimingPath> extract(const netlist::Netlist& netlist,
                                          const place::LayoutMaps* maps);
 
+  /// Cone of a single endpoint — the incremental path for what-if edits
+  /// that invalidate one endpoint's window without touching the rest.
+  static TimingPath extractOne(const netlist::Netlist& netlist,
+                               const place::LayoutMaps* maps,
+                               netlist::PinId endpoint);
+
   /// Masked copy of the layout image for one path: bins outside the path's
   /// footprint are zeroed (with the footprint dilated by one bin so local
   /// context survives). Returns a flattened [3, res, res] image.

@@ -1,7 +1,10 @@
 #include "serve/feature_service.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -141,15 +144,16 @@ std::shared_ptr<const ServableDesign> FeatureService::build(
   data.maps = std::make_unique<place::LayoutMaps>(
       data.netlist, data.placement,
       static_cast<std::int32_t>(manifest_.model.imageResolution));
-  data.graph = std::make_unique<features::PinGraph>(data.netlist);
+  data.graph = std::make_shared<const features::PinGraph>(data.netlist);
   const auto preTiming = sta::StaEngine::run(
       data.netlist, nullptr,
       sta::RouteConfig{sta::WireModel::kPreRouting, 0.0f, 0.0f});
   data.preRouteArrivals = preTiming.endpointArrivals(data.netlist);
   data.pinFeatures = featureBuilder_->build(data.netlist, &preTiming);
-  data.paths = features::PathExtractor::extract(data.netlist, data.maps.get());
+  data.setPaths(
+      features::PathExtractor::extract(data.netlist, data.maps.get()));
   data.stats = data.netlist.stats();
-  data.labels.assign(data.paths.size(), 0.0f);  // unknown at serve time
+  data.labels.assign(data.paths().size(), 0.0f);  // unknown at serve time
 
   servable->dataset = std::make_unique<core::TimingDataset>(
       std::vector<const features::DesignData*>{&data});
@@ -233,6 +237,231 @@ std::shared_ptr<const ServableDesign> FeatureService::cached(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(key);
   return it == cache_.end() ? nullptr : it->second.design;
+}
+
+FeatureService::ConeUpdateResult FeatureService::applyConeUpdate(
+    const std::string& key, const std::string& revision, ConeUpdate update) {
+  DAGT_TRACE_SCOPE("serve/cone_update");
+  coneUpdates_.fetch_add(1, std::memory_order_relaxed);
+  ConeUpdateResult result;
+
+  std::shared_ptr<const ServableDesign> prior = cached(key);
+  if (update.structural || prior == nullptr) {
+    // Pins/nets were added (or there is nothing to diff against): every
+    // cone and every mask footprint is suspect, so take the cold path.
+    auto servable =
+        build(std::move(update.netlist), update.node, update.placement);
+    coneStructuralRebuilds_.fetch_add(1, std::memory_order_relaxed);
+    coneEndpointsEvicted_.fetch_add(
+        static_cast<std::uint64_t>(servable->numEndpoints()),
+        std::memory_order_relaxed);
+    result.design = servable;
+    result.structuralRebuild = true;
+    result.imagesRebuilt = servable->numEndpoints();
+    result.dirtyEndpoints.resize(
+        static_cast<std::size_t>(servable->numEndpoints()));
+    std::iota(result.dirtyEndpoints.begin(), result.dirtyEndpoints.end(),
+              std::int64_t{0});
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_[key] = {revision, servable};
+    return result;
+  }
+
+  // Non-structural edit: the pin/net id spaces match the prior snapshot,
+  // so its per-endpoint artifacts can be diffed against the new state.
+  auto servable = std::make_shared<ServableDesign>(
+      features::DesignData(std::move(update.netlist)));
+  features::DesignData& data = servable->data;
+  data.name = data.netlist.name();
+  data.node = update.node;
+  data.role = designgen::DesignRole::kTest;
+  data.placement = update.placement;
+  DAGT_CHECK_MSG(
+      data.netlist.numPins() == prior->data.netlist.numPins(),
+      "non-structural cone update changed the pin count of " << data.name);
+
+  // Per-pin and global artifacts. Anything whose inputs did not change is
+  // aliased from the prior snapshot (graph, paths, clean pin-feature rows,
+  // clean masked images) — reuse is bitwise, not approximate, because each
+  // artifact is a deterministic per-element function of the netlist. The
+  // layout image is the exception and is rebuilt wholesale: RUDY is
+  // normalized by its global mean, so one moved cell perturbs nearly every
+  // nonzero bin, and patching it locally could not stay bit-exact anyway.
+  {
+    DAGT_TRACE_SCOPE("serve/cone_features");
+    {
+      DAGT_TRACE_SCOPE("serve/cone_maps");
+      data.maps = std::make_unique<place::LayoutMaps>(
+          data.netlist, data.placement,
+          static_cast<std::int32_t>(manifest_.model.imageResolution));
+    }
+    // Connectivity is untouched, so the pin graph carries over as-is.
+    data.graph = prior->data.graph;
+    data.preRouteArrivals = update.preTiming.endpointArrivals(data.netlist);
+    {
+      // A pin-feature row is a pure function of its own pin, so patching
+      // the dirty rows of a copied matrix equals a full rebuild bit for
+      // bit (FeatureBuilder::rebuildRows shares build()'s row code).
+      DAGT_TRACE_SCOPE("serve/cone_pinfeats");
+      data.pinFeatures = prior->data.pinFeatures.clone();
+      featureBuilder_->rebuildRows(data.netlist, &update.preTiming,
+                                   update.dirtyPins, data.pinFeatures);
+      featureBuilder_->rebuildRows(data.netlist, &update.preTiming,
+                                   update.movedPins, data.pinFeatures);
+    }
+    data.stats = data.netlist.stats();
+  }
+
+  const std::size_t numPins = static_cast<std::size_t>(data.netlist.numPins());
+  std::vector<std::uint8_t> dirtyPin(numPins, 0);
+  std::vector<std::uint8_t> movedPin(numPins, 0);
+  for (const netlist::PinId p : update.dirtyPins) {
+    dirtyPin[static_cast<std::size_t>(p)] = 1;
+  }
+  for (const netlist::PinId p : update.movedPins) {
+    movedPin[static_cast<std::size_t>(p)] = 1;
+    dirtyPin[static_cast<std::size_t>(p)] = 1;
+  }
+
+  // Cones: connectivity is unchanged, so cone membership carries over.
+  // Only a moved pin invalidates a path (its mask footprint shifted) —
+  // those are re-extracted with the single-endpoint extractor, which
+  // shares the batch extractor's body bit-for-bit. When nothing moved
+  // (resizes only — the common ECO), the whole paths vector is aliased.
+  const auto& oldPaths = prior->data.paths();
+  std::vector<std::uint8_t> maskStale(oldPaths.size(), 0);
+  {
+    DAGT_TRACE_SCOPE("serve/cone_paths");
+    if (update.movedPins.empty()) {
+      data.pathsPtr = prior->data.pathsPtr;
+    } else {
+      std::vector<features::TimingPath> paths;
+      paths.reserve(oldPaths.size());
+      for (std::size_t i = 0; i < oldPaths.size(); ++i) {
+        bool moved = false;
+        for (const netlist::PinId p : oldPaths[i].conePins) {
+          if (movedPin[static_cast<std::size_t>(p)]) {
+            moved = true;
+            break;
+          }
+        }
+        if (moved) {
+          maskStale[i] = 1;
+          paths.push_back(features::PathExtractor::extractOne(
+              data.netlist, data.maps.get(), oldPaths[i].endpoint));
+        } else {
+          paths.push_back(oldPaths[i]);
+        }
+      }
+      data.setPaths(std::move(paths));
+    }
+    data.labels.assign(data.paths().size(), 0.0f);
+  }
+
+  // Masked-image invalidation by image diff: a cached masked image stays
+  // bit-valid iff no changed bin falls inside its dilated footprint.
+  // maskedImage dilates the footprint by one bin, and dilate(A)∩B != ∅
+  // iff A∩dilate(B) != ∅, so we dilate the *changed* bins once and test
+  // the raw maskBins against that.
+  DAGT_TRACE_SCOPE("serve/cone_images");
+  const auto& oldImg = prior->data.maps->image();
+  const auto& newImg = data.maps->image();
+  DAGT_CHECK(oldImg.size() == newImg.size());
+  const std::int32_t res = data.maps->resolution();
+  const std::size_t plane = static_cast<std::size_t>(res) *
+                            static_cast<std::size_t>(res);
+  std::vector<std::uint8_t> nearChanged(plane, 0);
+  for (std::size_t i = 0; i < plane; ++i) {
+    bool changed = false;
+    for (std::size_t c = 0; c < 3 && !changed; ++c) {
+      changed = std::memcmp(&oldImg[c * plane + i], &newImg[c * plane + i],
+                            sizeof(float)) != 0;
+    }
+    if (!changed) continue;
+    const std::int32_t gx = static_cast<std::int32_t>(i) % res;
+    const std::int32_t gy = static_cast<std::int32_t>(i) / res;
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        const std::int32_t x = gx + dx;
+        const std::int32_t y = gy + dy;
+        if (x >= 0 && x < res && y >= 0 && y < res) {
+          nearChanged[static_cast<std::size_t>(y * res + x)] = 1;
+        }
+      }
+    }
+  }
+
+  // Export is O(endpoints) shared-handle copies — the pixels themselves
+  // are never duplicated. Evicted slots are reset and refill lazily on
+  // first use (the image cache is thread-safe), so a sync pays for the
+  // images a follow-up query actually touches, not for every stale one.
+  std::vector<core::TimingDataset::ImageSlot> imported =
+      prior->dataset->exportImages(prior->data);
+  DAGT_CHECK(imported.size() == data.paths().size());
+  std::vector<std::int64_t> imageDirty;
+  for (std::size_t i = 0; i < data.paths().size(); ++i) {
+    bool stale = maskStale[i] != 0;
+    if (!stale) {
+      for (const std::int32_t bin : data.paths()[i].maskBins) {
+        if (nearChanged[static_cast<std::size_t>(bin)]) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    if (stale) {
+      imported[i].reset();
+      imageDirty.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  result.imagesRebuilt = static_cast<std::int64_t>(imageDirty.size());
+  result.imagesReused =
+      static_cast<std::int64_t>(data.paths().size()) - result.imagesRebuilt;
+  coneEndpointsEvicted_.fetch_add(
+      static_cast<std::uint64_t>(result.imagesRebuilt),
+      std::memory_order_relaxed);
+  coneEndpointsReused_.fetch_add(
+      static_cast<std::uint64_t>(result.imagesReused),
+      std::memory_order_relaxed);
+
+  servable->dataset = std::make_unique<core::TimingDataset>(
+      std::vector<const features::DesignData*>{&data});
+  servable->dataset->importImages(data, std::move(imported));
+
+  // An endpoint's prediction can move through its cone features (a dirty
+  // pin inside the cone) or through its masked image; everything else is
+  // bit-identical to the prior snapshot's prediction inputs.
+  std::vector<std::uint8_t> endpointDirty(data.paths().size(), 0);
+  for (const std::int64_t e : imageDirty) {
+    endpointDirty[static_cast<std::size_t>(e)] = 1;
+  }
+  for (std::size_t i = 0; i < data.paths().size(); ++i) {
+    if (endpointDirty[i]) continue;
+    for (const netlist::PinId p : data.paths()[i].conePins) {
+      if (dirtyPin[static_cast<std::size_t>(p)]) {
+        endpointDirty[i] = 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < endpointDirty.size(); ++i) {
+    if (endpointDirty[i]) {
+      result.dirtyEndpoints.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+
+  result.design = servable;
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[key] = {revision, std::move(servable)};
+  return result;
+}
+
+void FeatureService::installSnapshot(
+    const std::string& key, const std::string& revision,
+    std::shared_ptr<const ServableDesign> design) {
+  DAGT_CHECK(design != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[key] = {revision, std::move(design)};
 }
 
 }  // namespace dagt::serve

@@ -11,6 +11,7 @@
 #include "core/dataset.hpp"
 #include "features/design_data.hpp"
 #include "serve/model_bundle.hpp"
+#include "sta/sta_engine.hpp"
 
 namespace dagt::serve {
 
@@ -70,6 +71,70 @@ class FeatureService {
   /// Cached snapshot for a key, or nullptr if never prepared.
   std::shared_ptr<const ServableDesign> cached(const std::string& key) const;
 
+  /// One what-if edit batch against a cached design: the post-edit netlist
+  /// plus everything the caller (a WhatIfSession) already knows about the
+  /// edit's blast radius, so feature extraction can stay proportional to
+  /// the dirty cone instead of the design.
+  struct ConeUpdate {
+    netlist::Netlist netlist;  // post-edit netlist (placed)
+    netlist::TechNode node = netlist::TechNode::k7nm;
+    place::PlacementResult placement;
+    /// Pre-routing STA of `netlist` — an IncrementalSta view, which is
+    /// bitwise equal to the cold StaEngine::run the full build would do.
+    sta::TimingResult preTiming;
+    /// Sorted superset of pins whose feature rows may have changed
+    /// (edited cells' pins + pins the STA update actually changed + pins
+    /// of re-estimated nets).
+    std::vector<netlist::PinId> dirtyPins;
+    /// Sorted pins whose location changed (cell moves) — their cones need
+    /// fresh mask footprints.
+    std::vector<netlist::PinId> movedPins;
+    /// True when pins/nets were added (buffer insertion): endpoint cones
+    /// are stale wholesale, so the update falls back to a full rebuild.
+    bool structural = false;
+  };
+
+  struct ConeUpdateResult {
+    std::shared_ptr<const ServableDesign> design;
+    /// Endpoints (indices in endpoint order) whose predictions may have
+    /// moved: their cone intersects dirtyPins or their masked image
+    /// changed. Everything else is guaranteed bit-identical.
+    std::vector<std::int64_t> dirtyEndpoints;
+    std::int64_t imagesReused = 0;
+    std::int64_t imagesRebuilt = 0;
+    bool structuralRebuild = false;
+  };
+
+  /// Rebuild the snapshot under `key` incrementally from the previous one
+  /// and store it under `revision`. Reuses per-endpoint paths and masked
+  /// images whose inputs are untouched by the edit; the result is bitwise
+  /// identical to a cold build() of the same netlist. Falls back to a full
+  /// rebuild for structural edits or when `key` has no prior snapshot.
+  ConeUpdateResult applyConeUpdate(const std::string& key,
+                                   const std::string& revision,
+                                   ConeUpdate update);
+
+  /// Re-install a previously built snapshot under `key`/`revision` without
+  /// any rebuild — the revert path of a what-if session.
+  void installSnapshot(const std::string& key, const std::string& revision,
+                       std::shared_ptr<const ServableDesign> design);
+
+  /// Incremental-update counters (relaxed, like the hit/miss pair):
+  /// cone updates applied, of which full structural rebuilds, and how many
+  /// per-endpoint cache entries the updates reused vs evicted.
+  std::uint64_t coneUpdates() const {
+    return coneUpdates_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t coneStructuralRebuilds() const {
+    return coneStructuralRebuilds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t coneEndpointsReused() const {
+    return coneEndpointsReused_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t coneEndpointsEvicted() const {
+    return coneEndpointsEvicted_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t cacheHits() const {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -97,6 +162,10 @@ class FeatureService {
   // from metrics snapshots concurrently with lookups on worker threads.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> coneUpdates_{0};
+  std::atomic<std::uint64_t> coneStructuralRebuilds_{0};
+  std::atomic<std::uint64_t> coneEndpointsReused_{0};
+  std::atomic<std::uint64_t> coneEndpointsEvicted_{0};
 };
 
 }  // namespace dagt::serve

@@ -37,6 +37,32 @@ std::string MetricsSnapshot::renderTable() const {
   table.addRow({"latency p95 (us)", TextTable::num(p95Us, 1)});
   table.addRow({"latency p99 (us)", TextTable::num(p99Us, 1)});
   table.addRow({"latency max (us)", TextTable::num(maxUs, 1)});
+  if (whatifEdits > 0 || coneUpdates > 0) {
+    table.addRow({"whatif edits", std::to_string(whatifEdits)});
+    table.addRow({"whatif repredicts", std::to_string(whatifRepredicts)});
+    table.addRow({"cone updates", std::to_string(coneUpdates)});
+    table.addRow({"cone structural rebuilds",
+                  std::to_string(coneStructuralRebuilds)});
+    table.addRow({"cone endpoints reused",
+                  std::to_string(coneEndpointsReused)});
+    table.addRow({"cone endpoints evicted",
+                  std::to_string(coneEndpointsEvicted)});
+    table.addRow({"sta full refreshes", std::to_string(staFullRefreshes)});
+    table.addRow({"sta incremental updates",
+                  std::to_string(staIncrementalUpdates)});
+    table.addRow({"sta pins visited (last)",
+                  std::to_string(staPinsVisitedLast)});
+    table.addRow({"sta pins visited (total)",
+                  std::to_string(staPinsVisitedTotal)});
+    std::string hist;
+    for (std::size_t b = 0; b < staConeHist.size(); ++b) {
+      if (staConeHist[b] == 0) continue;
+      if (!hist.empty()) hist += "  ";
+      hist += "<=" + std::to_string(std::uint64_t{2} << b) + ":" +
+              std::to_string(staConeHist[b]);
+    }
+    table.addRow({"sta cone-size histogram", hist.empty() ? "-" : hist});
+  }
   table.addRow({"pool heap allocs", std::to_string(pool.heapAllocs)});
   table.addRow({"pool reuses",
                 std::to_string(pool.poolReuses + pool.workspaceReuses)});
@@ -72,6 +98,23 @@ JsonValue MetricsSnapshot::toJson() const {
       .set("pool_hit_rate", pool.hitRate())
       .set("pool_bytes_outstanding", pool.bytesOutstanding)
       .set("pool_bytes_parked", pool.bytesPooled);
+  if (whatifEdits > 0 || coneUpdates > 0) {
+    JsonValue hist = JsonValue::array();
+    for (const std::uint64_t count : staConeHist) {
+      hist.push(JsonValue(count));
+    }
+    j.set("whatif_edits", whatifEdits)
+        .set("whatif_repredicts", whatifRepredicts)
+        .set("cone_updates", coneUpdates)
+        .set("cone_structural_rebuilds", coneStructuralRebuilds)
+        .set("cone_endpoints_reused", coneEndpointsReused)
+        .set("cone_endpoints_evicted", coneEndpointsEvicted)
+        .set("sta_full_refreshes", staFullRefreshes)
+        .set("sta_incremental_updates", staIncrementalUpdates)
+        .set("sta_pins_visited_last", staPinsVisitedLast)
+        .set("sta_pins_visited_total", staPinsVisitedTotal)
+        .set("sta_cone_hist", std::move(hist));
+  }
   if (!traceSpans.empty()) {
     JsonValue spans = JsonValue::object();
     for (const obs::SpanStats& span : traceSpans) {

@@ -26,6 +26,24 @@ struct MetricsSnapshot {
   double p95Us = 0.0;
   double p99Us = 0.0;
   double maxUs = 0.0;
+  /// What-if / incremental-update counters. The cone* fields come from the
+  /// FeatureServices (aggregated like the cache counters); the whatif* and
+  /// sta* fields are filled in by a WhatIfSession wrapping the engine.
+  /// All stay zero on a plain serving engine, and the renderers omit the
+  /// whole group when no cone update or edit has ever happened.
+  std::uint64_t whatifEdits = 0;
+  std::uint64_t whatifRepredicts = 0;
+  std::uint64_t coneUpdates = 0;
+  std::uint64_t coneStructuralRebuilds = 0;
+  std::uint64_t coneEndpointsReused = 0;
+  std::uint64_t coneEndpointsEvicted = 0;
+  std::uint64_t staFullRefreshes = 0;
+  std::uint64_t staIncrementalUpdates = 0;
+  std::int64_t staPinsVisitedLast = 0;
+  std::int64_t staPinsVisitedTotal = 0;
+  /// Dirty-cone size histogram: bucket b counts incremental STA updates
+  /// that visited at most 2^(b+1) pins (and more than 2^b for b > 0).
+  std::vector<std::uint64_t> staConeHist;
   /// Tensor buffer-pool counters (process-wide): how much of the serving
   /// hot path is running allocation-free. See tensor::PoolStats.
   tensor::PoolStats pool;

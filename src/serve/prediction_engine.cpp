@@ -151,6 +151,33 @@ std::int64_t PredictionEngine::loadDesign(
   return ref.design->numEndpoints();
 }
 
+FeatureService::ConeUpdateResult PredictionEngine::applyConeUpdate(
+    const std::string& key, const std::string& revision,
+    FeatureService::ConeUpdate update) {
+  DesignRef ref = designRef(key);
+  auto result =
+      ref.node->features->applyConeUpdate(key, revision, std::move(update));
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  designs_[key].design = result.design;
+  return result;
+}
+
+void PredictionEngine::installSnapshot(
+    const std::string& key, const std::string& revision,
+    std::shared_ptr<const ServableDesign> design) {
+  DesignRef ref = designRef(key);
+  ref.node->features->installSnapshot(key, revision, design);
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  designs_[key].design = std::move(design);
+}
+
+std::shared_ptr<const ServableDesign> PredictionEngine::currentSnapshot(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  const auto it = designs_.find(key);
+  return it == designs_.end() ? nullptr : it->second.design;
+}
+
 PredictionEngine::DesignRef PredictionEngine::designRef(
     const std::string& key) const {
   std::lock_guard<std::mutex> lock(designsMutex_);
@@ -347,17 +374,29 @@ void PredictionEngine::workerLoop() {
 MetricsSnapshot PredictionEngine::metrics() const {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t coneUpdates = 0;
+  std::uint64_t coneStructural = 0;
+  std::uint64_t coneReused = 0;
+  std::uint64_t coneEvicted = 0;
   {
     std::lock_guard<std::mutex> lock(designsMutex_);
     for (const auto& [key, entry] : nodes_) {
       hits += entry.features->cacheHits();
       misses += entry.features->cacheMisses();
+      coneUpdates += entry.features->coneUpdates();
+      coneStructural += entry.features->coneStructuralRebuilds();
+      coneReused += entry.features->coneEndpointsReused();
+      coneEvicted += entry.features->coneEndpointsEvicted();
     }
   }
   // Buffer-pool counters are process-wide (the pool is shared by every
   // engine and the trainer), which is the view an operator wants anyway.
   MetricsSnapshot snap =
       metrics_.snapshot(hits, misses, tensor::BufferPool::global().stats());
+  snap.coneUpdates = coneUpdates;
+  snap.coneStructuralRebuilds = coneStructural;
+  snap.coneEndpointsReused = coneReused;
+  snap.coneEndpointsEvicted = coneEvicted;
   if (obs::tracingEnabled()) {
     // Per-request span summary (process-wide, like the pool counters):
     // only populated while `dagt trace` / setEnabled has tracing on.

@@ -82,6 +82,23 @@ class PredictionEngine {
                           const place::PlacementResult& placement,
                           const std::string& revision = "0");
 
+  /// Incrementally refresh a loaded design after a what-if edit: features
+  /// are re-extracted only for the edit's dirty cone (see
+  /// FeatureService::applyConeUpdate) and subsequent queries under `key`
+  /// serve the new snapshot. In-flight queries finish against the old
+  /// snapshot they hold a reference to.
+  FeatureService::ConeUpdateResult applyConeUpdate(
+      const std::string& key, const std::string& revision,
+      FeatureService::ConeUpdate update);
+
+  /// Point `key` back at a previously served snapshot (what-if revert).
+  void installSnapshot(const std::string& key, const std::string& revision,
+                       std::shared_ptr<const ServableDesign> design);
+
+  /// The snapshot currently routed for `key` (nullptr if not loaded).
+  std::shared_ptr<const ServableDesign> currentSnapshot(
+      const std::string& key) const;
+
   /// Predicted sign-off arrival (ps) of one endpoint. Blocks; coalesced
   /// with concurrent callers.
   float predictEndpoint(const std::string& key, std::int64_t endpoint);

@@ -4,10 +4,12 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace dagt::sta {
 
 using netlist::CellId;
+using netlist::NetId;
 using netlist::Netlist;
 using netlist::PinId;
 
@@ -15,6 +17,12 @@ IncrementalSta::IncrementalSta(const Netlist& nl,
                                std::vector<NetParasitics> parasitics)
     : netlist_(&nl), parasitics_(std::move(parasitics)) {
   evaluator_ = std::make_unique<detail::PinEvaluator>(nl, parasitics_);
+  rebuildTopology();
+  fullRefresh();
+}
+
+void IncrementalSta::rebuildTopology() {
+  const Netlist& nl = *netlist_;
   topoOrder_ = nl.topologicalPinOrder();
   topoPosition_.assign(static_cast<std::size_t>(nl.numPins()), 0);
   for (std::size_t i = 0; i < topoOrder_.size(); ++i) {
@@ -27,12 +35,21 @@ IncrementalSta::IncrementalSta(const Netlist& nl,
       fanout_[static_cast<std::size_t>(f)].push_back(p);
     }
   }
-  fullRefresh();
+}
+
+void IncrementalSta::markAllChanged() {
+  lastChanged_.resize(static_cast<std::size_t>(netlist_->numPins()));
+  for (PinId p = 0; p < netlist_->numPins(); ++p) {
+    lastChanged_[static_cast<std::size_t>(p)] = p;
+  }
 }
 
 void IncrementalSta::fullRefresh() {
   result_ = StaEngine::run(*netlist_, parasitics_);
-  lastVisited_ = netlist_->numPins();
+  stats_.lastVisited = netlist_->numPins();
+  stats_.totalVisited += netlist_->numPins();
+  ++stats_.fullRefreshes;
+  markAllChanged();
 }
 
 void IncrementalSta::onCellResized(CellId cellId) {
@@ -57,7 +74,82 @@ void IncrementalSta::onCellResized(CellId cellId) {
   propagateFrom(std::move(seeds));
 }
 
+void IncrementalSta::onCellMoved(CellId cellId,
+                                 const RouteEstimator& estimator) {
+  const Netlist& nl = *netlist_;
+  const auto& cell = nl.cell(cellId);
+
+  // Every net touching the moved cell gets new wire parasitics: segment
+  // lengths into each of its sinks changed, so re-estimate the whole net,
+  // refresh its load (totalWireCap moved) and re-evaluate its driver and
+  // every sink (each sink's wire delay changed).
+  std::vector<NetId> nets;
+  for (const PinId in : cell.inputPins) {
+    const auto net = nl.pin(in).net;
+    if (net != netlist::kInvalidId) nets.push_back(net);
+  }
+  const auto outNet = nl.pin(cell.outputPin).net;
+  if (outNet != netlist::kInvalidId) nets.push_back(outNet);
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+  std::vector<PinId> seeds;
+  for (const NetId net : nets) {
+    parasitics_[static_cast<std::size_t>(net)] = estimator.estimate(net);
+    evaluator_->reindexNet(net);
+    evaluator_->refreshLoad(net, result_);
+    seeds.push_back(nl.net(net).driver);
+    for (const PinId sink : nl.net(net).sinks) seeds.push_back(sink);
+  }
+  propagateFrom(std::move(seeds));
+}
+
+void IncrementalSta::onStructureChanged(const std::vector<NetId>& touchedNets,
+                                        const RouteEstimator& estimator) {
+  const Netlist& nl = *netlist_;
+  const PinId oldPins = static_cast<PinId>(result_.arrival.size());
+  const NetId oldNets = static_cast<NetId>(parasitics_.size());
+  DAGT_CHECK_MSG(nl.numPins() >= oldPins && nl.numNets() >= oldNets,
+                 "onStructureChanged: the tracked netlist shrank");
+
+  // The graph changed shape: rebuild order/fanout and extend the result
+  // arrays with the same defaults the full sweep starts from.
+  rebuildTopology();
+  result_.arrival.resize(static_cast<std::size_t>(nl.numPins()), 0.0f);
+  result_.slew.resize(static_cast<std::size_t>(nl.numPins()),
+                      nl.library().defaultInputSlew());
+  result_.loadCap.resize(static_cast<std::size_t>(nl.numPins()), 0.0f);
+
+  // Re-estimate rewired and brand-new nets, then rebuild the evaluator so
+  // its sink-wire lookup covers the new pins.
+  parasitics_.resize(static_cast<std::size_t>(nl.numNets()));
+  std::vector<NetId> dirtyNets = touchedNets;
+  for (NetId net = oldNets; net < nl.numNets(); ++net) {
+    dirtyNets.push_back(net);
+  }
+  std::sort(dirtyNets.begin(), dirtyNets.end());
+  dirtyNets.erase(std::unique(dirtyNets.begin(), dirtyNets.end()),
+                  dirtyNets.end());
+  for (const NetId net : dirtyNets) {
+    parasitics_[static_cast<std::size_t>(net)] = estimator.estimate(net);
+  }
+  evaluator_ = std::make_unique<detail::PinEvaluator>(nl, parasitics_);
+
+  std::vector<PinId> seeds;
+  for (const NetId net : dirtyNets) {
+    evaluator_->refreshLoad(net, result_);
+    seeds.push_back(nl.net(net).driver);
+    for (const PinId sink : nl.net(net).sinks) seeds.push_back(sink);
+  }
+  for (PinId p = oldPins; p < nl.numPins(); ++p) seeds.push_back(p);
+  propagateFrom(std::move(seeds));
+  // Downstream consumers key feature reuse on lastChangedPins; with the
+  // pin-id space itself grown, the only safe answer is "everything".
+  markAllChanged();
+}
+
 void IncrementalSta::propagateFrom(std::vector<PinId> seeds) {
+  DAGT_TRACE_SCOPE("sta/propagate");
   // Min-heap over topological position so every pin is evaluated after all
   // of its dirty fanins — identical ordering discipline to the full sweep.
   using Entry = std::pair<std::int32_t, PinId>;
@@ -71,13 +163,14 @@ void IncrementalSta::propagateFrom(std::vector<PinId> seeds) {
     }
   }
 
-  lastVisited_ = 0;
+  std::int64_t visited = 0;
+  lastChanged_.clear();
   while (!queue.empty()) {
     const PinId pin = queue.top().second;
     queue.pop();
     const std::size_t pi = static_cast<std::size_t>(pin);
     enqueued[pi] = 0;
-    ++lastVisited_;
+    ++visited;
 
     const float oldArrival = result_.arrival[pi];
     const float oldSlew = result_.slew[pi];
@@ -88,6 +181,7 @@ void IncrementalSta::propagateFrom(std::vector<PinId> seeds) {
     if (result_.arrival[pi] == oldArrival && result_.slew[pi] == oldSlew) {
       continue;
     }
+    lastChanged_.push_back(pin);
     for (const PinId out : fanout_[pi]) {
       if (!enqueued[static_cast<std::size_t>(out)]) {
         enqueued[static_cast<std::size_t>(out)] = 1;
@@ -95,6 +189,17 @@ void IncrementalSta::propagateFrom(std::vector<PinId> seeds) {
       }
     }
   }
+  std::sort(lastChanged_.begin(), lastChanged_.end());
+
+  stats_.lastVisited = visited;
+  stats_.totalVisited += visited;
+  ++stats_.incrementalUpdates;
+  std::size_t bucket = 0;
+  while ((std::int64_t{2} << bucket) <= visited &&
+         bucket + 1 < IncrementalStaStats::kConeHistBuckets) {
+    ++bucket;
+  }
+  ++stats_.coneHist[bucket];
   refreshWorstArrival();
 }
 

@@ -1,0 +1,91 @@
+#include "sta/netlist_edits.hpp"
+
+#include <algorithm>
+
+#include "common/geometry.hpp"
+
+namespace dagt::sta {
+
+using netlist::CellId;
+using netlist::CellTypeId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinId;
+
+CellTypeId upsizedVariant(const Netlist& nl, CellId cellId) {
+  const auto& lib = nl.library();
+  const auto& type = lib.cell(nl.cell(cellId).type);
+  CellTypeId best = netlist::kInvalidCellType;
+  for (const CellTypeId candidate : lib.cellsForFunction(type.function)) {
+    const int drive = lib.cell(candidate).driveStrength;
+    if (drive > type.driveStrength &&
+        (best == netlist::kInvalidCellType ||
+         drive < lib.cell(best).driveStrength)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+CellTypeId downsizedVariant(const Netlist& nl, CellId cellId) {
+  const auto& lib = nl.library();
+  const auto& type = lib.cell(nl.cell(cellId).type);
+  CellTypeId best = netlist::kInvalidCellType;
+  for (const CellTypeId candidate : lib.cellsForFunction(type.function)) {
+    const int drive = lib.cell(candidate).driveStrength;
+    if (drive < type.driveStrength &&
+        (best == netlist::kInvalidCellType ||
+         drive > lib.cell(best).driveStrength)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+BufferInsertion insertFanoutBuffer(Netlist& nl, NetId netId,
+                                   std::int32_t minFanout) {
+  BufferInsertion result;
+  const auto& lib = nl.library();
+  const auto& variants = lib.cellsForFunction(netlist::CellFunction::kBuf);
+  if (variants.empty()) return result;
+  const auto& net = nl.net(netId);
+  if (static_cast<std::int32_t>(net.sinks.size()) < minFanout) return result;
+
+  const Point driverLoc = nl.pinLocation(net.driver);
+  std::vector<PinId> sinks = net.sinks;
+  std::sort(sinks.begin(), sinks.end(), [&](PinId a, PinId b) {
+    return manhattan(nl.pinLocation(a), driverLoc) >
+           manhattan(nl.pinLocation(b), driverLoc);
+  });
+  const std::size_t moveCount = sinks.size() / 2;
+
+  // Strongest available buffer for the far group.
+  const CellTypeId bufType = variants.back();
+  const CellId buf = nl.addCell(bufType);
+  Point centroid{0.0f, 0.0f};
+  for (std::size_t i = 0; i < moveCount; ++i) {
+    const Point loc = nl.pinLocation(sinks[i]);
+    centroid.x += loc.x;
+    centroid.y += loc.y;
+  }
+  centroid.x /= static_cast<float>(moveCount);
+  centroid.y /= static_cast<float>(moveCount);
+  // Bias the buffer toward the driver so it actually splits the route.
+  centroid.x = 0.5f * (centroid.x + driverLoc.x);
+  centroid.y = 0.5f * (centroid.y + driverLoc.y);
+  nl.setCellLocation(buf, centroid);
+
+  const NetId bufNet = nl.addNet(nl.cell(buf).outputPin);
+  for (std::size_t i = 0; i < moveCount; ++i) {
+    nl.moveSink(sinks[i], bufNet);
+  }
+  nl.connectSink(netId, nl.cell(buf).inputPins[0]);
+
+  result.inserted = true;
+  result.buffer = buf;
+  result.bufNet = bufNet;
+  result.movedSinks = static_cast<std::int32_t>(moveCount);
+  return result;
+}
+
+}  // namespace dagt::sta

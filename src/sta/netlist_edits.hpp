@@ -1,0 +1,43 @@
+#pragma once
+
+// Local netlist edits shared by the batch timing optimizer and the
+// interactive what-if service (src/whatif/). Keeping one implementation
+// means an ECO replayed through either surface produces the same netlist.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dagt::sta {
+
+/// Next-larger drive variant of the same function, or kInvalidCellType
+/// when the cell is already the strongest of its family.
+netlist::CellTypeId upsizedVariant(const netlist::Netlist& netlist,
+                                   netlist::CellId cell);
+
+/// Next-smaller drive variant of the same function, or kInvalidCellType
+/// when the cell is already the weakest of its family.
+netlist::CellTypeId downsizedVariant(const netlist::Netlist& netlist,
+                                     netlist::CellId cell);
+
+/// Outcome of insertFanoutBuffer. When `inserted` is false the netlist was
+/// not touched; otherwise the new cell/net ids let the caller notify an
+/// IncrementalSta (`net` was rewired, `bufNet` is new) and re-place or
+/// audit the edit.
+struct BufferInsertion {
+  bool inserted = false;
+  netlist::CellId buffer = netlist::kInvalidId;
+  netlist::NetId bufNet = netlist::kInvalidId;
+  std::int32_t movedSinks = 0;
+};
+
+/// Split a high-fanout net: the half of sinks farthest from the driver is
+/// moved behind a new buffer (the strongest kBuf variant) placed between
+/// their centroid and the driver. A no-op (inserted = false) when the net
+/// has fewer than `minFanout` sinks or the library has no buffers.
+BufferInsertion insertFanoutBuffer(netlist::Netlist& netlist,
+                                   netlist::NetId net,
+                                   std::int32_t minFanout = 4);
+
+}  // namespace dagt::sta

@@ -37,6 +37,11 @@ class PinEvaluator {
   /// engine along the dirty cone.
   void evaluatePin(netlist::PinId pin, TimingResult& result) const;
 
+  /// Re-point the sink-wire lookup of one net. Required after the caller
+  /// replaces that net's NetParasitics (a cell move re-estimates the wire),
+  /// which reallocates the `sinks` vector the lookup points into.
+  void reindexNet(netlist::NetId net);
+
   const netlist::Netlist& netlist() const { return *netlist_; }
 
  private:

@@ -27,6 +27,13 @@ PinEvaluator::PinEvaluator(const Netlist& nl,
   }
 }
 
+void PinEvaluator::reindexNet(netlist::NetId netId) {
+  for (const SinkWire& w :
+       (*parasitics_)[static_cast<std::size_t>(netId)].sinks) {
+    wireOfSink_[static_cast<std::size_t>(w.sink)] = &w;
+  }
+}
+
 float PinEvaluator::netLoad(netlist::NetId netId) const {
   const Netlist& nl = *netlist_;
   const auto& net = nl.net(netId);

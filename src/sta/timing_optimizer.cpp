@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.hpp"
+#include "sta/netlist_edits.hpp"
 
 namespace dagt::sta {
 
@@ -15,22 +16,6 @@ using netlist::PinId;
 using netlist::PinKind;
 
 namespace {
-
-/// Next-larger drive variant of the same function, or kInvalidCellType.
-CellTypeId upsizedVariant(const Netlist& nl, CellId cellId) {
-  const auto& lib = nl.library();
-  const auto& type = lib.cell(nl.cell(cellId).type);
-  CellTypeId best = netlist::kInvalidCellType;
-  for (const CellTypeId candidate : lib.cellsForFunction(type.function)) {
-    const int drive = lib.cell(candidate).driveStrength;
-    if (drive > type.driveStrength &&
-        (best == netlist::kInvalidCellType ||
-         drive < lib.cell(best).driveStrength)) {
-      best = candidate;
-    }
-  }
-  return best;
-}
 
 /// Walk back from an endpoint along the worst-arrival fanin chain,
 /// collecting the combinational cells on the critical path.
@@ -59,47 +44,6 @@ std::vector<CellId> traceCriticalCells(const Netlist& nl,
     cursor = worst;
   }
   return cells;
-}
-
-/// Split a high-fanout net: the half of sinks farthest from the driver is
-/// moved behind a new buffer placed at their centroid.
-void insertBuffer(Netlist& nl, NetId netId, OptimizerReport& report) {
-  const auto& lib = nl.library();
-  const auto& variants = lib.cellsForFunction(netlist::CellFunction::kBuf);
-  if (variants.empty()) return;
-  const auto& net = nl.net(netId);
-  if (static_cast<std::int32_t>(net.sinks.size()) < 4) return;
-
-  const Point driverLoc = nl.pinLocation(net.driver);
-  std::vector<PinId> sinks = net.sinks;
-  std::sort(sinks.begin(), sinks.end(), [&](PinId a, PinId b) {
-    return manhattan(nl.pinLocation(a), driverLoc) >
-           manhattan(nl.pinLocation(b), driverLoc);
-  });
-  const std::size_t moveCount = sinks.size() / 2;
-
-  // Strongest available buffer for the far group.
-  const CellTypeId bufType = variants.back();
-  const CellId buf = nl.addCell(bufType);
-  Point centroid{0.0f, 0.0f};
-  for (std::size_t i = 0; i < moveCount; ++i) {
-    const Point loc = nl.pinLocation(sinks[i]);
-    centroid.x += loc.x;
-    centroid.y += loc.y;
-  }
-  centroid.x /= static_cast<float>(moveCount);
-  centroid.y /= static_cast<float>(moveCount);
-  // Bias the buffer toward the driver so it actually splits the route.
-  centroid.x = 0.5f * (centroid.x + driverLoc.x);
-  centroid.y = 0.5f * (centroid.y + driverLoc.y);
-  nl.setCellLocation(buf, centroid);
-
-  const NetId bufNet = nl.addNet(nl.cell(buf).outputPin);
-  for (std::size_t i = 0; i < moveCount; ++i) {
-    nl.moveSink(sinks[i], bufNet);
-  }
-  nl.connectSink(netId, nl.cell(buf).inputPins[0]);
-  ++report.buffersInserted;
 }
 
 }  // namespace
@@ -139,7 +83,7 @@ OptimizerReport TimingOptimizer::optimize(Netlist& nl,
       }
     }
     for (const NetId net : toBuffer) {
-      insertBuffer(nl, net, report);
+      if (insertFanoutBuffer(nl, net).inserted) ++report.buffersInserted;
     }
 
     timing = StaEngine::run(nl, &congestion, config.routeConfig);

@@ -126,9 +126,9 @@ TEST(FeatureBuilder, NodesUseDisjointVocabularySlots) {
 TEST(PathExtractor, ConesContainEndpointAndReachStartpoints) {
   const auto& d = arm9();
   const auto endpoints = d.netlist.endpoints();
-  ASSERT_EQ(d.paths.size(), endpoints.size());
-  for (std::size_t i = 0; i < d.paths.size(); ++i) {
-    const auto& path = d.paths[i];
+  ASSERT_EQ(d.paths().size(), endpoints.size());
+  for (std::size_t i = 0; i < d.paths().size(); ++i) {
+    const auto& path = d.paths()[i];
     EXPECT_EQ(path.endpoint, endpoints[i]);
     EXPECT_TRUE(std::binary_search(path.conePins.begin(),
                                    path.conePins.end(), path.endpoint));
@@ -145,7 +145,7 @@ TEST(PathExtractor, ConesContainEndpointAndReachStartpoints) {
 
 TEST(PathExtractor, MaskedImageZeroOutsideFootprint) {
   const auto& d = arm9();
-  const auto& path = d.paths.front();
+  const auto& path = d.paths().front();
   const auto masked = PathExtractor::maskedImage(*d.maps, path);
   const std::int32_t res = d.maps->resolution();
   ASSERT_EQ(masked.size(),
@@ -175,7 +175,7 @@ TEST(PathExtractor, MaskedImageZeroOutsideFootprint) {
 
 TEST(DesignData, LabelsAlignWithEndpointsAndAreHarderThanElmore) {
   const auto& d = jpeg();
-  ASSERT_EQ(d.labels.size(), d.paths.size());
+  ASSERT_EQ(d.labels.size(), d.paths().size());
   ASSERT_EQ(d.preRouteArrivals.size(), d.labels.size());
   // Sign-off (optimized but routed) arrival differs from the optimistic
   // pre-routing estimate — the gap the predictor learns.

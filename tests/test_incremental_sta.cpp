@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "designgen/design_suite.hpp"
 #include "place/placer.hpp"
 #include "sta/incremental_sta.hpp"
+#include "sta/netlist_edits.hpp"
 #include "sta/sta_engine.hpp"
 
 namespace dagt::sta {
@@ -17,6 +19,7 @@ using netlist::TechNode;
 struct Fixture {
   CellLibrary lib = CellLibrary::makeNode(TechNode::k7nm);
   Netlist nl;
+  place::PlacementResult placement;
   std::vector<NetParasitics> parasitics;
 
   explicit Fixture(const char* name = "or1200", float scale = 0.3f)
@@ -24,10 +27,18 @@ struct Fixture {
           const designgen::DesignSuite suite(scale);
           return suite.buildNetlist(suite.entry(name), lib);
         }()) {
-    place::Placer::place(nl);
+    placement = place::Placer::place(nl);
     const RouteEstimator estimator(
         nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
     parasitics = estimator.estimateAll();
+  }
+
+  /// Wire parasitics re-estimated from the netlist's current pin
+  /// locations — the reference input after moves or structural edits.
+  std::vector<NetParasitics> freshParasitics() const {
+    const RouteEstimator estimator(
+        nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+    return estimator.estimateAll();
   }
 
   /// A combinational cell with an available larger drive variant.
@@ -119,6 +130,146 @@ TEST(IncrementalSta, NoOpResizeVisitsAlmostNothing) {
   EXPECT_LE(inc.lastUpdateVisited(),
             static_cast<std::int64_t>(
                 2 * f.nl.cell(cell).inputPins.size() + 1));
+}
+
+// -- Randomized multi-edit equivalence ---------------------------------------
+//
+// The what-if service trusts IncrementalSta to stay bitwise equal to a cold
+// StaEngine::run through arbitrary edit streams. These suites replay seeded
+// random streams on three suite designs of different styles (control, CPU,
+// datapath) so the equivalence claim doesn't overfit one topology.
+
+TEST(IncrementalSta, RandomizedBatchedResizesStayExact) {
+  struct Case {
+    const char* name;
+    float scale;
+  };
+  for (const Case& c :
+       {Case{"or1200", 0.25f}, Case{"arm9", 0.4f}, Case{"sha3", 0.25f}}) {
+    Fixture f(c.name, c.scale);
+    IncrementalSta inc(f.nl, f.parasitics);
+    Rng rng(0x5eedb00cULL ^ static_cast<std::uint64_t>(f.nl.numPins()));
+    for (int batch = 0; batch < 4; ++batch) {
+      int applied = 0;
+      for (int attempt = 0; attempt < 32 && applied < 6; ++attempt) {
+        const auto cell = static_cast<CellId>(
+            rng.uniformInt(static_cast<std::uint64_t>(f.nl.numCells())));
+        const CellTypeId variant = rng.uniform() < 0.5
+                                       ? upsizedVariant(f.nl, cell)
+                                       : downsizedVariant(f.nl, cell);
+        if (variant == netlist::kInvalidCellType) continue;
+        f.nl.resizeCell(cell, variant);
+        inc.onCellResized(cell);
+        ++applied;
+      }
+      ASSERT_GT(applied, 0) << c.name << " batch " << batch;
+      expectIdentical(inc.timing(), StaEngine::run(f.nl, f.parasitics));
+    }
+  }
+}
+
+TEST(IncrementalSta, RandomizedInterleavedEditsAndQueriesStayExact) {
+  Fixture f("or1200", 0.25f);
+  IncrementalSta inc(f.nl, f.parasitics);
+  const Rect die = f.placement.dieArea;
+  Rng rng(0xabcddcbaULL);
+  int applied = 0;
+  for (int attempt = 0; attempt < 60 && applied < 15; ++attempt) {
+    const double kind = rng.uniform();
+    if (kind < 0.6) {
+      const auto cell = static_cast<CellId>(
+          rng.uniformInt(static_cast<std::uint64_t>(f.nl.numCells())));
+      const CellTypeId variant = rng.uniform() < 0.5
+                                     ? upsizedVariant(f.nl, cell)
+                                     : downsizedVariant(f.nl, cell);
+      if (variant == netlist::kInvalidCellType) continue;
+      f.nl.resizeCell(cell, variant);
+      inc.onCellResized(cell);
+    } else if (kind < 0.85) {
+      const auto cell = static_cast<CellId>(
+          rng.uniformInt(static_cast<std::uint64_t>(f.nl.numCells())));
+      f.nl.setCellLocation(
+          cell, Point{static_cast<float>(rng.uniform(die.lo.x, die.hi.x)),
+                      static_cast<float>(rng.uniform(die.lo.y, die.hi.y))});
+      const RouteEstimator est(
+          f.nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+      inc.onCellMoved(cell, est);
+    } else {
+      // First net with enough fanout to split, scanning from a random
+      // start so successive insertions hit different regions.
+      const std::int64_t numNets = f.nl.numNets();
+      const std::int64_t start = static_cast<std::int64_t>(
+          rng.uniformInt(static_cast<std::uint64_t>(numNets)));
+      netlist::NetId rewired = netlist::kInvalidId;
+      for (std::int64_t i = 0; i < numNets; ++i) {
+        const auto net = static_cast<netlist::NetId>((start + i) % numNets);
+        if (insertFanoutBuffer(f.nl, net).inserted) {
+          rewired = net;
+          break;
+        }
+      }
+      if (rewired == netlist::kInvalidId) continue;
+      const RouteEstimator est(
+          f.nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+      inc.onStructureChanged({rewired}, est);
+    }
+    ++applied;
+    // A query interleaves with every edit: the incremental view must equal
+    // a cold full run on the current netlist with independently
+    // re-estimated parasitics — not just at the end of the stream.
+    expectIdentical(inc.timing(),
+                    StaEngine::run(f.nl, f.freshParasitics()));
+  }
+  ASSERT_GE(applied, 10);
+
+  // Bookkeeping coherence: every incremental update landed in exactly one
+  // histogram bucket.
+  const IncrementalStaStats& stats = inc.stats();
+  std::uint64_t histTotal = 0;
+  for (const std::uint64_t bucket : stats.coneHist) histTotal += bucket;
+  EXPECT_EQ(histTotal, stats.incrementalUpdates);
+  EXPECT_GT(stats.incrementalUpdates, 0u);
+}
+
+TEST(IncrementalSta, RevertToBaselineRestoresBitwiseState) {
+  Fixture f("arm9", 0.4f);
+  const Netlist baseline = f.nl;
+  IncrementalSta inc(f.nl, f.parasitics);
+  const TimingResult reference = inc.timing();
+
+  Rng rng(0x4e5e47ULL);
+  const Rect die = f.placement.dieArea;
+  for (int i = 0; i < 6; ++i) {
+    const auto cell = static_cast<CellId>(
+        rng.uniformInt(static_cast<std::uint64_t>(f.nl.numCells())));
+    const CellTypeId variant = upsizedVariant(f.nl, cell);
+    if (variant != netlist::kInvalidCellType) {
+      f.nl.resizeCell(cell, variant);
+      inc.onCellResized(cell);
+    }
+    f.nl.setCellLocation(
+        cell, Point{static_cast<float>(rng.uniform(die.lo.x, die.hi.x)),
+                    static_cast<float>(rng.uniform(die.lo.y, die.hi.y))});
+    const RouteEstimator est(
+        f.nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+    inc.onCellMoved(cell, est);
+  }
+  for (netlist::NetId net = 0; net < f.nl.numNets(); ++net) {
+    if (insertFanoutBuffer(f.nl, net).inserted) {
+      const RouteEstimator est(
+          f.nl, nullptr, RouteConfig{WireModel::kPreRouting, 0.0f, 0.0f});
+      inc.onStructureChanged({net}, est);
+      break;
+    }
+  }
+
+  // Revert the way WhatIfSession::revert does: restore the baseline
+  // netlist and rebuild the engine on it. The rebuilt view must be bitwise
+  // identical to the pre-edit reference, not merely close.
+  f.nl = baseline;
+  IncrementalSta rebuilt(f.nl, f.parasitics);
+  expectIdentical(rebuilt.timing(), reference);
+  expectIdentical(rebuilt.timing(), StaEngine::run(f.nl, f.parasitics));
 }
 
 TEST(IncrementalSta, FullRefreshRestoresReference) {

@@ -1,0 +1,390 @@
+// What-if service suite (label "whatif"). Covers the session's determinism
+// contract (edited predictions bitwise equal to a cold rebuild), cone-based
+// feature-cache invalidation exactness (edits outside an endpoint's cone
+// keep its cached artifacts — pointer-shared, not recomputed — while edits
+// inside invalidate it), commit/revert baselines, the metrics surface, and
+// a reader/writer stress that tools/verify.sh also runs under
+// ThreadSanitizer:
+//
+//   cmake -B build-tsan -S . -DDAGT_SANITIZE=thread
+//   cmake --build build-tsan --target dagt_whatif_tests
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "designgen/design_suite.hpp"
+#include "features/design_data.hpp"
+#include "netlist/cell_library.hpp"
+#include "obs/trace.hpp"
+#include "place/placer.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+#include "sta/netlist_edits.hpp"
+#include "whatif/whatif_session.hpp"
+
+namespace dagt::whatif {
+namespace {
+
+// -- Tiny untrained bundle fixture -------------------------------------------
+//
+// Prediction quality is irrelevant here — the contracts under test are
+// bitwise determinism and cache bookkeeping — so the bundle wraps an
+// untrained deterministic dac23 model: cheap to build, cheap to forward.
+
+const features::DataConfig& dataConfig() {
+  static features::DataConfig config = [] {
+    features::DataConfig c;
+    c.designScale = 0.2f;
+    return c;
+  }();
+  return config;
+}
+
+const std::string& bundleDir() {
+  static std::string dir = [] {
+    const features::DataPipeline pipeline(dataConfig());
+    serve::BundleManifest manifest;
+    manifest.modelKind = "dac23";
+    manifest.variant = "shared";
+    manifest.strategy = "whatif_tests";
+    manifest.targetNode = netlist::TechNode::k7nm;
+    manifest.vocabularyNodes = dataConfig().nodes;
+    manifest.pinFeatureDim = pipeline.featureDim();
+    manifest.model.gnnHidden = 16;
+    manifest.model.cnnBaseChannels = 4;
+    manifest.model.cnnDim = 8;
+    manifest.model.headHidden = 16;
+    manifest.model.imageResolution = dataConfig().imageResolution;
+    manifest.features = dataConfig().features;
+    const auto model = serve::ModelBundle::instantiate(manifest);
+    // Per-process directory: ctest runs each case as its own process.
+    const std::string d =
+        (std::filesystem::temp_directory_path() /
+         ("dagt_whatif_bundle_" + std::to_string(::getpid())))
+            .string();
+    serve::ModelBundle::save(*model, manifest, d);
+    return d;
+  }();
+  return dir;
+}
+
+/// A placed suite design plus an engine with the bundle registered.
+/// batching=false by default: caller-thread forwards with the design-keyed
+/// batch seed make repeated identical queries bitwise reproducible, which
+/// is what the parity assertions lean on.
+struct SessionFixture {
+  designgen::DesignSuite suite{0.2f};
+  netlist::TechNode node = netlist::TechNode::k7nm;
+  netlist::CellLibrary lib = netlist::CellLibrary::makeNode(node);
+  netlist::Netlist nl;
+  place::PlacementResult placement;
+  serve::PredictionEngine engine;
+
+  explicit SessionFixture(const char* name = "or1200", bool batching = false)
+      : nl([&] {
+          const auto& entry = suite.entry(name);
+          return suite.buildNetlist(entry, lib);
+        }()),
+        engine([&] {
+          serve::EngineConfig config;
+          config.batching = batching;
+          config.workerThreads = batching ? 2 : 1;
+          return config;
+        }()) {
+    place::PlacerConfig placerConfig;
+    placerConfig.seed ^= suite.entry(name).spec.seed;
+    placement = place::Placer::place(nl, placerConfig);
+    engine.addBundleFromDir(bundleDir());
+  }
+};
+
+/// First cell with a larger drive variant, skipping `skip` candidates.
+netlist::CellId findResizable(const netlist::Netlist& nl, int skip = 0) {
+  for (netlist::CellId c = 0; c < nl.numCells(); ++c) {
+    if (sta::upsizedVariant(nl, c) == netlist::kInvalidCellType) continue;
+    if (skip-- == 0) return c;
+  }
+  return netlist::kInvalidId;
+}
+
+/// First net insertFanoutBuffer will accept (>= 4 sinks).
+netlist::NetId findBufferable(const netlist::Netlist& nl) {
+  for (netlist::NetId n = 0; n < nl.numNets(); ++n) {
+    if (nl.net(n).sinks.size() >= 4) return n;
+  }
+  return netlist::kInvalidId;
+}
+
+void expectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(float)), 0)
+        << what << ": endpoint " << i << " " << a[i] << " vs " << b[i];
+  }
+}
+
+// -- Determinism contract ----------------------------------------------------
+
+TEST(WhatIfSession, EditStreamMatchesColdRebuildBitwise) {
+  SessionFixture f;
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+  const std::int64_t numEndpoints = session.numEndpoints();
+  ASSERT_GT(numEndpoints, 8);
+  std::vector<std::int64_t> all(static_cast<std::size_t>(numEndpoints));
+  std::iota(all.begin(), all.end(), std::int64_t{0});
+
+  const Rect die = f.placement.dieArea;
+  int coldSerial = 0;
+  const auto checkParity = [&](const char* what) {
+    const std::vector<float> incremental = session.predict(all);
+    f.engine.loadDesign("cold", session.netlist(), f.node, f.placement,
+                        "c" + std::to_string(coldSerial++));
+    const std::vector<float> cold = f.engine.predictEndpoints("cold", all);
+    expectBitwiseEqual(incremental, cold, what);
+  };
+
+  // One edit of each kind, parity after each: resize (pure cone update),
+  // move (re-extracted cones + image diff), buffer (structural rebuild).
+  const netlist::CellId toResize = findResizable(session.netlist());
+  ASSERT_NE(toResize, netlist::kInvalidId);
+  ASSERT_TRUE(session.resizeCell(toResize, /*up=*/true));
+  checkParity("after resize");
+  EXPECT_FALSE(session.lastSync().structuralRebuild);
+
+  const netlist::CellId toMove = findResizable(session.netlist(), 3);
+  ASSERT_NE(toMove, netlist::kInvalidId);
+  session.moveCell(toMove, Point{die.hi.x, die.hi.y});
+  checkParity("after move");
+  EXPECT_FALSE(session.lastSync().structuralRebuild);
+
+  const netlist::NetId toBuffer = findBufferable(session.netlist());
+  ASSERT_NE(toBuffer, netlist::kInvalidId);
+  ASSERT_TRUE(session.insertBuffer(toBuffer).inserted);
+  checkParity("after buffer insertion");
+  EXPECT_TRUE(session.lastSync().structuralRebuild);
+}
+
+// -- Cone-based invalidation exactness ---------------------------------------
+
+TEST(WhatIfSession, EditOutsideConeKeepsCachedEndpointsExactly) {
+  SessionFixture f;
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+  const std::int64_t numEndpoints = session.numEndpoints();
+  const std::vector<float> baseline = session.predictAll();
+  const auto before = f.engine.currentSnapshot("wi");
+  ASSERT_NE(before, nullptr);
+
+  const netlist::CellId cell = findResizable(session.netlist());
+  ASSERT_NE(cell, netlist::kInvalidId);
+  const netlist::PinId editedPin = session.netlist().cell(cell).outputPin;
+  ASSERT_TRUE(session.resizeCell(cell, /*up=*/true));
+  session.sync();
+  const auto& res = session.lastSync();
+  EXPECT_FALSE(res.structuralRebuild);
+  EXPECT_EQ(res.imagesReused + res.imagesRebuilt, numEndpoints);
+
+  // The edit's blast radius must be real but local: some endpoints dirty,
+  // and on a multi-hundred-endpoint design not all of them.
+  const std::set<std::int64_t> dirty(res.dirtyEndpoints.begin(),
+                                     res.dirtyEndpoints.end());
+  ASSERT_FALSE(dirty.empty());
+  ASSERT_LT(static_cast<std::int64_t>(dirty.size()), numEndpoints);
+
+  // "Inside the cone" direction: every endpoint whose fanout cone contains
+  // the resized cell's output pin must be flagged dirty.
+  const auto after = f.engine.currentSnapshot("wi");
+  ASSERT_NE(after, nullptr);
+  ASSERT_NE(after.get(), before.get());
+  int coveringEndpoints = 0;
+  for (std::int64_t e = 0; e < numEndpoints; ++e) {
+    const auto& cone = after->data.paths()[static_cast<std::size_t>(e)].conePins;
+    if (std::find(cone.begin(), cone.end(), editedPin) == cone.end()) continue;
+    ++coveringEndpoints;
+    EXPECT_TRUE(dirty.count(e)) << "endpoint " << e
+                                << " contains the edited pin but was kept";
+  }
+  ASSERT_GT(coveringEndpoints, 0);
+
+  // "Outside the cone" direction: kept endpoints are bit-identical — same
+  // prediction as before the edit, and the cached masked image is the SAME
+  // allocation as the prior snapshot's, not a recomputed copy.
+  const std::vector<float> afterAll = session.predictAll();
+  const auto beforeSlots = before->dataset->exportImages(before->data);
+  const auto afterSlots = after->dataset->exportImages(after->data);
+  ASSERT_EQ(beforeSlots.size(), afterSlots.size());
+  int kept = 0;
+  for (std::int64_t e = 0; e < numEndpoints; ++e) {
+    if (dirty.count(e)) continue;
+    ++kept;
+    ASSERT_EQ(std::memcmp(&baseline[static_cast<std::size_t>(e)],
+                          &afterAll[static_cast<std::size_t>(e)],
+                          sizeof(float)),
+              0)
+        << "kept endpoint " << e << " changed prediction";
+    ASSERT_NE(beforeSlots[static_cast<std::size_t>(e)], nullptr);
+    EXPECT_EQ(afterSlots[static_cast<std::size_t>(e)].get(),
+              beforeSlots[static_cast<std::size_t>(e)].get())
+        << "kept endpoint " << e << " lost its shared image slot";
+  }
+  ASSERT_GT(kept, 0);
+}
+
+// -- Commit / revert ---------------------------------------------------------
+
+TEST(WhatIfSession, RevertRestoresBaselinePredictionsBitwise) {
+  SessionFixture f;
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+  const std::vector<float> baseline = session.predictAll();
+  const std::int64_t baseCells = session.netlist().numCells();
+
+  const Rect die = f.placement.dieArea;
+  ASSERT_TRUE(session.resizeCell(findResizable(session.netlist()), true));
+  session.moveCell(findResizable(session.netlist(), 5),
+                   Point{die.lo.x, die.lo.y});
+  ASSERT_TRUE(session.insertBuffer(findBufferable(session.netlist())).inserted);
+  EXPECT_EQ(session.netlist().numCells(), baseCells + 1);
+
+  session.revert();
+  EXPECT_EQ(session.netlist().numCells(), baseCells);
+  expectBitwiseEqual(session.predictAll(), baseline, "after revert");
+}
+
+TEST(WhatIfSession, CommitMovesTheRevertBaseline) {
+  SessionFixture f;
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+
+  ASSERT_TRUE(session.resizeCell(findResizable(session.netlist()), true));
+  session.commit();
+  const std::vector<float> committed = session.predictAll();
+
+  const Rect die = f.placement.dieArea;
+  session.moveCell(findResizable(session.netlist(), 7),
+                   Point{die.hi.x, die.lo.y});
+  session.revert();
+  // Revert lands on the committed state, not the construction-time one.
+  expectBitwiseEqual(session.predictAll(), committed, "after commit+revert");
+}
+
+// -- Metrics and tracing surface ---------------------------------------------
+
+TEST(WhatIfSession, MetricsExposeEditAndConeCounters) {
+  SessionFixture f;
+  obs::TraceRegistry::global().setEnabled(true);
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+
+  ASSERT_TRUE(session.resizeCell(findResizable(session.netlist()), true));
+  session.predict({0, 1});
+  session.moveCell(findResizable(session.netlist(), 2),
+                   Point{f.placement.dieArea.hi.x, f.placement.dieArea.hi.y});
+  session.predict({2});
+
+  const serve::MetricsSnapshot snap = session.metrics();
+  EXPECT_EQ(snap.whatifEdits, 2u);
+  EXPECT_EQ(snap.whatifRepredicts, 2u);
+  EXPECT_GE(snap.coneUpdates, 2u);
+  EXPECT_EQ(snap.coneStructuralRebuilds, 0u);
+  EXPECT_GT(snap.staIncrementalUpdates, 0u);
+  EXPECT_GE(snap.staPinsVisitedTotal, snap.staPinsVisitedLast);
+  std::uint64_t histTotal = 0;
+  for (const std::uint64_t bucket : snap.staConeHist) histTotal += bucket;
+  EXPECT_EQ(histTotal, snap.staIncrementalUpdates);
+
+  // With tracing on, the snapshot carries whatif/ and sta/ span aggregates.
+  bool sawEdit = false, sawSync = false;
+  for (const auto& span : snap.traceSpans) {
+    sawEdit = sawEdit || span.name == "whatif/edit";
+    sawSync = sawSync || span.name == "whatif/sync";
+  }
+  EXPECT_TRUE(sawEdit);
+  EXPECT_TRUE(sawSync);
+  obs::TraceRegistry::global().setEnabled(false);
+}
+
+// -- Reader/writer stress (ThreadSanitizer target) ---------------------------
+
+/// parallelFor is serial unless the thread count is raised; force real
+/// fan-out for the duration of the test.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) : saved_(parallelThreadCount()) {
+    parallelThreadCount() = n;
+  }
+  ~ThreadCountGuard() { parallelThreadCount() = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(WhatIfConcurrency, ReadersPredictWhileSessionEdits) {
+  ThreadCountGuard guard(4);
+  SessionFixture f("or1200", /*batching=*/true);
+  WhatIfSession session(f.engine, "wi", f.nl, f.node, f.placement);
+  const std::int64_t numEndpoints = session.numEndpoints();
+  ASSERT_GT(numEndpoints, 8);
+
+  // Readers hammer the engine (snapshot lookups + lazy masked-image fills
+  // + request coalescing) while the session swaps snapshots under them.
+  // In-flight queries finish against whichever snapshot they grabbed; the
+  // assertion here is coarse (finiteness) — TSan judges the interleaving.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(0xbeef0000ULL + static_cast<std::uint64_t>(r));
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<std::int64_t> query(4);
+        for (auto& e : query) {
+          e = static_cast<std::int64_t>(
+              rng.uniformInt(static_cast<std::uint64_t>(numEndpoints)));
+        }
+        for (const float v : f.engine.predictEndpoints("wi", query)) {
+          if (!std::isfinite(v)) failed.store(true);
+        }
+      }
+    });
+  }
+
+  Rng rng(0xec0ULL);
+  const Rect die = f.placement.dieArea;
+  for (int edit = 0; edit < 6; ++edit) {
+    if (edit % 3 == 2) {
+      session.moveCell(
+          static_cast<netlist::CellId>(rng.uniformInt(
+              static_cast<std::uint64_t>(session.netlist().numCells()))),
+          Point{static_cast<float>(rng.uniform(die.lo.x, die.hi.x)),
+                static_cast<float>(rng.uniform(die.lo.y, die.hi.y))});
+    } else {
+      const netlist::CellId cell = findResizable(session.netlist(), edit);
+      if (cell == netlist::kInvalidId) continue;
+      session.resizeCell(cell, edit % 2 == 0);
+    }
+    for (const float v : session.predict({0, 1, 2})) {
+      if (!std::isfinite(v)) failed.store(true);
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace dagt::whatif

@@ -13,8 +13,12 @@
 #   3. every kernel dispatch tier named in kTierNames
 #      (src/tensor/kernels/dispatch.cpp), every DAGT_* CMake option /
 #      cache variable and every DAGT_* environment variable read via
-#      getenv, and every bench_* target in bench/CMakeLists.txt must
-#      appear (backticked) in docs/performance.md.
+#      getenv (or the benches' envOr helper), and every bench_* target in
+#      bench/CMakeLists.txt must appear (backticked) in
+#      docs/performance.md;
+#   4. every what-if edit command in the canonical table of
+#      src/whatif/edit_script.cpp (between the DOCS:WHATIF_COMMANDS
+#      markers) must appear (backticked) in docs/whatif.md.
 #
 # Adding a metric, span, tier, knob or bench without documenting it fails
 # verify. Exits non-zero with one line per missing name.
@@ -97,8 +101,9 @@ OPTIONS=$(grep -rhoE '(option|set)\(DAGT_[A-Z_]+' --include=CMakeLists.txt . |
   sed 's/.*(//' | sort -u)
 [[ -n "$OPTIONS" ]] || miss "no DAGT_* CMake options found (extraction broke?)"
 
-# DAGT_* environment variables read at runtime.
-ENVVARS=$(grep -rhoE 'getenv\("DAGT_[A-Z_]+"\)' src tools bench |
+# DAGT_* environment variables read at runtime — directly via getenv or
+# through the benches' envOr("DAGT_...", fallback) helper.
+ENVVARS=$(grep -rhoE '(getenv|envOr)\("DAGT_[A-Z_]+"' src tools bench |
   sed 's/.*"\(DAGT_[A-Z_]*\)".*/\1/' | sort -u)
 [[ -n "$ENVVARS" ]] || miss "no getenv(\"DAGT_*\") env vars found under src/ tools/ bench/ (extraction broke?)"
 
@@ -142,12 +147,37 @@ else
   done
 fi
 
+# --- 4. what-if edit commands -> docs/whatif.md ---------------------------
+
+WIF=docs/whatif.md
+
+# Command names from the canonical table in edit_script.cpp (the same table
+# drives the script parser, the REPL and `help`, so the docs track all three).
+CMDS=$(sed -n '/DOCS:WHATIF_COMMANDS_BEGIN/,/DOCS:WHATIF_COMMANDS_END/p' \
+  src/whatif/edit_script.cpp |
+  grep -oE '\{"[a-z]+"' | tr -d '{"' | sort -u)
+[[ -n "$CMDS" ]] || miss "no what-if commands found in src/whatif/edit_script.cpp (extraction broke?)"
+
+if [[ "$SELFTEST" == 1 ]]; then
+  CMDS="$CMDS
+phantomcmd"
+fi
+
+if [[ ! -f "$WIF" ]]; then
+  miss "$WIF does not exist"
+else
+  for cmd in $CMDS; do
+    grep -qF "\`${cmd}\`" "$WIF" ||
+      miss "what-if command '${cmd}' (src/whatif/edit_script.cpp) is not documented in $WIF"
+  done
+fi
+
 # --- verdict ---------------------------------------------------------------
 
 if [[ "$SELFTEST" == 1 ]]; then
   rc=0
   for phantom in phantom_tier_zz DAGT_PHANTOM_OPTION DAGT_PHANTOM_ENV \
-    bench_phantom_target; do
+    bench_phantom_target phantomcmd; do
     case "$MISSED_NAMES" in
       *"'${phantom}'"*) ;;
       *)

@@ -37,6 +37,17 @@
 //       metrics are printed afterwards (--metrics-json writes them as
 //       JSON).
 //
+//   dagt whatif <bundle> <netlist.dagtnl> <lib.dagtlib> [--pl F]
+//       [--edits FILE] [--repl] [--metrics-json F]
+//       Interactive what-if timing: load the design into the serving
+//       engine once, then apply ECO edits (cell resize/move, fanout
+//       buffering) and re-predict incrementally — only the edit's dirty
+//       cone is re-extracted. --edits replays a command file (one command
+//       per line, # comments); --repl drops into the interactive loop
+//       afterwards (or on its own). Commands: resize, move, buffer,
+//       query, sync, commit, revert, stats, help, quit — see
+//       docs/whatif.md. Exits nonzero if any scripted command failed.
+//
 //   dagt trace <command> [args...] [--trace-out F]
 //       Run any of the commands above with tracing enabled; writes the
 //       Chrome trace_event JSON to F (default dagt_trace.json — load it
@@ -47,6 +58,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
@@ -71,6 +84,8 @@
 #include "sta/sta_engine.hpp"
 #include "sta/timing_optimizer.hpp"
 #include "sta/timing_report.hpp"
+#include "whatif/edit_script.hpp"
+#include "whatif/whatif_session.hpp"
 
 namespace {
 
@@ -165,8 +180,8 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dagt <gen|stats|sta|opt|train|export|predict|trace> "
-               "[args]\n"
+               "usage: dagt <gen|stats|sta|opt|train|export|predict|whatif|"
+               "trace> [args]\n"
                "run 'dagt' with a command to see its flags in the header "
                "of tools/dagt_cli.cpp\n");
   return 2;
@@ -487,6 +502,67 @@ int cmdPredict(const Args& args) {
   return 0;
 }
 
+int cmdWhatif(const Args& args) {
+  if (args.positional.size() < 3) return usage();
+  const std::string bundleDir = args.positional[0];
+  const std::string nlPath = args.positional[1];
+  const std::string libPath = args.positional[2];
+
+  // The netlist must resolve against the same deterministic per-node
+  // library the engine's FeatureService reconstructs (cell-type ids feed
+  // the gate-type one-hot). Declared before the engine so every netlist
+  // copy the serving stack retains dies first.
+  const auto fileLib = netlist::io::readLibraryFile(libPath);
+  const auto lib = netlist::CellLibrary::makeNode(fileLib.node());
+
+  serve::PredictionEngine engine;
+  engine.addBundleFromDir(bundleDir);
+  auto nl = netlist::io::readNetlistFile(nlPath, lib);
+
+  place::PlacementResult placement;
+  if (args.has("pl")) {
+    placement = serve::readPlacementFile(args.flagOr("pl", ""));
+  } else {
+    Rect die{{0, 0}, {0, 0}};
+    for (netlist::PinId p = 0; p < nl.numPins(); ++p) {
+      die.expand(nl.pinLocation(p));
+    }
+    placement.dieArea = die;
+  }
+
+  whatif::WhatIfSession session(engine, "design", std::move(nl),
+                                fileLib.node(), placement);
+  std::printf("loaded %s: %lld endpoints, %lld cells, %lld nets (node %s, "
+              "%s bundle)\n",
+              nlPath.c_str(), static_cast<long long>(session.numEndpoints()),
+              static_cast<long long>(session.netlist().numCells()),
+              static_cast<long long>(session.netlist().numNets()),
+              netlist::techNodeName(engine.nodes().front()).c_str(),
+              engine.manifest(engine.nodes().front()).strategy.c_str());
+
+  int failures = 0;
+  if (args.has("edits")) {
+    const std::string editsPath = args.flagOr("edits", "");
+    std::ifstream in(editsPath);
+    DAGT_CHECK_MSG(in.good(), "cannot open edit file " << editsPath);
+    failures = whatif::runScript(session, in, std::cout, /*echo=*/true);
+  }
+  if (args.has("repl") || !args.has("edits")) {
+    whatif::runRepl(session, std::cin, std::cout);
+  }
+
+  const auto metrics = session.metrics();
+  std::printf("%s", metrics.renderTable().c_str());
+  if (args.has("metrics-json")) {
+    writeJsonFile(metrics.toJson(), args.flagOr("metrics-json", ""));
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "whatif: %d command(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
 /// Parse argv for the named subcommand and run it. argv[1] must be the
 /// command; `trace` recurses through here for the wrapped command.
 int dispatch(int argc, char** argv) {
@@ -503,6 +579,7 @@ int dispatch(int argc, char** argv) {
           {"predict", {{"pl", "endpoints", "batch", "wait-us", "dump!",
                         "metrics-json"},
                        cmdPredict}},
+          {"whatif", {{"pl", "edits", "repl!", "metrics-json"}, cmdWhatif}},
       };
   const std::string command = argv[1];
   const auto it = commands.find(command);

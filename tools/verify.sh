@@ -9,6 +9,8 @@
 #   asan      ASan/UBSan build, tensor + concurrency suites
 #   tsan      ThreadSanitizer build, concurrency stress suite
 #   obs       ThreadSanitizer build, tracing-layer suite (dagt_obs_tests)
+#   whatif    ThreadSanitizer build of the what-if suite + bench_whatif
+#             smoke (short edit stream, parity + 5x refresh-speedup gate)
 #
 # Usage: tools/verify.sh [--fast]
 #   --fast skips the sanitizer stages (default + lint + docs + bench only).
@@ -74,6 +76,23 @@ run_obs() {
     ./build-tsan/tests/dagt_obs_tests
 }
 
+# What-if service: the session/cone suite runs under ThreadSanitizer (the
+# reader/writer stress is the point), then a short bench_whatif stream
+# checks the incremental path end-to-end on the default tree — bitwise
+# prediction parity with a cold rebuild after every edit, and a median
+# incremental-vs-full-refresh speedup of at least 5x (the full bench's
+# default gate is 10x; the smoke stream is short, so the gate is looser).
+run_whatif() {
+  cmake -B build-tsan -S . -DDAGT_SANITIZE=thread &&
+    cmake --build build-tsan -j "$JOBS" --target dagt_whatif_tests &&
+    ./build-tsan/tests/dagt_whatif_tests &&
+    cmake --build build -j "$JOBS" --target bench_whatif &&
+    rm -rf build/whatif-smoke && mkdir -p build/whatif-smoke &&
+    DAGT_BENCH_DIR=build/whatif-smoke \
+      DAGT_WHATIF_EDITS=8 DAGT_WHATIF_MIN_SPEEDUP=5 \
+      ./build/bench/bench_whatif
+}
+
 # Positive pass first (docs in sync), then the negative selftest: phantom
 # names injected into every extracted list must each be flagged, proving
 # the drift checkers still fire.
@@ -119,6 +138,7 @@ if [[ "$FAST" == 0 ]]; then
   stage asan build-asan/verify-asan.log run_asan
   stage tsan build-tsan/verify-tsan.log run_tsan
   stage obs build-tsan/verify-obs.log run_obs
+  stage whatif build-tsan/verify-whatif.log run_whatif
 fi
 
 if [[ "$FAILED" != 0 ]]; then
