@@ -1,0 +1,393 @@
+// Expression-fusion bench: run the steady-state inference path with the
+// expression compiler on vs off, in one process via
+// tensor::expr::setFusionEnabled. Writes BENCH_fusion.json.
+//
+// Two pipelines are measured, both single-thread (caller-thread forwards
+// with a per-iteration Workspace, exactly like one served batch):
+//
+//   * head — the readout pipeline the compiler fully fuses (disentangler
+//     -> Bayesian head distribution -> MC predict), with the
+//     reparameterization noise pre-drawn (both modes consume the same
+//     Box-Muller stream; its cost is metered separately). Measured at TWO
+//     shapes: batch=1, the interactive what-if shape, where eager per-op
+//     launches and pool roundtrips dominate and fusion removes them — the
+//     gated latency ratio; and the serve batch, where the pipeline is
+//     GEMM/transcendental-bound (identical kernel work in both modes) —
+//     context, plus the allocs-per-predict gate.
+//   * model — the full forward (extractor included) at the serve batch,
+//     reported as end-to-end context and used for the parity gate.
+//
+// Both modes of a measurement run as ALTERNATING chunks so wall-clock
+// drift on a shared machine lands on both sides of the ratio.
+//
+// Gates (nonzero exit on failure):
+//   * batch=1 head speedup >= $DAGT_FUSION_MIN_SPEEDUP (default 1.3;
+//     verify.sh's smoke stage gates at 1.2),
+//   * fused serve-head allocs per predict (buffer-pool acquisitions per
+//     predicted endpoint) <= $DAGT_FUSION_MAX_ALLOCS (default 3) — fusion
+//     collapses elementwise chains and GEMM epilogues into composites, so
+//     a fused forward touches each activation once instead of
+//     materializing every intermediate,
+//   * parity — predictions under DAGT_FUSION=0/1 must be bitwise
+//     identical at the scalar tier (pinned with kernels::forceTier); they
+//     are also compared at the detected tier.
+//
+// Knobs: DAGT_FUSION_SCALE (design-size multiplier, default 0.2),
+// DAGT_FUSION_BATCH (serve endpoints per forward, default 64),
+// DAGT_FUSION_ITERS (timed iterations per mode, default 40).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+#include "core/bayesian_head.hpp"
+#include "core/dataset.hpp"
+#include "core/disentangler.hpp"
+#include "core/models.hpp"
+#include "features/design_data.hpp"
+#include "harness.hpp"
+#include "tensor/expr.hpp"
+#include "tensor/kernels/kernels.hpp"
+#include "tensor/storage.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dagt {
+namespace {
+
+double envOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+double microsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One full-model inference forward, deterministic across calls (fresh Rng
+/// per call: the MC draws are part of the prediction, so both modes must
+/// consume the identical stream for the parity check to be meaningful).
+std::vector<float> runForward(const core::OursModel& model,
+                              const core::DesignBatch& batch,
+                              std::int32_t mcSamples) {
+  tensor::NoGradGuard guard;
+  tensor::Workspace workspace;
+  Rng rng(0xf05edULL);
+  const auto out = model.forward(batch, mcSamples, rng);
+  return std::vector<float>(out.prediction.data(),
+                            out.prediction.data() + out.prediction.numel());
+}
+
+/// One steady-state head forward: the exact post-extractor pipeline of
+/// OursModel::forward (disentangle -> joint -> distribution -> MC
+/// predict), on a fixed feature batch u. The reparameterization noise is
+/// pre-drawn by the caller: the draw is a Box-Muller stream identical in
+/// both modes (fusion never touches it), so timing it inside the loop
+/// would only dilute the measured fusion ratio with a large common
+/// constant. Its cost is reported separately as eps_draw_us_per_forward.
+std::vector<float> runHead(const core::Disentangler& disentangler,
+                           const core::BayesianHead& head,
+                           const tensor::Tensor& u,
+                           const std::vector<tensor::Tensor>& eps) {
+  tensor::NoGradGuard guard;
+  tensor::Workspace workspace;
+  const auto split = disentangler.forward(u);
+  const tensor::Tensor joint =
+      tensor::concat1({split.nodeDependent, split.designDependent});
+  const auto q = head.distribution(joint);
+  const auto prediction = head.predict(joint, q, eps);
+  return std::vector<float>(
+      prediction.mean.data(),
+      prediction.mean.data() + prediction.mean.numel());
+}
+
+struct ModeResult {
+  double usPerForward = 0.0;
+  double heapAllocsPerForward = 0.0;
+  double acquisitionsPerForward = 0.0;
+  std::vector<float> prediction;
+};
+
+/// Time one mode for `iters` forwards and meter the pool. Assumes the mode
+/// is already warm (programs compiled, pool filled).
+template <typename Body>
+void timeChunk(bool fused, int iters, ModeResult& result, Body&& body) {
+  tensor::expr::setFusionEnabled(fused);
+  const tensor::PoolStats before = tensor::BufferPool::global().stats();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) (void)body();
+  result.usPerForward += microsSince(start);
+  const tensor::PoolStats after = tensor::BufferPool::global().stats();
+  result.heapAllocsPerForward =
+      result.heapAllocsPerForward +
+      static_cast<double>(after.heapAllocs - before.heapAllocs);
+  result.acquisitionsPerForward =
+      result.acquisitionsPerForward +
+      static_cast<double>(after.acquisitions() - before.acquisitions());
+}
+
+/// Measure both modes by ALTERNATING small chunks rather than timing one
+/// mode to completion before the other: wall-clock drift on a shared
+/// machine (frequency scaling, neighbors) then lands on both modes about
+/// equally instead of silently skewing the ratio. Warmup per mode first
+/// compiles the fused programs and fills the buffer pool, so the timed
+/// region is the steady state serve sees; per-mode predictions are kept
+/// for the parity gates.
+template <typename Body>
+std::pair<ModeResult, ModeResult> runInterleaved(int iters, Body&& body) {
+  ModeResult unfused;
+  ModeResult fused;
+  tensor::expr::setFusionEnabled(false);
+  for (int i = 0; i < 5; ++i) unfused.prediction = body();
+  tensor::expr::setFusionEnabled(true);
+  for (int i = 0; i < 5; ++i) fused.prediction = body();
+  constexpr int kRounds = 8;
+  const int chunk = std::max(1, iters / kRounds);
+  int total = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    timeChunk(false, chunk, unfused, body);
+    timeChunk(true, chunk, fused, body);
+    total += chunk;
+  }
+  for (ModeResult* r : {&unfused, &fused}) {
+    r->usPerForward /= total;
+    r->heapAllocsPerForward /= total;
+    r->acquisitionsPerForward /= total;
+  }
+  return {unfused, fused};
+}
+
+bool bitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int run() {
+  const float scale = static_cast<float>(envOr("DAGT_FUSION_SCALE", 0.2));
+  const int iters = static_cast<int>(envOr("DAGT_FUSION_ITERS", 40.0));
+  const double minSpeedup = envOr("DAGT_FUSION_MIN_SPEEDUP", 1.3);
+  const double maxAllocs = envOr("DAGT_FUSION_MAX_ALLOCS", 3.0);
+  const std::int32_t mcSamples = core::OursModel::kEvalMcSamples;
+  // DAGT_FUSION_TRACE=1 prints span aggregates of the fused run (where the
+  // forward spends its time). Off for gating runs.
+  const bool trace = envOr("DAGT_FUSION_TRACE", 0.0) != 0.0;
+
+  features::DataConfig dataConfig;
+  dataConfig.designScale = scale;
+  const features::DataPipeline pipeline(dataConfig);
+  const features::DesignData design = pipeline.build("smallboom");
+  const core::TimingDataset dataset({&design});
+
+  const std::int64_t batchSize = std::min<std::int64_t>(
+      static_cast<std::int64_t>(envOr("DAGT_FUSION_BATCH", 64.0)),
+      design.numEndpoints());
+  std::vector<std::int64_t> endpoints(static_cast<std::size_t>(batchSize));
+  std::iota(endpoints.begin(), endpoints.end(), std::int64_t{0});
+  const core::DesignBatch batch = dataset.batchFor(design, endpoints);
+
+  // Paper-default CPU-scale architecture: this is the configuration the
+  // trained bundles serve, so the speedup measured here is the serve one.
+  core::ModelConfig modelConfig;
+  Rng rng(0xbe7cfULL);
+  const core::OursModel model(pipeline.featureDim(), modelConfig,
+                              core::OursVariant::kFull, rng);
+
+  const tensor::kernels::Tier detected = tensor::kernels::activeTier();
+  std::fprintf(stderr,
+               "fusion bench: smallboom @ scale %.2f, batch %lld, %d MC "
+               "samples, tier %s, %d iters/mode\n",
+               scale, static_cast<long long>(batchSize), mcSamples,
+               tensor::kernels::tierName(detected), iters);
+
+  // The head pipeline under measurement, built exactly like OursModel's
+  // (same widths, same op sequence) on a fixed synthetic feature batch.
+  const std::int64_t featureDim = modelConfig.pathFeatureDim();
+  Rng headRng(0x6ead5ULL);
+  const core::Disentangler disentangler(featureDim, modelConfig.headHidden,
+                                        headRng);
+  const core::BayesianHead head(featureDim, modelConfig.headHidden, headRng);
+
+  // Head measurement at a given batch shape. The MC noise is pre-drawn
+  // once, shared by both modes (same tensors, so the head parity check
+  // stays exact), and its draw cost is metered on its own.
+  struct HeadMeasurement {
+    ModeResult unfused;
+    ModeResult fused;
+    double epsDrawUs = 0.0;
+  };
+  const auto measureHead = [&](std::int64_t b, int headIters) {
+    Rng shapeRng(0xfea7ULL);
+    const tensor::Tensor ub = tensor::Tensor::randn({b, featureDim}, shapeRng);
+    std::vector<tensor::Tensor> eps;
+    {
+      Rng epsRng(0xf05edULL);
+      for (std::int32_t k = 0; k < mcSamples; ++k) {
+        eps.push_back(tensor::Tensor::randn({b, featureDim}, epsRng));
+      }
+    }
+    HeadMeasurement out;
+    const auto epsStart = std::chrono::steady_clock::now();
+    for (int i = 0; i < headIters; ++i) {
+      Rng epsRng(0xf05edULL);
+      for (std::int32_t k = 0; k < mcSamples; ++k) {
+        (void)tensor::Tensor::randn({b, featureDim}, epsRng);
+      }
+    }
+    out.epsDrawUs = microsSince(epsStart) / headIters;
+    auto [un, fu] = runInterleaved(
+        headIters, [&] { return runHead(disentangler, head, ub, eps); });
+    out.unfused = std::move(un);
+    out.fused = std::move(fu);
+    return out;
+  };
+
+  tensor::expr::resetStats();
+  // The gated latency ratio is the single-endpoint (batch=1) head forward —
+  // the interactive what-if shape, where the eager path's per-op launches
+  // and pool roundtrips dominate and fusion removes them. At the serve
+  // batch the same pipeline is GEMM/transcendental-bound (identical kernel
+  // work in both modes), so its ratio is reported as context and the
+  // serve-side gate is the allocs-per-predict drop instead.
+  // The batch=1 forward is ~20us, so it gets 8x the iterations for the
+  // same wall-clock — chunks long enough for a stable gated ratio.
+  const HeadMeasurement interactive = measureHead(1, iters * 8);
+  const HeadMeasurement serveHead = measureHead(batchSize, iters);
+  const ModeResult& headUnfused = interactive.unfused;
+  const ModeResult& headFused = interactive.fused;
+  const auto [unfused, fusedRun] = runInterleaved(
+      iters, [&] { return runForward(model, batch, mcSamples); });
+  if (trace) {
+    obs::TraceRegistry::global().setEnabled(true);
+    tensor::expr::setFusionEnabled(true);
+    for (int i = 0; i < iters; ++i) {
+      (void)runForward(model, batch, mcSamples);
+    }
+  }
+  if (trace) {
+    for (const auto& s : obs::TraceRegistry::global().aggregate()) {
+      std::fprintf(stderr, "  span %-24s count %6llu  total %10.0fus  "
+                           "mean %8.1fus\n",
+                   s.name.c_str(), static_cast<unsigned long long>(s.count),
+                   s.totalUs(), s.meanUs());
+    }
+    obs::TraceRegistry::global().setEnabled(false);
+  }
+  const tensor::expr::FusionStats stats = tensor::expr::stats();
+
+  const bool parityActive =
+      bitwiseEqual(unfused.prediction, fusedRun.prediction) &&
+      bitwiseEqual(headUnfused.prediction, headFused.prediction) &&
+      bitwiseEqual(serveHead.unfused.prediction,
+                   serveHead.fused.prediction);
+
+  // Scalar-tier parity: pin the tier and rerun both modes once. The fused
+  // programs themselves are tier-independent (the replay dispatches through
+  // the active table), so the cached programs are reused as-is.
+  tensor::kernels::forceTier(tensor::kernels::Tier::kScalar);
+  tensor::expr::setFusionEnabled(false);
+  const std::vector<float> scalarUnfused = runForward(model, batch, mcSamples);
+  tensor::expr::setFusionEnabled(true);
+  const std::vector<float> scalarFused = runForward(model, batch, mcSamples);
+  tensor::kernels::resetTier();
+  const bool parityScalar = bitwiseEqual(scalarUnfused, scalarFused);
+
+  const double speedup = headFused.usPerForward > 0.0
+                             ? headUnfused.usPerForward / headFused.usPerForward
+                             : 0.0;
+  const double modelSpeedup =
+      fusedRun.usPerForward > 0.0
+          ? unfused.usPerForward / fusedRun.usPerForward
+          : 0.0;
+  const double serveHeadSpeedup =
+      serveHead.fused.usPerForward > 0.0
+          ? serveHead.unfused.usPerForward / serveHead.fused.usPerForward
+          : 0.0;
+  const double perPredict = static_cast<double>(batchSize);
+  const double fusedAllocsPerPredict =
+      serveHead.fused.acquisitionsPerForward / perPredict;
+  const double unfusedAllocsPerPredict =
+      serveHead.unfused.acquisitionsPerForward / perPredict;
+
+  JsonValue doc = JsonValue::object();
+  doc.set("design", "smallboom")
+      .set("scale", static_cast<double>(scale))
+      .set("batch", batchSize)
+      .set("mc_samples", static_cast<std::int64_t>(mcSamples))
+      .set("iters", static_cast<std::int64_t>(iters))
+      .set("tier", tensor::kernels::tierName(detected))
+      .set("unfused_head_us_per_forward", headUnfused.usPerForward)
+      .set("fused_head_us_per_forward", headFused.usPerForward)
+      .set("eps_draw_us_per_forward", interactive.epsDrawUs)
+      .set("speedup", speedup)
+      .set("unfused_serve_head_us_per_forward",
+           serveHead.unfused.usPerForward)
+      .set("fused_serve_head_us_per_forward", serveHead.fused.usPerForward)
+      .set("serve_eps_draw_us_per_forward", serveHead.epsDrawUs)
+      .set("serve_head_speedup", serveHeadSpeedup)
+      .set("unfused_model_us_per_forward", unfused.usPerForward)
+      .set("fused_model_us_per_forward", fusedRun.usPerForward)
+      .set("model_speedup", modelSpeedup)
+      .set("unfused_allocs_per_predict", unfusedAllocsPerPredict)
+      .set("fused_allocs_per_predict", fusedAllocsPerPredict)
+      .set("unfused_heap_allocs_per_forward", unfused.heapAllocsPerForward)
+      .set("fused_heap_allocs_per_forward", fusedRun.heapAllocsPerForward)
+      .set("parity_bitwise_scalar", parityScalar)
+      .set("parity_bitwise_active_tier", parityActive)
+      .set("programs_compiled",
+           static_cast<std::int64_t>(stats.programsCompiled))
+      .set("program_replays", static_cast<std::int64_t>(stats.programReplays))
+      .set("fused_ew_launches",
+           static_cast<std::int64_t>(stats.fusedEwLaunches))
+      .set("fused_gemm_launches",
+           static_cast<std::int64_t>(stats.fusedGemmLaunches))
+      .set("fused_dot_launches",
+           static_cast<std::int64_t>(stats.rowDotLaunches))
+      .set("min_speedup_gate", minSpeedup)
+      .set("max_allocs_gate", maxAllocs);
+  const auto path = bench::writeBenchJson("fusion", doc);
+  std::fprintf(stderr,
+               "wrote %s\nhead b=1 %.1fus -> %.1fus (%.2fx), head b=%lld "
+               "%.0fus -> %.0fus (%.2fx), model %.0fus -> %.0fus (%.2fx), "
+               "allocs/predict %.1f -> %.1f, parity scalar %s active %s\n",
+               path.c_str(), headUnfused.usPerForward, headFused.usPerForward,
+               speedup, static_cast<long long>(batchSize),
+               serveHead.unfused.usPerForward, serveHead.fused.usPerForward,
+               serveHeadSpeedup, unfused.usPerForward, fusedRun.usPerForward,
+               modelSpeedup, unfusedAllocsPerPredict, fusedAllocsPerPredict,
+               parityScalar ? "ok" : "BROKEN",
+               parityActive ? "ok" : "differs");
+
+  if (!parityScalar) {
+    std::fprintf(stderr, "FAIL: fused predictions are not bitwise identical "
+                         "to unfused at the scalar tier\n");
+    return 1;
+  }
+  if (speedup < minSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: fused head speedup %.2fx below the %.2fx gate\n",
+                 speedup, minSpeedup);
+    return 1;
+  }
+  if (fusedAllocsPerPredict > maxAllocs) {
+    std::fprintf(stderr,
+                 "FAIL: %.1f pooled allocs per predict above the %.1f gate\n",
+                 fusedAllocsPerPredict, maxAllocs);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dagt
+
+int main() { return dagt::run(); }

@@ -39,6 +39,14 @@ class BayesianHead : public nn::Module {
   Prediction predict(const tensor::Tensor& u, const WeightDistribution& q,
                      std::int32_t numSamples, Rng& rng) const;
 
+  /// Same readout with the reparameterization noise supplied by the caller
+  /// (one [B, m] tensor per sample). The rng overload draws eps in this
+  /// exact order and delegates here, so pre-drawing is bitwise-neutral;
+  /// callers that amortize or reuse draws (benchmarks, what-if sweeps) can
+  /// time the forward proper without the Box-Muller cost in the loop.
+  Prediction predict(const tensor::Tensor& u, const WeightDistribution& q,
+                     const std::vector<tensor::Tensor>& eps) const;
+
   std::int64_t featureDim() const { return featureDim_; }
 
  private:
@@ -46,6 +54,8 @@ class BayesianHead : public nn::Module {
   nn::Mlp muNet_;
   nn::Mlp logvarNet_;
   tensor::Tensor bias_;  // deterministic scalar output bias
+  mutable tensor::expr::ProgramCache distPrograms_;
+  mutable tensor::expr::ProgramCache predictPrograms_;
 };
 
 }  // namespace dagt::core

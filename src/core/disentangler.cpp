@@ -17,6 +17,23 @@ Disentangler::Disentangler(std::int64_t featureDim, std::int64_t hidden,
 }
 
 Disentangler::Split Disentangler::forward(const tensor::Tensor& u) const {
+  // Steady-state inference compiles both heads into one two-output program:
+  // four fused GEMM launches (two per MLP, each with its bias/activation
+  // folded into the epilogue) and no intermediate graph bookkeeping.
+  if (tensor::expr::shouldFuse()) {
+    tensor::expr::SigHash sig;
+    sig.mixShape(u.shape());
+    mixStateInto(sig);
+    auto program = programs_.getOrCompile(sig.h, [&] {
+      tensor::expr::Capture cap;
+      const tensor::Tensor lu = cap.input(u);
+      const tensor::Tensor node = nodeMlp_.forward(lu);
+      const tensor::Tensor design = designMlp_.forward(lu);
+      return cap.compile({&node, &design});
+    });
+    auto out = program->run({u});
+    return {out[0], out[1]};
+  }
   return {nodeMlp_.forward(u), designMlp_.forward(u)};
 }
 

@@ -29,6 +29,7 @@ class Disentangler : public nn::Module {
   std::int64_t halfDim_;
   nn::Mlp nodeMlp_;
   nn::Mlp designMlp_;
+  mutable tensor::expr::ProgramCache programs_;
 };
 
 }  // namespace dagt::core

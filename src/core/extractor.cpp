@@ -1,6 +1,7 @@
 #include "core/extractor.hpp"
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace dagt::core {
@@ -22,17 +23,23 @@ Tensor PathFeatureExtractor::extract(const DesignBatch& batch) const {
   const auto& design = *batch.design;
 
   // GNN over the whole design once; endpoint rows for the batch.
-  const auto gnnOut = gnn_.forward(*design.graph, design.pinFeatures);
-  std::vector<netlist::PinId> endpointPins;
-  endpointPins.reserve(batch.endpointIdx.size());
-  for (const std::int64_t e : batch.endpointIdx) {
-    endpointPins.push_back(
-        design.paths()[static_cast<std::size_t>(e)].endpoint);
-  }
-  const Tensor graphEmb = TimingGnn::select(gnnOut, endpointPins);
+  const Tensor graphEmb = [&] {
+    DAGT_TRACE_SCOPE("model/gnn");
+    const auto gnnOut = gnn_.forward(*design.graph, design.pinFeatures);
+    std::vector<netlist::PinId> endpointPins;
+    endpointPins.reserve(batch.endpointIdx.size());
+    for (const std::int64_t e : batch.endpointIdx) {
+      endpointPins.push_back(
+          design.paths()[static_cast<std::size_t>(e)].endpoint);
+    }
+    return TimingGnn::select(gnnOut, endpointPins);
+  }();
 
   // CNN over the batch of path-masked layout images.
-  const Tensor layoutEmb = cnn_.forward(batch.images);
+  const Tensor layoutEmb = [&] {
+    DAGT_TRACE_SCOPE("model/cnn");
+    return cnn_.forward(batch.images);
+  }();
 
   return tensor::concat1({graphEmb, layoutEmb});
 }

@@ -21,15 +21,34 @@ PathCnn::PathCnn(std::int64_t baseChannels, std::int64_t outDim, Rng& rng)
   registerChild(project_);
 }
 
+Tensor PathCnn::body(const Tensor& images) const {
+  Tensor h = conv1_.forward(images);
+  h = conv2_.forward(h);
+  h = conv3_.forward(h);
+  return project_.forward(tensor::globalAvgPool(h));
+}
+
 Tensor PathCnn::forward(const Tensor& images) const {
   DAGT_CHECK(images.ndim() == 4);
   DAGT_CHECK_MSG(images.dim(1) == 3, "expected 3 layout channels");
   DAGT_CHECK_MSG(images.dim(2) >= 8 && images.dim(3) >= 8,
                  "image too small for three stride-2 stages");
-  Tensor h = conv1_.forward(images);
-  h = conv2_.forward(h);
-  h = conv3_.forward(h);
-  return project_.forward(tensor::globalAvgPool(h));
+  // The conv stages replay eagerly inside the program (no fused lowering
+  // for conv yet); the payoff is the projection's fused GEMM epilogue and
+  // compile-once shape checking for the whole stack.
+  if (tensor::expr::shouldFuse()) {
+    tensor::expr::SigHash sig;
+    sig.mixShape(images.shape());
+    mixStateInto(sig);
+    auto program = programs_.getOrCompile(sig.h, [&] {
+      tensor::expr::Capture cap;
+      const Tensor li = cap.input(images);
+      const Tensor y = body(li);
+      return cap.compile({&y});
+    });
+    return program->runOne({images});
+  }
+  return body(images);
 }
 
 }  // namespace dagt::core

@@ -18,11 +18,14 @@ class PathCnn : public nn::Module {
   std::int64_t outDim() const { return outDim_; }
 
  private:
+  tensor::Tensor body(const tensor::Tensor& images) const;
+
   std::int64_t outDim_;
   nn::Conv2d conv1_;
   nn::Conv2d conv2_;
   nn::Conv2d conv3_;
   nn::Linear project_;
+  mutable tensor::expr::ProgramCache programs_;
 };
 
 }  // namespace dagt::core

@@ -63,13 +63,47 @@ TimingGnn::Output TimingGnn::forward(const features::PinGraph& graph,
           tensor::segmentSum(sources, edges.dstLocal, n),
           Tensor::fromVector({n}, std::move(invCount)));
       const Tensor aggMax = tensor::segmentMax(sources, edges.dstLocal, n);
+      // Fused combine: both projections lower to GEMMs whose epilogues fold
+      // the bias and the running residual, so the whole sublayer is two
+      // kernel launches and h is written exactly once per projection.
+      if (tensor::expr::shouldFuse()) {
+        tensor::expr::SigHash sig;
+        sig.mixShape(h.shape());
+        meanProj.mixStateInto(sig);
+        maxProj.mixStateInto(sig);
+        auto program = combinePrograms_.getOrCompile(sig.h, [&] {
+          tensor::expr::Capture cap;
+          const Tensor lh = cap.input(h);
+          const Tensor lMean = cap.input(aggMean);
+          const Tensor lMax = cap.input(aggMax);
+          const Tensor y =
+              tensor::add(tensor::add(lh, meanProj.forward(lMean)),
+                          maxProj.forward(lMax));
+          return cap.compile({&y});
+        });
+        h = program->runOne({h, aggMean, aggMax});
+        return;
+      }
       h = tensor::add(h, meanProj.forward(aggMean));
       h = tensor::add(h, maxProj.forward(aggMax));
     };
     addAggregates(graph.netEdgesInto(level), netSum_, netMax_);
     addAggregates(graph.cellEdgesInto(level), cellSum_, cellMax_);
 
-    out.levelEmbeddings.push_back(tensor::relu(norm_.forward(h)));
+    if (tensor::expr::shouldFuse()) {
+      tensor::expr::SigHash sig;
+      sig.mixShape(h.shape());
+      norm_.mixStateInto(sig);
+      auto program = normPrograms_.getOrCompile(sig.h, [&] {
+        tensor::expr::Capture cap;
+        const Tensor lh = cap.input(h);
+        const Tensor y = tensor::relu(norm_.forward(lh));
+        return cap.compile({&y});
+      });
+      out.levelEmbeddings.push_back(program->runOne({h}));
+    } else {
+      out.levelEmbeddings.push_back(tensor::relu(norm_.forward(h)));
+    }
   }
   return out;
 }

@@ -52,6 +52,11 @@ class TimingGnn : public nn::Module {
   nn::Linear cellSum_;
   nn::Linear cellMax_;
   nn::LayerNorm norm_;
+  // Combine sublayer (h + meanProj(aggMean) + maxProj(aggMax)) and the
+  // relu(norm(h)) tail, compiled per level width; the projections' weight
+  // pointers in the signature keep net and cell entries distinct.
+  mutable tensor::expr::ProgramCache combinePrograms_;
+  mutable tensor::expr::ProgramCache normPrograms_;
 };
 
 }  // namespace dagt::core

@@ -32,12 +32,30 @@ Linear::Linear(std::int64_t inFeatures, std::int64_t outFeatures, Rng& rng,
   bias_ = registerParameter(Tensor::zeros({outFeatures}));
 }
 
+Tensor Linear::body(const Tensor& x) const {
+  return activate(tensor::addBias(tensor::matmul(x, weight_), bias_),
+                  activation_);
+}
+
 Tensor Linear::forward(const Tensor& x) const {
   DAGT_CHECK_MSG(x.ndim() == 2 && x.dim(1) == inFeatures_,
                  "Linear: input [" << x.dim(0) << "," << x.dim(1)
                                    << "] expected cols " << inFeatures_);
-  return activate(tensor::addBias(tensor::matmul(x, weight_), bias_),
-                  activation_);
+  // Steady-state inference replays a compiled program: one fused
+  // GEMM-with-epilogue launch instead of matmul + addBias + activation.
+  if (tensor::expr::shouldFuse()) {
+    tensor::expr::SigHash sig;
+    sig.mixShape(x.shape());
+    mixStateInto(sig);
+    auto program = programs_.getOrCompile(sig.h, [&] {
+      tensor::expr::Capture cap;
+      const Tensor lx = cap.input(x);
+      const Tensor y = body(lx);
+      return cap.compile({&y});
+    });
+    return program->runOne({x});
+  }
+  return body(x);
 }
 
 Mlp::Mlp(const std::vector<std::int64_t>& dims, Rng& rng,
@@ -68,6 +86,22 @@ LayerNorm::LayerNorm(std::int64_t dim, float epsilon)
 Tensor LayerNorm::forward(const Tensor& x) const {
   DAGT_CHECK_MSG(x.ndim() == 2 && x.dim(1) == dim_,
                  "LayerNorm: bad input shape");
+  if (tensor::expr::shouldFuse()) {
+    tensor::expr::SigHash sig;
+    sig.mixShape(x.shape());
+    mixStateInto(sig);
+    auto program = programs_.getOrCompile(sig.h, [&] {
+      tensor::expr::Capture cap;
+      const Tensor lx = cap.input(x);
+      const Tensor y = body(lx);
+      return cap.compile({&y});
+    });
+    return program->runOne({x});
+  }
+  return body(x);
+}
+
+Tensor LayerNorm::body(const Tensor& x) const {
   const Tensor mean = tensor::meanDim1(x);
   const Tensor centered = tensor::addColVec(x, tensor::neg(mean));
   const Tensor var = tensor::meanDim1(tensor::square(centered));

@@ -28,11 +28,16 @@ class Linear : public Module {
   std::int64_t outFeatures() const { return outFeatures_; }
 
  private:
+  tensor::Tensor body(const tensor::Tensor& x) const;
+
   std::int64_t inFeatures_;
   std::int64_t outFeatures_;
   Activation activation_;
   tensor::Tensor weight_;  // [in, out]
   tensor::Tensor bias_;    // [out]
+  // Compiled steady-state forwards, keyed by input shape + parameter
+  // storage (see Module::mixStateInto).
+  mutable tensor::expr::ProgramCache programs_;
 };
 
 /// Multi-layer perceptron with a uniform hidden activation and a separate
@@ -60,10 +65,13 @@ class LayerNorm : public Module {
   tensor::Tensor forward(const tensor::Tensor& x) const;
 
  private:
+  tensor::Tensor body(const tensor::Tensor& x) const;
+
   std::int64_t dim_;
   float epsilon_;
   tensor::Tensor gain_;  // [D], init 1
   tensor::Tensor bias_;  // [D], init 0
+  mutable tensor::expr::ProgramCache programs_;
 };
 
 /// 2-D convolution layer (NCHW) with optional activation.

@@ -117,6 +117,10 @@ void Module::loadParameters(const std::string& path) {
   }
 }
 
+void Module::mixStateInto(tensor::expr::SigHash& sig) const {
+  for (const auto& t : stateTensors()) sig.mixTensor(t);
+}
+
 tensor::Tensor Module::registerParameter(tensor::Tensor parameter) {
   DAGT_CHECK(parameter.defined());
   parameter.setRequiresGrad(true);

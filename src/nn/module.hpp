@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/expr.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dagt::nn {
@@ -43,6 +44,12 @@ class Module {
   void saveParameters(const std::string& path) const;
   /// Load values saved by saveParameters; shapes must match exactly.
   void loadParameters(const std::string& path);
+
+  /// Mix every state tensor of the subtree (shape + data pointer) into a
+  /// program-cache signature. Rebinding parameter storage (aliasDataFrom)
+  /// changes the pointers, so a stale compiled program can never replay
+  /// against swapped-out weights.
+  void mixStateInto(tensor::expr::SigHash& sig) const;
 
  protected:
   /// Register an owned parameter; returns the same tensor for convenience.

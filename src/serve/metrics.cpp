@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/table.hpp"
+#include "tensor/expr.hpp"
 #include "tensor/kernels/kernels.hpp"
 
 namespace dagt::serve {
@@ -63,6 +64,14 @@ std::string MetricsSnapshot::renderTable() const {
     }
     table.addRow({"sta cone-size histogram", hist.empty() ? "-" : hist});
   }
+  table.addRow({"fusion programs compiled",
+                std::to_string(fusionProgramsCompiled)});
+  table.addRow({"fusion cache hits", std::to_string(fusionCacheHits)});
+  table.addRow({"fusion cache misses", std::to_string(fusionCacheMisses)});
+  table.addRow({"fusion replays", std::to_string(fusionReplays)});
+  table.addRow({"fused ew launches", std::to_string(fusedEwLaunches)});
+  table.addRow({"fused gemm launches", std::to_string(fusedGemmLaunches)});
+  table.addRow({"fused dot launches", std::to_string(fusedDotLaunches)});
   table.addRow({"pool heap allocs", std::to_string(pool.heapAllocs)});
   table.addRow({"pool reuses",
                 std::to_string(pool.poolReuses + pool.workspaceReuses)});
@@ -93,6 +102,13 @@ JsonValue MetricsSnapshot::toJson() const {
       .set("latency_p95_us", p95Us)
       .set("latency_p99_us", p99Us)
       .set("latency_max_us", maxUs)
+      .set("fusion_programs_compiled", fusionProgramsCompiled)
+      .set("fusion_cache_hits", fusionCacheHits)
+      .set("fusion_cache_misses", fusionCacheMisses)
+      .set("fusion_replays", fusionReplays)
+      .set("fused_ew_launches", fusedEwLaunches)
+      .set("fused_gemm_launches", fusedGemmLaunches)
+      .set("fused_dot_launches", fusedDotLaunches)
       .set("pool_heap_allocs", pool.heapAllocs)
       .set("pool_reuses", pool.poolReuses + pool.workspaceReuses)
       .set("pool_hit_rate", pool.hitRate())
@@ -154,6 +170,15 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
                                        const tensor::PoolStats& pool) const {
   MetricsSnapshot snap;
   snap.pool = pool;
+  // Fusion counters are process-wide, like the pool counters.
+  const tensor::expr::FusionStats fusion = tensor::expr::stats();
+  snap.fusionProgramsCompiled = fusion.programsCompiled;
+  snap.fusionCacheHits = fusion.cacheHits;
+  snap.fusionCacheMisses = fusion.cacheMisses;
+  snap.fusionReplays = fusion.programReplays;
+  snap.fusedEwLaunches = fusion.fusedEwLaunches;
+  snap.fusedGemmLaunches = fusion.fusedGemmLaunches;
+  snap.fusedDotLaunches = fusion.rowDotLaunches;
   // One load per counter: each is monotone, so the snapshot is a
   // point-in-time lower bound per metric (no torn or decreasing values).
   // The requests load is acquire (paired with recordRequests' release RMW

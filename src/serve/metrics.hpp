@@ -44,6 +44,16 @@ struct MetricsSnapshot {
   /// Dirty-cone size histogram: bucket b counts incremental STA updates
   /// that visited at most 2^(b+1) pins (and more than 2^b for b > 0).
   std::vector<std::uint64_t> staConeHist;
+  /// Expression-fusion counters (process-wide, from tensor::expr::stats()):
+  /// compiled-program cache behavior and fused-kernel launch mix of the
+  /// serving forward. All zero when DAGT_FUSION=0.
+  std::uint64_t fusionProgramsCompiled = 0;
+  std::uint64_t fusionCacheHits = 0;
+  std::uint64_t fusionCacheMisses = 0;
+  std::uint64_t fusionReplays = 0;
+  std::uint64_t fusedEwLaunches = 0;
+  std::uint64_t fusedGemmLaunches = 0;
+  std::uint64_t fusedDotLaunches = 0;
   /// Tensor buffer-pool counters (process-wide): how much of the serving
   /// hot path is running allocation-free. See tensor::PoolStats.
   tensor::PoolStats pool;

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "netlist/io.hpp"
 #include "obs/trace.hpp"
+#include "tensor/expr.hpp"
 #include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 
@@ -127,8 +128,11 @@ std::int64_t PredictionEngine::loadDesign(const std::string& key,
   // thread-safe); the NodeEntry pointer is stable across map inserts.
   ref.design = ref.node->features->fromFiles(key, netlistPath, libraryPath,
                                              placementPath);
-  std::lock_guard<std::mutex> lock(designsMutex_);
-  designs_[key] = ref;
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    designs_[key] = ref;
+  }
+  warmFusionPrograms(ref);
   return ref.design->numEndpoints();
 }
 
@@ -146,9 +150,29 @@ std::int64_t PredictionEngine::loadDesign(
   ref.design = ref.node->features->fromNetlist(key, revision,
                                                std::move(netlist), node,
                                                placement);
-  std::lock_guard<std::mutex> lock(designsMutex_);
-  designs_[key] = ref;
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    designs_[key] = ref;
+  }
+  warmFusionPrograms(ref);
   return ref.design->numEndpoints();
+}
+
+void PredictionEngine::warmFusionPrograms(const DesignRef& ref) {
+  if (!config_.warmFusion || !tensor::expr::fusionEnabled()) return;
+  if (ref.design->numEndpoints() <= 0) return;
+  DAGT_TRACE_SCOPE("serve/warm_fusion");
+  tensor::NoGradGuard guard;
+  tensor::Workspace workspace;
+  const core::DesignBatch batch =
+      ref.design->dataset->batchFor(ref.design->data, {0});
+  core::TimingModel& model = ref.node->bundle.model();
+  if (auto* dac23 = dynamic_cast<core::Dac23Model*>(&model)) {
+    (void)dac23->forwardBatch(batch);
+  } else if (auto* ours = dynamic_cast<core::OursModel*>(&model)) {
+    Rng rng(batchSeed(ref.design->data.name, {0}));
+    (void)ours->forward(batch, config_.mcSamples, rng);
+  }
 }
 
 FeatureService::ConeUpdateResult PredictionEngine::applyConeUpdate(

@@ -36,6 +36,10 @@ struct EngineConfig {
   bool batching = true;
   /// Monte-Carlo samples for Bayesian-head bundles on the batched path.
   std::int32_t mcSamples = 8;
+  /// Precompile the design's fused forward programs at loadDesign time
+  /// (one single-endpoint warm forward), so the first real query replays
+  /// cached programs instead of paying the expr/compile cost inline.
+  bool warmFusion = true;
 };
 
 /// Long-lived, queryable inference service over trained model bundles.
@@ -131,6 +135,10 @@ class PredictionEngine {
   };
 
   DesignRef designRef(const std::string& key) const;
+  /// One single-endpoint warm forward so the design's fused programs are
+  /// compiled (and cached) before real traffic arrives. No-op when
+  /// warmFusion is off or fusion is disabled.
+  void warmFusionPrograms(const DesignRef& ref);
   /// Run one forward over the union of the groups' endpoints and fulfill
   /// their promises. noexcept-ish: failures land in the promises.
   void serveBatch(std::vector<RequestGroup> groups);

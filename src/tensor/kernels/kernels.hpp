@@ -44,6 +44,76 @@ enum class Tier : int {
 
 inline constexpr int kTierCount = 3;
 
+// -- Fused elementwise programs ----------------------------------------------
+//
+// A fused elementwise chain is a short interpreted program: the first operand
+// seeds an accumulator block, then each EwStep transforms it in place,
+// optionally combining with another operand. Every step performs exactly the
+// same per-element roundings as the eager op it replaces, so a fused chain is
+// bitwise identical to the unfused op sequence in EVERY tier (the avx2
+// implementation vectorizes only operations whose vector forms are IEEE-exact
+// matches of the scalar code and falls back to the identical scalar
+// expressions for transcendentals).
+
+/// Elementwise step opcodes. The R-variants swap operand order so a chain
+/// value can sit on the right of a non-commutative op.
+enum class EwOp : std::int32_t {
+  kAddV = 0,   ///< acc = acc + operand
+  kSubV,       ///< acc = acc - operand
+  kRsubV,      ///< acc = operand - acc
+  kMulV,       ///< acc = acc * operand
+  kDivV,       ///< acc = acc / operand
+  kRdivV,      ///< acc = operand / acc
+  kAddS,       ///< acc = acc + scalar
+  kMulS,       ///< acc = acc * scalar
+  kRelu,       ///< acc = acc > 0 ? acc : 0
+  kLeakyRelu,  ///< acc = acc > 0 ? acc : scalar * acc
+  kTanh,       ///< acc = tanh(acc)
+  kSigmoid,    ///< acc = 1 / (1 + exp(-acc))
+  kExp,        ///< acc = exp(acc)
+  kLog,        ///< acc = log(max(acc, scalar))
+  kSqrt,       ///< acc = sqrt(max(acc, scalar))
+  kSquare,     ///< acc = acc * acc
+  kSoftplus,   ///< acc = max(acc,0) + log1p(exp(-|acc|))
+  kPowInt,     ///< acc = acc^ipow (repeated multiply, ipow >= 1)
+};
+
+/// One step of a fused elementwise program.
+struct EwStep {
+  EwOp op;
+  /// Index into the operand array for the binary *V ops; -1 otherwise.
+  std::int32_t operand = -1;
+  /// Immediate for kAddS/kMulS, slope for kLeakyRelu, eps for kLog/kSqrt.
+  float scalar = 0.0f;
+  /// Exponent for kPowInt.
+  std::int32_t ipow = 0;
+};
+
+/// Operand broadcast kinds for fusedEwRows.
+enum class EwOperandKind : std::uint8_t {
+  kFull = 0,    ///< [rows, cols] matrix, row-major
+  kRowVec = 1,  ///< [cols] vector broadcast down the rows
+  kColVec = 2,  ///< [rows] vector splat across each row
+};
+
+/// Hard cap on operands per fused program (compiler never exceeds it).
+inline constexpr int kEwMaxOperands = 8;
+
+/// GEMM epilogue parameter block: applied per C row after accumulation, in
+/// the fixed order bias -> activation -> residual (matching the eager op
+/// order addBias / activate / add). All epilogue arithmetic is plain scalar
+/// float math in every tier, so the epilogue itself never changes a bit
+/// across tiers.
+struct GemmEpilogue {
+  /// [m] bias row added to each C row, or nullptr.
+  const float* bias = nullptr;
+  /// [rows, m] residual added element-wise after activation, or nullptr.
+  const float* residual = nullptr;
+  /// 0 none, 1 relu, 2 tanh, 3 sigmoid, 4 leaky relu (uses slope).
+  std::int32_t activation = 0;
+  float slope = 0.0f;
+};
+
 /// One table of function pointers per tier. All pointers are always
 /// non-null; unsupported tiers simply never become active.
 struct KernelTable {
@@ -86,6 +156,47 @@ struct KernelTable {
   // -- Lane-blocked reductions (bitwise identical in every tier) ------------
   double (*sumVec)(const float* x, std::size_t n);
   double (*dotVec)(const float* x, const float* y, std::size_t n);
+
+  // -- Fused composites (expression-compiler lowering targets) --------------
+  /// Run a fused elementwise program over a [rows, cols] block. operands[i]
+  /// is interpreted per kinds[i] (EwOperandKind); operands[0] seeds the
+  /// accumulator. Bitwise identical to the unfused op chain in every tier.
+  void (*fusedEwRows)(const float* const* operands,
+                      const std::uint8_t* kinds, int numOperands,
+                      const EwStep* steps, int numSteps, float* out,
+                      std::int64_t rows, std::int64_t cols);
+  /// gemmRows (optionally from a prepacked B panel, see gemmPackB) followed
+  /// by the epilogue block applied to the produced rows. The GEMM part obeys
+  /// the GEMM rounding contract of the tier; the epilogue is scalar float
+  /// math, bitwise identical across tiers.
+  void (*fusedGemmEpilogueRows)(const float* a, const float* b,
+                                const float* packedB, float* c,
+                                std::int64_t rowBegin, std::int64_t rowEnd,
+                                std::int64_t k, std::int64_t m,
+                                const GemmEpilogue* epilogue);
+
+  // -- Shared packed-B panel (pack once, use from every worker) -------------
+  /// Floats needed for a packed B panel, or 0 when the tier does not use
+  /// packing for this shape (callers must then pass packedB = nullptr).
+  std::int64_t (*gemmPackBSize)(std::int64_t k, std::int64_t m);
+  /// Pack B [k, m] into the tier's panel layout (packed has gemmPackBSize
+  /// floats). Only called when gemmPackBSize returned > 0.
+  void (*gemmPackB)(const float* b, std::int64_t k, std::int64_t m,
+                    float* packed);
+  /// gemmRows reading B through a prepacked panel (nullptr packedB falls
+  /// back to packing internally / plain B). Same rounding as gemmRows.
+  void (*gemmRowsPacked)(const float* a, const float* b, const float* packedB,
+                         float* c, std::int64_t rowBegin, std::int64_t rowEnd,
+                         std::int64_t k, std::int64_t m);
+
+  // -- Segment / gather (GNN extractor hot loops) ---------------------------
+  /// out[segment[r], :] += src[r, :] for r = 0..rows-1 in row order (the
+  /// accumulation order is part of the contract: bitwise in every tier).
+  void (*segmentSumRows)(const float* src, const std::int64_t* segment,
+                         std::int64_t rows, std::int64_t cols, float* out);
+  /// out[r, :] = srcRows[r][0:cols] — gather pre-resolved row pointers.
+  void (*gatherRowsPtrs)(const float* const* srcRows, std::int64_t rows,
+                         std::int64_t cols, float* out);
 };
 
 /// Canonical lower-case tier name ("scalar", "avx2", "avx2fma") — the

@@ -25,20 +25,36 @@ thread_local std::vector<float> tlPanel;
 // A(i, p) = a[i * aRowStride + p * aColStride]: covers both the row-major
 // operand of matmul (aRowStride = k, aColStride = 1) and the transposed
 // operand of the weight-gradient GEMM (aRowStride = 1, aColStride = n).
+//
+// When `prepacked` is non-null it points at a full shared B panel (layout of
+// gemmPackB: column block jb starts at (jb/16) * k * 16) packed ONCE by the
+// caller; otherwise each 16-column block is packed into thread-local scratch
+// on the fly. The packed values are bit-copies of B either way, so sharing
+// the panel cannot change a result bit.
 void gemmBlocked(const float* a, std::int64_t aRowStride,
-                 std::int64_t aColStride, const float* b, float* c,
-                 std::int64_t rowBegin, std::int64_t rowEnd, std::int64_t k,
-                 std::int64_t m) {
+                 std::int64_t aColStride, const float* b,
+                 const float* prepacked, float* c, std::int64_t rowBegin,
+                 std::int64_t rowEnd, std::int64_t k, std::int64_t m) {
   if (rowEnd <= rowBegin || k <= 0 || m <= 0) return;
   const std::int64_t colBlocks = m / 16;
   if (colBlocks > 0) {
-    std::vector<float>& panel = tlPanel;
-    panel.resize(static_cast<std::size_t>(k) * 16);
-    float* pk = panel.data();
+    float* scratch = nullptr;
+    if (prepacked == nullptr) {
+      std::vector<float>& panel = tlPanel;
+      panel.resize(static_cast<std::size_t>(k) * 16);
+      scratch = panel.data();
+    }
     for (std::int64_t jb = 0; jb < colBlocks * 16; jb += 16) {
-      for (std::int64_t p = 0; p < k; ++p) {
-        _mm256_storeu_ps(pk + p * 16, _mm256_loadu_ps(b + p * m + jb));
-        _mm256_storeu_ps(pk + p * 16 + 8, _mm256_loadu_ps(b + p * m + jb + 8));
+      const float* pk;
+      if (prepacked != nullptr) {
+        pk = prepacked + (jb / 16) * k * 16;
+      } else {
+        for (std::int64_t p = 0; p < k; ++p) {
+          _mm256_storeu_ps(scratch + p * 16, _mm256_loadu_ps(b + p * m + jb));
+          _mm256_storeu_ps(scratch + p * 16 + 8,
+                           _mm256_loadu_ps(b + p * m + jb + 8));
+        }
+        pk = scratch;
       }
       std::int64_t i = rowBegin;
       for (; i + 4 <= rowEnd; i += 4) {
@@ -115,13 +131,44 @@ void gemmBlocked(const float* a, std::int64_t aRowStride,
 
 void gemmRows(const float* a, const float* b, float* c, std::int64_t rowBegin,
               std::int64_t rowEnd, std::int64_t k, std::int64_t m) {
-  gemmBlocked(a, k, 1, b, c, rowBegin, rowEnd, k, m);
+  gemmBlocked(a, k, 1, b, nullptr, c, rowBegin, rowEnd, k, m);
 }
 
 void gemmTransARows(const float* a, const float* b, float* c,
                     std::int64_t rowBegin, std::int64_t rowEnd,
                     std::int64_t k, std::int64_t n, std::int64_t m) {
-  gemmBlocked(a, 1, n, b, c, rowBegin, rowEnd, k, m);
+  gemmBlocked(a, 1, n, b, nullptr, c, rowBegin, rowEnd, k, m);
+}
+
+std::int64_t gemmPackBSize(std::int64_t k, std::int64_t m) {
+  const std::int64_t colBlocks = m / 16;
+  return colBlocks > 0 ? colBlocks * k * 16 : 0;
+}
+
+void gemmPackB(const float* b, std::int64_t k, std::int64_t m, float* packed) {
+  const std::int64_t colBlocks = m / 16;
+  for (std::int64_t jb = 0; jb < colBlocks * 16; jb += 16) {
+    float* pk = packed + (jb / 16) * k * 16;
+    for (std::int64_t p = 0; p < k; ++p) {
+      _mm256_storeu_ps(pk + p * 16, _mm256_loadu_ps(b + p * m + jb));
+      _mm256_storeu_ps(pk + p * 16 + 8, _mm256_loadu_ps(b + p * m + jb + 8));
+    }
+  }
+}
+
+void gemmRowsPacked(const float* a, const float* b, const float* packedB,
+                    float* c, std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t k, std::int64_t m) {
+  gemmBlocked(a, k, 1, b, packedB, c, rowBegin, rowEnd, k, m);
+}
+
+void fusedGemmEpilogueRows(const float* a, const float* b,
+                           const float* packedB, float* c,
+                           std::int64_t rowBegin, std::int64_t rowEnd,
+                           std::int64_t k, std::int64_t m,
+                           const GemmEpilogue* epilogue) {
+  gemmBlocked(a, k, 1, b, packedB, c, rowBegin, rowEnd, k, m);
+  detail::applyGemmEpilogueRowsAvx2(c, rowBegin, rowEnd, m, *epilogue);
 }
 
 }  // namespace fma
@@ -131,8 +178,13 @@ const KernelTable& avx2FmaTable() {
     KernelTable x = avx2Table();
     x.gemmRows = fma::gemmRows;
     x.gemmTransARows = fma::gemmTransARows;
+    x.fusedGemmEpilogueRows = fma::fusedGemmEpilogueRows;
+    x.gemmPackBSize = fma::gemmPackBSize;
+    x.gemmPackB = fma::gemmPackB;
+    x.gemmRowsPacked = fma::gemmRowsPacked;
     // gemmTransBRows stays dot-based (bitwise contract), as do all
-    // elementwise / accumulate / reduction kernels.
+    // elementwise / accumulate / reduction kernels — including fusedEwRows,
+    // whose avx2 implementation is bitwise identical to scalar.
     return x;
   }();
   return t;

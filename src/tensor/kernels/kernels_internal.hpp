@@ -1,11 +1,22 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "tensor/kernels/kernels.hpp"
 
 // Internal wiring between the per-tier translation units and dispatch.cpp.
 // Each SIMD TU is compiled with its own -m flags (see src/tensor/CMakeLists),
 // so the tables are handed across as opaque references — nothing here may be
 // called before tierSupported() said yes for the matching tier.
+//
+// The inline helpers below are shared by the tier TUs only (never included
+// outside src/tensor/kernels/), so they inherit each TU's -ffp-contract=off
+// and stay bitwise identical wherever they are instantiated.
 namespace dagt::tensor::kernels {
 
 const KernelTable& scalarTable();
@@ -14,5 +25,268 @@ const KernelTable& scalarTable();
 const KernelTable& avx2Table();
 const KernelTable& avx2FmaTable();
 #endif
+
+namespace detail {
+
+/// Column-block width of the fused elementwise interpreter. Large enough to
+/// amortize the step dispatch, small enough to stay resident in L1.
+inline constexpr std::int64_t kEwBlock = 512;
+
+/// One fused elementwise step applied to a scalar lane. This is THE
+/// reference semantics: every tier's vector path must match it bitwise.
+inline float ewApplyScalar(const EwStep& s, float acc, float operand) {
+  switch (s.op) {
+    case EwOp::kAddV: return acc + operand;
+    case EwOp::kSubV: return acc - operand;
+    case EwOp::kRsubV: return operand - acc;
+    case EwOp::kMulV: return acc * operand;
+    case EwOp::kDivV: return acc / operand;
+    case EwOp::kRdivV: return operand / acc;
+    case EwOp::kAddS: return acc + s.scalar;
+    case EwOp::kMulS: return acc * s.scalar;
+    case EwOp::kRelu: return acc > 0.0f ? acc : 0.0f;
+    case EwOp::kLeakyRelu: return acc > 0.0f ? acc : s.scalar * acc;
+    case EwOp::kTanh: return std::tanh(acc);
+    case EwOp::kSigmoid: return 1.0f / (1.0f + std::exp(-acc));
+    case EwOp::kExp: return std::exp(acc);
+    case EwOp::kLog: return std::log(std::max(acc, s.scalar));
+    case EwOp::kSqrt: return std::sqrt(std::max(acc, s.scalar));
+    case EwOp::kSquare: return acc * acc;
+    case EwOp::kSoftplus:
+      return std::max(acc, 0.0f) + std::log1p(std::exp(-std::abs(acc)));
+    case EwOp::kPowInt: {
+      float y = acc;
+      for (std::int32_t i = 1; i < s.ipow; ++i) y *= acc;
+      return y;
+    }
+  }
+  return acc;
+}
+
+/// One fused step over a block, dispatching the op switch ONCE per block
+/// instead of once per element (the per-element form defeats -O2 loop
+/// optimization and made the scalar interpreter slower than eager's
+/// dedicated loops). `get(i)` yields the operand lane; every case computes
+/// the exact expression of ewApplyScalar, so output is bitwise unchanged.
+template <typename Get>
+inline void ewApplyBlock(const EwStep& s, float* buf, std::int64_t w,
+                         Get get) {
+  switch (s.op) {
+    case EwOp::kAddV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] + get(i);
+      break;
+    case EwOp::kSubV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] - get(i);
+      break;
+    case EwOp::kRsubV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = get(i) - buf[i];
+      break;
+    case EwOp::kMulV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] * get(i);
+      break;
+    case EwOp::kDivV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] / get(i);
+      break;
+    case EwOp::kRdivV:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = get(i) / buf[i];
+      break;
+    case EwOp::kAddS:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] + s.scalar;
+      break;
+    case EwOp::kMulS:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] * s.scalar;
+      break;
+    case EwOp::kRelu:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = buf[i] > 0.0f ? buf[i] : 0.0f;
+      break;
+    case EwOp::kLeakyRelu:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = buf[i] > 0.0f ? buf[i] : s.scalar * buf[i];
+      break;
+    case EwOp::kTanh:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = std::tanh(buf[i]);
+      break;
+    case EwOp::kSigmoid:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = 1.0f / (1.0f + std::exp(-buf[i]));
+      break;
+    case EwOp::kExp:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = std::exp(buf[i]);
+      break;
+    case EwOp::kLog:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = std::log(std::max(buf[i], s.scalar));
+      break;
+    case EwOp::kSqrt:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = std::sqrt(std::max(buf[i], s.scalar));
+      break;
+    case EwOp::kSquare:
+      for (std::int64_t i = 0; i < w; ++i) buf[i] = buf[i] * buf[i];
+      break;
+    case EwOp::kSoftplus:
+      for (std::int64_t i = 0; i < w; ++i)
+        buf[i] = std::max(buf[i], 0.0f) +
+                 std::log1p(std::exp(-std::abs(buf[i])));
+      break;
+    case EwOp::kPowInt:
+      for (std::int64_t i = 0; i < w; ++i) {
+        const float acc = buf[i];
+        float y = acc;
+        for (std::int32_t p = 1; p < s.ipow; ++p) y *= acc;
+        buf[i] = y;
+      }
+      break;
+  }
+}
+
+/// Reference fused elementwise interpreter: processes each row in L1-sized
+/// column blocks, resolving operand pointers per EwOperandKind. The scalar
+/// tier registers this directly; SIMD tiers must produce bitwise-identical
+/// output (vectorizing only IEEE-exact ops).
+inline void fusedEwRowsImpl(const float* const* operands,
+                            const std::uint8_t* kinds, int /*numOperands*/,
+                            const EwStep* steps, int numSteps, float* out,
+                            std::int64_t rows, std::int64_t cols) {
+  alignas(32) float buf[kEwBlock];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kEwBlock) {
+      const std::int64_t w = std::min(kEwBlock, cols - c0);
+      // Seed from operand 0.
+      {
+        const auto kind = static_cast<EwOperandKind>(kinds[0]);
+        if (kind == EwOperandKind::kColVec) {
+          const float v = operands[0][r];
+          for (std::int64_t i = 0; i < w; ++i) buf[i] = v;
+        } else {
+          const float* src = kind == EwOperandKind::kFull
+                                 ? operands[0] + r * cols + c0
+                                 : operands[0] + c0;
+          for (std::int64_t i = 0; i < w; ++i) buf[i] = src[i];
+        }
+      }
+      for (int si = 0; si < numSteps; ++si) {
+        const EwStep& s = steps[si];
+        if (s.operand >= 0) {
+          const auto kind = static_cast<EwOperandKind>(kinds[s.operand]);
+          if (kind == EwOperandKind::kColVec) {
+            const float v = operands[s.operand][r];
+            ewApplyBlock(s, buf, w, [v](std::int64_t) { return v; });
+          } else {
+            const float* src = kind == EwOperandKind::kFull
+                                   ? operands[s.operand] + r * cols + c0
+                                   : operands[s.operand] + c0;
+            ewApplyBlock(s, buf, w, [src](std::int64_t i) { return src[i]; });
+          }
+        } else {
+          ewApplyBlock(s, buf, w, [](std::int64_t) { return 0.0f; });
+        }
+      }
+      float* dst = out + r * cols + c0;
+      for (std::int64_t i = 0; i < w; ++i) dst[i] = buf[i];
+    }
+  }
+}
+
+/// GEMM epilogue: bias -> activation -> residual per produced row, plain
+/// scalar float math (one rounding per op, identical expressions in every
+/// tier ⇒ bitwise identical everywhere).
+inline void applyGemmEpilogueRows(float* c, std::int64_t rowBegin,
+                                  std::int64_t rowEnd, std::int64_t m,
+                                  const GemmEpilogue& ep) {
+  for (std::int64_t r = rowBegin; r < rowEnd; ++r) {
+    float* crow = c + r * m;
+    if (ep.bias != nullptr) {
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += ep.bias[j];
+    }
+    switch (ep.activation) {
+      case 1:
+        for (std::int64_t j = 0; j < m; ++j)
+          crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+        break;
+      case 2:
+        for (std::int64_t j = 0; j < m; ++j) crow[j] = std::tanh(crow[j]);
+        break;
+      case 3:
+        for (std::int64_t j = 0; j < m; ++j)
+          crow[j] = 1.0f / (1.0f + std::exp(-crow[j]));
+        break;
+      case 4:
+        for (std::int64_t j = 0; j < m; ++j)
+          crow[j] = crow[j] > 0.0f ? crow[j] : ep.slope * crow[j];
+        break;
+      default:
+        break;
+    }
+    if (ep.residual != nullptr) {
+      const float* rrow = ep.residual + r * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += rrow[j];
+    }
+  }
+}
+
+#if defined(__AVX2__)
+/// AVX2 epilogue for the IEEE-exact cases (bias add, relu, leaky-relu,
+/// residual add): one rounding per op in both scalar and vector lanes, so the
+/// output is bitwise identical to applyGemmEpilogueRows while touching each
+/// element of C exactly once. Transcendental activations (tanh, sigmoid) are
+/// not exact under vectorization and take the scalar reference path instead.
+inline void applyGemmEpilogueRowsAvx2(float* c, std::int64_t rowBegin,
+                                      std::int64_t rowEnd, std::int64_t m,
+                                      const GemmEpilogue& ep) {
+  if (ep.activation == 2 || ep.activation == 3) {
+    applyGemmEpilogueRows(c, rowBegin, rowEnd, m, ep);
+    return;
+  }
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 slope = _mm256_set1_ps(ep.slope);
+  for (std::int64_t r = rowBegin; r < rowEnd; ++r) {
+    float* crow = c + r * m;
+    const float* rrow =
+        ep.residual != nullptr ? ep.residual + r * m : nullptr;
+    std::int64_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 v = _mm256_loadu_ps(crow + j);
+      if (ep.bias != nullptr)
+        v = _mm256_add_ps(v, _mm256_loadu_ps(ep.bias + j));
+      if (ep.activation == 1) {
+        v = _mm256_max_ps(v, zero);
+      } else if (ep.activation == 4) {
+        const __m256 neg = _mm256_mul_ps(slope, v);
+        const __m256 pos = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+        v = _mm256_blendv_ps(neg, v, pos);
+      }
+      if (rrow != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(rrow + j));
+      _mm256_storeu_ps(crow + j, v);
+    }
+    for (; j < m; ++j) {
+      float v = crow[j];
+      if (ep.bias != nullptr) v += ep.bias[j];
+      if (ep.activation == 1) {
+        v = v > 0.0f ? v : 0.0f;
+      } else if (ep.activation == 4) {
+        v = v > 0.0f ? v : ep.slope * v;
+      }
+      if (rrow != nullptr) v += rrow[j];
+      crow[j] = v;
+    }
+  }
+}
+#endif  // defined(__AVX2__)
+
+/// Segment-sum reference: strict r = 0..rows-1 accumulation order (bitwise
+/// contract — matches the eager ops_index.cpp loop it replaces).
+inline void segmentSumRowsImpl(const float* src, const std::int64_t* segment,
+                               std::int64_t rows, std::int64_t cols,
+                               float* out) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* dst = out + segment[r] * cols;
+    const float* s = src + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] += s[c];
+  }
+}
+
+}  // namespace detail
 
 }  // namespace dagt::tensor::kernels

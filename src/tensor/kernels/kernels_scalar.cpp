@@ -1,4 +1,6 @@
-#include "tensor/kernels/kernels.hpp"
+#include <cstring>
+
+#include "tensor/kernels/kernels_internal.hpp"
 
 // Scalar (reference) tier. Every other tier is defined against this file:
 // the avx2 tier must reproduce these results bit-for-bit, avx2fma may only
@@ -127,16 +129,82 @@ void accMulVec(const float* x, const float* y, float* acc, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) acc[i] += x[i] * y[i];
 }
 
+void fusedEwRows(const float* const* operands, const std::uint8_t* kinds,
+                 int numOperands, const EwStep* steps, int numSteps,
+                 float* out, std::int64_t rows, std::int64_t cols) {
+  detail::fusedEwRowsImpl(operands, kinds, numOperands, steps, numSteps, out,
+                          rows, cols);
+}
+
+void fusedGemmEpilogueRows(const float* a, const float* b,
+                           const float* /*packedB*/, float* c,
+                           std::int64_t rowBegin, std::int64_t rowEnd,
+                           std::int64_t k, std::int64_t m,
+                           const GemmEpilogue* epilogue) {
+  gemmRows(a, b, c, rowBegin, rowEnd, k, m);
+  detail::applyGemmEpilogueRows(c, rowBegin, rowEnd, m, *epilogue);
+}
+
+// The scalar tier never packs: gemmRowsPacked ignores the panel so callers
+// can share one packing decision across tiers.
+std::int64_t gemmPackBSize(std::int64_t /*k*/, std::int64_t /*m*/) {
+  return 0;
+}
+
+void gemmPackB(const float* /*b*/, std::int64_t /*k*/, std::int64_t /*m*/,
+               float* /*packed*/) {}
+
+void gemmRowsPacked(const float* a, const float* b, const float* /*packedB*/,
+                    float* c, std::int64_t rowBegin, std::int64_t rowEnd,
+                    std::int64_t k, std::int64_t m) {
+  gemmRows(a, b, c, rowBegin, rowEnd, k, m);
+}
+
+void segmentSumRows(const float* src, const std::int64_t* segment,
+                    std::int64_t rows, std::int64_t cols, float* out) {
+  detail::segmentSumRowsImpl(src, segment, rows, cols, out);
+}
+
+void gatherRowsPtrs(const float* const* srcRows, std::int64_t rows,
+                    std::int64_t cols, float* out) {
+  const std::size_t bytes = static_cast<std::size_t>(cols) * sizeof(float);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::memcpy(out + r * cols, srcRows[r], bytes);
+  }
+}
+
 }  // namespace scalar
 
+// Assignment style (not a positional aggregate) so adding a KernelTable
+// member can never silently shift later entries; dagt-lint's
+// fused-kernel-registration rule keys off these named assignments.
 const KernelTable& scalarTable() {
-  static const KernelTable t = {
-      scalar::gemmRows,   scalar::gemmTransARows, scalar::gemmTransBRows,
-      scalar::addVec,     scalar::subVec,         scalar::mulVec,
-      scalar::divVec,     scalar::scaleVec,       scalar::addScalarVec,
-      scalar::reluVec,    scalar::accAddVec,      scalar::accScaleVec,
-      scalar::accMulVec,  scalar::sumVec,         scalar::dotVec,
-  };
+  static const KernelTable t = [] {
+    KernelTable x{};
+    x.gemmRows = scalar::gemmRows;
+    x.gemmTransARows = scalar::gemmTransARows;
+    x.gemmTransBRows = scalar::gemmTransBRows;
+    x.addVec = scalar::addVec;
+    x.subVec = scalar::subVec;
+    x.mulVec = scalar::mulVec;
+    x.divVec = scalar::divVec;
+    x.scaleVec = scalar::scaleVec;
+    x.addScalarVec = scalar::addScalarVec;
+    x.reluVec = scalar::reluVec;
+    x.accAddVec = scalar::accAddVec;
+    x.accScaleVec = scalar::accScaleVec;
+    x.accMulVec = scalar::accMulVec;
+    x.sumVec = scalar::sumVec;
+    x.dotVec = scalar::dotVec;
+    x.fusedEwRows = scalar::fusedEwRows;
+    x.fusedGemmEpilogueRows = scalar::fusedGemmEpilogueRows;
+    x.gemmPackBSize = scalar::gemmPackBSize;
+    x.gemmPackB = scalar::gemmPackB;
+    x.gemmRowsPacked = scalar::gemmRowsPacked;
+    x.segmentSumRows = scalar::segmentSumRows;
+    x.gatherRowsPtrs = scalar::gatherRowsPtrs;
+    return x;
+  }();
   return t;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/parallel.hpp"
 #include "obs/trace.hpp"
+#include "tensor/expr.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
@@ -97,6 +98,18 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   if (bias.defined()) {
     DAGT_CHECK(bias.ndim() == 1 && bias.dim(0) == d.f);
   }
+  if (expr::Recorder::active()) {
+    // Bias is optional; record it only when present (the replayer passes an
+    // undefined tensor for two-input conv nodes).
+    if (bias.defined()) {
+      return expr::Recorder::current()->record(
+          expr::OpKind::kConv2d, Shape{d.n, d.f, d.oh, d.ow},
+          {&input, &weight, &bias}, 0.0f, 0, stride, padding);
+    }
+    return expr::Recorder::current()->record(
+        expr::OpKind::kConv2d, Shape{d.n, d.f, d.oh, d.ow}, {&input, &weight},
+        0.0f, 0, stride, padding);
+  }
   auto out = makeOut({d.n, d.f, d.oh, d.ow});
 
   const float* wp = weight.data();
@@ -184,6 +197,10 @@ Tensor maxPool2d(const Tensor& input) {
   const std::int64_t oh = h / 2;
   const std::int64_t ow = w / 2;
   DAGT_CHECK_MSG(oh >= 1 && ow >= 1, "maxPool2d: input too small");
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kMaxPool2d,
+                                             Shape{n, c, oh, ow}, {&input});
+  }
   auto out = makeOut({n, c, oh, ow});
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(n * c * oh * ow));
@@ -232,6 +249,10 @@ Tensor globalAvgPool(const Tensor& input) {
   const std::int64_t c = input.dim(1);
   const std::int64_t spatial = input.dim(2) * input.dim(3);
   DAGT_CHECK(spatial > 0);
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kGlobalAvgPool,
+                                             Shape{n, c}, {&input});
+  }
   auto out = makeOut({n, c});
   const float* p = input.data();
   float* po = out->data.data();

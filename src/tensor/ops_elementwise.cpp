@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "tensor/expr.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
@@ -12,6 +13,18 @@ using detail::makeOut;
 using detail::tapeActive;
 
 namespace {
+
+/// True while an expression capture is recording on this thread: the op
+/// appends a graph node and returns a lazy tensor instead of computing.
+inline bool capturing() { return expr::Recorder::active(); }
+
+inline Tensor rec(expr::OpKind kind, Shape shape,
+                  std::initializer_list<const Tensor*> inputs,
+                  float scalar = 0.0f, std::int32_t ipow = 0,
+                  std::int64_t i0 = 0, std::int64_t i1 = 0) {
+  return expr::Recorder::current()->record(kind, std::move(shape), inputs,
+                                           scalar, ipow, i0, i1);
+}
 
 /// Shared scaffolding for unary ops whose forward/backward are genuinely
 /// scalar math (transcendentals, branches). The linear ops below (add, sub,
@@ -46,6 +59,7 @@ Tensor unaryOp(const Tensor& t, Fwd fwd, DX dX) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "add");
+  if (capturing()) return rec(expr::OpKind::kAdd, a.shape(), {&a, &b});
   auto out = makeOut(a.shape());
   kernels::active().addVec(a.data(), b.data(), out->data.data(),
                            out->data.size());
@@ -71,6 +85,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "sub");
+  if (capturing()) return rec(expr::OpKind::kSub, a.shape(), {&a, &b});
   auto out = makeOut(a.shape());
   kernels::active().subVec(a.data(), b.data(), out->data.data(),
                            out->data.size());
@@ -96,6 +111,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "mul");
+  if (capturing()) return rec(expr::OpKind::kMul, a.shape(), {&a, &b});
   auto out = makeOut(a.shape());
   kernels::active().mulVec(a.data(), b.data(), out->data.data(),
                            out->data.size());
@@ -121,6 +137,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor div(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "div");
+  if (capturing()) return rec(expr::OpKind::kDiv, a.shape(), {&a, &b});
   auto out = makeOut(a.shape());
   kernels::active().divVec(a.data(), b.data(), out->data.data(),
                            out->data.size());
@@ -156,6 +173,9 @@ Tensor addBias(const Tensor& matrix, const Tensor& bias) {
   DAGT_CHECK_MSG(bias.dim(0) == cols, "addBias: bias length " << bias.dim(0)
                                                               << " != cols "
                                                               << cols);
+  if (capturing()) {
+    return rec(expr::OpKind::kAddBias, matrix.shape(), {&matrix, &bias});
+  }
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pb = bias.data();
@@ -192,6 +212,9 @@ Tensor addColVec(const Tensor& matrix, const Tensor& colVec) {
   DAGT_CHECK_MSG(colVec.dim(0) == rows, "addColVec: vector length "
                                             << colVec.dim(0) << " != rows "
                                             << rows);
+  if (capturing()) {
+    return rec(expr::OpKind::kAddColVec, matrix.shape(), {&matrix, &colVec});
+  }
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pv = colVec.data();
@@ -230,6 +253,9 @@ Tensor mulColVec(const Tensor& matrix, const Tensor& colVec) {
   DAGT_CHECK_MSG(colVec.dim(0) == rows, "mulColVec: vector length "
                                             << colVec.dim(0) << " != rows "
                                             << rows);
+  if (capturing()) {
+    return rec(expr::OpKind::kMulColVec, matrix.shape(), {&matrix, &colVec});
+  }
   auto out = makeOut(matrix.shape());
   const float* pm = matrix.data();
   const float* pv = colVec.data();
@@ -274,6 +300,9 @@ Tensor repeatRows(const Tensor& row, std::int64_t n) {
   DAGT_CHECK_MSG(row.dim(0) == 1, "repeatRows expects a [1,D] tensor");
   DAGT_CHECK(n >= 1);
   const std::int64_t cols = row.dim(1);
+  if (capturing()) {
+    return rec(expr::OpKind::kRepeatRows, Shape{n, cols}, {&row});
+  }
   auto out = makeOut({n, cols});
   const float* p = row.data();
   float* po = out->data.data();
@@ -299,6 +328,7 @@ Tensor repeatRows(const Tensor& row, std::int64_t n) {
 }
 
 Tensor addScalar(const Tensor& t, float s) {
+  if (capturing()) return rec(expr::OpKind::kAddScalar, t.shape(), {&t}, s);
   auto out = makeOut(t.shape());
   kernels::active().addScalarVec(t.data(), s, out->data.data(),
                                  out->data.size());
@@ -314,6 +344,7 @@ Tensor addScalar(const Tensor& t, float s) {
 }
 
 Tensor mulScalar(const Tensor& t, float s) {
+  if (capturing()) return rec(expr::OpKind::kMulScalar, t.shape(), {&t}, s);
   auto out = makeOut(t.shape());
   kernels::active().scaleVec(t.data(), s, out->data.data(),
                              out->data.size());
@@ -331,6 +362,7 @@ Tensor mulScalar(const Tensor& t, float s) {
 Tensor neg(const Tensor& t) { return mulScalar(t, -1.0f); }
 
 Tensor relu(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kRelu, t.shape(), {&t});
   auto out = makeOut(t.shape());
   kernels::active().reluVec(t.data(), out->data.data(), out->data.size());
   if (tapeActive({&t})) {
@@ -350,36 +382,44 @@ Tensor relu(const Tensor& t) {
 }
 
 Tensor leakyRelu(const Tensor& t, float slope) {
+  if (capturing()) {
+    return rec(expr::OpKind::kLeakyRelu, t.shape(), {&t}, slope);
+  }
   return unaryOp(
       t, [slope](float x) { return x > 0.0f ? x : slope * x; },
       [slope](float x, float, float g) { return x > 0.0f ? g : slope * g; });
 }
 
 Tensor tanhOp(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kTanh, t.shape(), {&t});
   return unaryOp(
       t, [](float x) { return std::tanh(x); },
       [](float, float y, float g) { return g * (1.0f - y * y); });
 }
 
 Tensor sigmoid(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kSigmoid, t.shape(), {&t});
   return unaryOp(
       t, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y, float g) { return g * y * (1.0f - y); });
 }
 
 Tensor expOp(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kExp, t.shape(), {&t});
   return unaryOp(
       t, [](float x) { return std::exp(x); },
       [](float, float y, float g) { return g * y; });
 }
 
 Tensor logOp(const Tensor& t, float eps) {
+  if (capturing()) return rec(expr::OpKind::kLog, t.shape(), {&t}, eps);
   return unaryOp(
       t, [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float, float g) { return g / std::max(x, eps); });
 }
 
 Tensor sqrtOp(const Tensor& t, float eps) {
+  if (capturing()) return rec(expr::OpKind::kSqrt, t.shape(), {&t}, eps);
   return unaryOp(
       t, [eps](float x) { return std::sqrt(std::max(x, eps)); },
       [eps](float x, float y, float g) {
@@ -388,6 +428,7 @@ Tensor sqrtOp(const Tensor& t, float eps) {
 }
 
 Tensor square(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kSquare, t.shape(), {&t});
   auto out = makeOut(t.shape());
   kernels::active().mulVec(t.data(), t.data(), out->data.data(),
                            out->data.size());
@@ -406,6 +447,7 @@ Tensor square(const Tensor& t) {
 }
 
 Tensor softplus(const Tensor& t) {
+  if (capturing()) return rec(expr::OpKind::kSoftplus, t.shape(), {&t});
   // Stable softplus: max(x,0) + log1p(exp(-|x|)); derivative is sigmoid(x).
   return unaryOp(
       t,
@@ -419,6 +461,7 @@ Tensor softplus(const Tensor& t) {
 
 Tensor powInt(const Tensor& t, int k) {
   DAGT_CHECK_MSG(k >= 1, "powInt exponent must be >= 1");
+  if (capturing()) return rec(expr::OpKind::kPowInt, t.shape(), {&t}, 0.0f, k);
   return unaryOp(
       t,
       [k](float x) {

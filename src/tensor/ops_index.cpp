@@ -1,6 +1,10 @@
 #include <cstring>
 #include <limits>
 
+#include <vector>
+
+#include "tensor/expr.hpp"
+#include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -12,19 +16,24 @@ using detail::tapeActive;
 
 Tensor indexSelect0(const Tensor& t, const std::vector<std::int64_t>& index) {
   DAGT_CHECK(t.ndim() == 2);
+  // Index vectors are rebuilt per batch on the host, so capturing them would
+  // recompile a program every call; gather stays outside compiled regions.
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "indexSelect0 is not expression-capturable");
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
   const std::int64_t outRows = static_cast<std::int64_t>(index.size());
   auto out = makeOut({outRows, cols});
   const float* p = t.data();
   float* po = out->data.data();
+  std::vector<const float*> rowPtrs(static_cast<std::size_t>(outRows));
   for (std::int64_t r = 0; r < outRows; ++r) {
     const std::int64_t src = index[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(src >= 0 && src < rows,
                    "indexSelect0: index " << src << " out of " << rows);
-    std::memcpy(po + r * cols, p + src * cols,
-                static_cast<std::size_t>(cols) * sizeof(float));
+    rowPtrs[static_cast<std::size_t>(r)] = p + src * cols;
   }
+  kernels::active().gatherRowsPtrs(rowPtrs.data(), outRows, cols, po);
   if (tapeActive({&t})) {
     auto ti = t.impl();
     attachTape(out, {&t}, [ti, index, cols](TensorImpl& self) {
@@ -47,6 +56,8 @@ Tensor gatherRowsMulti(
     const std::vector<Tensor>& mats,
     const std::vector<std::pair<std::int32_t, std::int64_t>>& index) {
   DAGT_CHECK(!mats.empty());
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "gatherRowsMulti is not expression-capturable");
   const std::int64_t cols = mats.front().dim(1);
   for (const auto& m : mats) {
     DAGT_CHECK(m.ndim() == 2);
@@ -55,6 +66,7 @@ Tensor gatherRowsMulti(
   const std::int64_t outRows = static_cast<std::int64_t>(index.size());
   auto out = makeOut({outRows, cols});
   float* po = out->data.data();
+  std::vector<const float*> rowPtrs(static_cast<std::size_t>(outRows));
   for (std::int64_t r = 0; r < outRows; ++r) {
     const auto [ord, row] = index[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(ord >= 0 && ord < static_cast<std::int32_t>(mats.size()),
@@ -62,9 +74,9 @@ Tensor gatherRowsMulti(
     const Tensor& m = mats[static_cast<std::size_t>(ord)];
     DAGT_CHECK_MSG(row >= 0 && row < m.dim(0),
                    "gatherRowsMulti: row " << row << " out of " << m.dim(0));
-    std::memcpy(po + r * cols, m.data() + row * cols,
-                static_cast<std::size_t>(cols) * sizeof(float));
+    rowPtrs[static_cast<std::size_t>(r)] = m.data() + row * cols;
   }
+  kernels::active().gatherRowsPtrs(rowPtrs.data(), outRows, cols, po);
 
   bool anyGrad = false;
   for (const auto& m : mats) anyGrad = anyGrad || m.requiresGrad();
@@ -97,6 +109,8 @@ Tensor gatherRowsMulti(
 Tensor segmentSum(const Tensor& src, const std::vector<std::int64_t>& segment,
                   std::int64_t numSegments) {
   DAGT_CHECK(src.ndim() == 2);
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "segmentSum is not expression-capturable");
   const std::int64_t rows = src.dim(0);
   const std::int64_t cols = src.dim(1);
   DAGT_CHECK_MSG(static_cast<std::int64_t>(segment.size()) == rows,
@@ -108,10 +122,8 @@ Tensor segmentSum(const Tensor& src, const std::vector<std::int64_t>& segment,
     const std::int64_t s = segment[static_cast<std::size_t>(r)];
     DAGT_CHECK_MSG(s >= 0 && s < numSegments,
                    "segmentSum: segment " << s << " out of " << numSegments);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      po[s * cols + c] += p[r * cols + c];
-    }
   }
+  kernels::active().segmentSumRows(p, segment.data(), rows, cols, po);
   if (tapeActive({&src})) {
     auto si = src.impl();
     attachTape(out, {&src}, [si, segment, cols](TensorImpl& self) {
@@ -134,6 +146,8 @@ Tensor segmentSum(const Tensor& src, const std::vector<std::int64_t>& segment,
 Tensor segmentMax(const Tensor& src, const std::vector<std::int64_t>& segment,
                   std::int64_t numSegments) {
   DAGT_CHECK(src.ndim() == 2);
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "segmentMax is not expression-capturable");
   const std::int64_t rows = src.dim(0);
   const std::int64_t cols = src.dim(1);
   DAGT_CHECK_MSG(static_cast<std::int64_t>(segment.size()) == rows,

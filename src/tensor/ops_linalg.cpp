@@ -1,5 +1,6 @@
 #include "common/parallel.hpp"
 #include "obs/trace.hpp"
+#include "tensor/expr.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
@@ -18,11 +19,33 @@ namespace {
 // reproducible across thread counts (see src/tensor/kernels/kernels.hpp).
 constexpr std::size_t kGemmRowGrain = 32;
 
-/// C[n,m] += A[n,k] * B[k,m].
+/// C[n,m] += A[n,k] * B[k,m]. For large shapes whose tier packs B into a
+/// panel (avx2fma), the panel is packed ONCE here into a pooled buffer and
+/// shared read-only by every parallelForRange worker, instead of each
+/// worker re-packing its own thread-local copy per row block. Packing is a
+/// bit-copy, so sharing cannot change results.
 void gemmAcc(const float* a, const float* b, float* c, std::int64_t n,
              std::int64_t k, std::int64_t m) {
   DAGT_TRACE_SCOPE("kernel/gemm");
   const kernels::KernelTable& kt = kernels::active();
+  const std::int64_t panelSize = kt.gemmPackBSize(k, m);
+  if (panelSize > 0 && n >= static_cast<std::int64_t>(2 * kGemmRowGrain)) {
+    // Pooled scratch, not an op output: the packed panel is shared by every
+    // parallelForRange worker and dies with this call.
+    Storage panel =  // dagt-lint: allow(kernel-alloc) -- pooled shared scratch
+        Storage::allocate(static_cast<std::size_t>(panelSize));
+    kt.gemmPackB(b, k, m, panel.data());
+    const float* packed = panel.data();
+    parallelForRange(0, static_cast<std::size_t>(n),
+                     [&](std::size_t rowBegin, std::size_t rowEnd) {
+                       kt.gemmRowsPacked(a, b, packed, c,
+                                         static_cast<std::int64_t>(rowBegin),
+                                         static_cast<std::int64_t>(rowEnd), k,
+                                         m);
+                     },
+                     kGemmRowGrain);
+    return;
+  }
   parallelForRange(0, static_cast<std::size_t>(n),
                    [&](std::size_t rowBegin, std::size_t rowEnd) {
                      kt.gemmRows(a, b, c, static_cast<std::int64_t>(rowBegin),
@@ -74,6 +97,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = b.dim(1);
   DAGT_CHECK_MSG(b.dim(0) == k, "matmul: inner dims " << k << " vs "
                                                       << b.dim(0));
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kMatmul,
+                                             Shape{n, m}, {&a, &b});
+  }
   auto out = makeOut({n, m});
   gemmAcc(a.data(), b.data(), out->data.data(), n, k, m);
   if (tapeActive({&a, &b})) {
@@ -100,6 +127,10 @@ Tensor transpose2d(const Tensor& t) {
   DAGT_CHECK(t.ndim() == 2);
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kTranspose2d,
+                                             Shape{cols, rows}, {&t});
+  }
   auto out = makeOut({cols, rows});
   const float* p = t.data();
   float* po = out->data.data();

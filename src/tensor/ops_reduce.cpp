@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/expr.hpp"
 #include "tensor/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
@@ -12,6 +13,10 @@ using detail::makeOut;
 using detail::tapeActive;
 
 Tensor sumAll(const Tensor& t) {
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kSumAll, Shape{1},
+                                             {&t});
+  }
   auto out = makeOut({1});
   // Lane-blocked double accumulation (see kernels.hpp): stable over long
   // sums and bitwise identical in every dispatch tier.
@@ -36,6 +41,10 @@ Tensor meanAll(const Tensor& t) {
 
 Tensor sumDim0(const Tensor& t) {
   DAGT_CHECK(t.ndim() == 2);
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kSumDim0,
+                                             Shape{t.dim(1)}, {&t});
+  }
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
   auto out = makeOut({cols});
@@ -68,6 +77,10 @@ Tensor meanDim0(const Tensor& t) {
 
 Tensor sumDim1(const Tensor& t) {
   DAGT_CHECK(t.ndim() == 2);
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kSumDim1,
+                                             Shape{t.dim(0)}, {&t});
+  }
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
   auto out = makeOut({rows});
@@ -101,6 +114,10 @@ Tensor meanDim1(const Tensor& t) {
 
 Tensor logSumExpDim1(const Tensor& t) {
   DAGT_CHECK(t.ndim() == 2);
+  // Not capturable (double-precision max-subtracted accumulation has no
+  // fused lowering); callers keep it outside compiled programs.
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "logSumExpDim1 is not expression-capturable");
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
   DAGT_CHECK(cols > 0);

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "tensor/expr.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/ops_common.hpp"
 
@@ -31,19 +32,33 @@ Tensor wholeView(const Tensor& t, Shape shape) {
 }  // namespace
 
 Tensor reshape(const Tensor& t, const Shape& shape) {
-  DAGT_CHECK_MSG(numelOf(shape) == t.numel(),
+  // Lazy capture tensors carry a shape but no storage (numel() == 0), so
+  // the capture branch validates against the shape-derived element count.
+  DAGT_CHECK_MSG(numelOf(shape) == numelOf(t.shape()),
                  "reshape: numel mismatch " << numelOf(shape) << " vs "
-                                            << t.numel());
+                                            << numelOf(t.shape()));
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kReshape, shape,
+                                             {&t});
+  }
   return wholeView(t, shape);
 }
 
 Tensor flattenView(const Tensor& t) {
   DAGT_CHECK(t.defined());
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(expr::OpKind::kReshape,
+                                             Shape{numelOf(t.shape())}, {&t});
+  }
   return wholeView(t, {t.numel()});
 }
 
 Tensor concat0(const std::vector<Tensor>& parts) {
   DAGT_CHECK(!parts.empty());
+  // Variadic host-side input lists are not worth a program cache entry;
+  // callers keep concatenation outside compiled regions.
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "concat0 is not expression-capturable");
   Shape restShape = parts.front().shape();
   DAGT_CHECK(!restShape.empty());
   std::int64_t totalRows = 0;
@@ -101,6 +116,8 @@ Tensor concat0(const std::vector<Tensor>& parts) {
 
 Tensor concat1(const std::vector<Tensor>& parts) {
   DAGT_CHECK(!parts.empty());
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "concat1 is not expression-capturable");
   const std::int64_t rows = parts.front().dim(0);
   std::int64_t totalCols = 0;
   for (const auto& p : parts) {
@@ -154,6 +171,8 @@ Tensor concat1(const std::vector<Tensor>& parts) {
 
 Tensor sliceCols(const Tensor& t, std::int64_t begin, std::int64_t end) {
   DAGT_CHECK(t.ndim() == 2);
+  DAGT_DCHECK_MSG(!expr::Recorder::active(),
+                  "sliceCols is not expression-capturable");
   const std::int64_t rows = t.dim(0);
   const std::int64_t cols = t.dim(1);
   DAGT_CHECK_MSG(0 <= begin && begin < end && end <= cols,
@@ -191,6 +210,11 @@ Tensor sliceRows(const Tensor& t, std::int64_t begin, std::int64_t end) {
   for (int d = 1; d < t.ndim(); ++d) rowNumel *= t.dim(d);
   Shape outShape = t.shape();
   outShape[0] = end - begin;
+  if (expr::Recorder::active()) {
+    return expr::Recorder::current()->record(
+        expr::OpKind::kSliceRows, std::move(outShape), {&t}, 0.0f, 0, begin,
+        end);
+  }
   // Rows are contiguous in row-major storage, so the slice is an O(1)
   // alias at offset begin * rowNumel; backward scatters the view's dense
   // grad into the matching run of the base's grad.

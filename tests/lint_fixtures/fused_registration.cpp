@@ -1,0 +1,34 @@
+// Fixture impersonating a kernel tier TU (src/tensor/kernels/
+// kernels_newtier.cpp). The zero-seeded table below registers fusedEwRows
+// but forgets fusedGemmEpilogueRows — fused-kernel-registration must fire
+// exactly once, on the construction line. The second, copy-seeded table
+// inherits the first tier's registrations and must NOT fire.
+
+namespace dagt::tensor::kernels {
+namespace newtier {
+
+void gemmRows(const float* a, const float* b, float* c) {}
+void fusedEwRows(const float* const* operands, float* out) {}
+
+}  // namespace newtier
+
+const KernelTable& newtierTable() {
+  static const KernelTable t = [] {
+    KernelTable x{};
+    x.gemmRows = newtier::gemmRows;
+    x.fusedEwRows = newtier::fusedEwRows;
+    return x;
+  }();
+  return t;
+}
+
+const KernelTable& copySeededTable() {
+  static const KernelTable t = [] {
+    KernelTable x = newtierTable();
+    x.fusedEwRows = newtier::fusedEwRows;
+    return x;
+  }();
+  return t;
+}
+
+}  // namespace dagt::tensor::kernels

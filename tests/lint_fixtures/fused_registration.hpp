@@ -1,0 +1,16 @@
+#pragma once
+
+// Fixture impersonating src/tensor/kernels/kernels.hpp: a trimmed
+// KernelTable with one plain entry and two fused composite entries. Paired
+// with fused_registration.cpp, a tier TU that forgets one of the fused
+// registrations.
+
+namespace dagt::tensor::kernels {
+
+struct KernelTable {
+  void (*gemmRows)(const float* a, const float* b, float* c);
+  void (*fusedEwRows)(const float* const* operands, float* out);
+  void (*fusedGemmEpilogueRows)(const float* a, const float* b, float* c);
+};
+
+}  // namespace dagt::tensor::kernels

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -32,6 +33,8 @@
 #include "features/design_data.hpp"
 #include "serve/model_bundle.hpp"
 #include "serve/prediction_engine.hpp"
+#include "tensor/expr.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/storage.hpp"
 #include "tensor/tensor.hpp"
 
@@ -303,6 +306,64 @@ TEST(ConcurrencyStress, WorkspaceDrainHandsBuffersToOtherThreads) {
 
   const tensor::PoolStats stats = pool.stats();
   EXPECT_GE(stats.poolReuses, 1u);
+}
+
+TEST(ConcurrencyStress, FusionProgramsCompileAndReplayConcurrently) {
+  // Serve workers share one ProgramCache per module: concurrent misses on
+  // the same signature must compile exactly once, replays of one immutable
+  // FusedProgram must be safe from many threads, and every fused result
+  // must equal the eager chain computed on the same thread. Three batch
+  // shapes rotate per iteration so compile/hit/replay interleave.
+  using tensor::Tensor;
+  namespace expr = tensor::expr;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 100;
+  Rng init(61);
+  const Tensor w = Tensor::randn({24, 16}, init);
+  const Tensor bias = Tensor::randn({16}, init);
+  expr::ProgramCache cache;
+  std::atomic<int> compiles{0};
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      tensor::NoGradGuard noGrad;
+      Rng rng(1000 + t);
+      for (int it = 0; it < kIters; ++it) {
+        const std::int64_t batch = 2 + (t + it) % 3;
+        const Tensor x = Tensor::randn({batch, 24}, rng);
+        expr::SigHash sig;
+        sig.mixShape(x.shape());
+        sig.mixTensor(w);
+        const auto program = cache.getOrCompile(sig.h, [&] {
+          compiles.fetch_add(1, std::memory_order_relaxed);
+          expr::Capture cap;
+          const Tensor lx = cap.input(x);
+          const Tensor lw = cap.input(w);
+          const Tensor lb = cap.input(bias);
+          const Tensor out =
+              tensor::sigmoid(tensor::addBias(tensor::matmul(lx, lw), lb));
+          return cap.compile({&out});
+        });
+        const Tensor fused = program->runOne({x, w, bias});
+        const Tensor eager =
+            tensor::sigmoid(tensor::addBias(tensor::matmul(x, w), bias));
+        if (fused.shape() != eager.shape() ||
+            std::memcmp(fused.data(), eager.data(),
+                        static_cast<std::size_t>(fused.numel()) *
+                            sizeof(float)) != 0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // One compile per distinct batch shape: the cache mutex serializes
+  // concurrent first misses.
+  EXPECT_EQ(compiles.load(), 3);
 }
 
 TEST(ConcurrencyStress, ParallelForDisjointWritesAndReduction) {

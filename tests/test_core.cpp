@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
@@ -12,6 +13,8 @@
 #include "core/timing_gnn.hpp"
 #include "core/trainer.hpp"
 #include "features/design_data.hpp"
+#include "tensor/expr.hpp"
+#include "tensor/kernels/kernels.hpp"
 
 namespace dagt::core {
 namespace {
@@ -280,6 +283,80 @@ TEST(BayesianHead, LogVarianceStaysBounded) {
     EXPECT_GE(q.logvar.data()[i], -5.0f);
     EXPECT_LE(q.logvar.data()[i], 1.0f);
   }
+}
+
+TEST(BayesianHead, PreDrawnEpsMatchesRngOverloadBitwise) {
+  Rng rng(15);
+  BayesianHead head(12, 12, rng);
+  const Tensor u = Tensor::randn({5, 12}, rng);
+  const auto q = head.distribution(u);
+  constexpr std::int32_t kSamples = 7;
+
+  // The rng overload draws all K eps tensors upfront, so replaying the
+  // same seed by hand must reproduce the prediction bit for bit.
+  Rng viaOverload(2024);
+  const auto fromRng = head.predict(u, q, kSamples, viaOverload);
+
+  Rng byHand(2024);
+  std::vector<Tensor> eps;
+  for (std::int32_t k = 0; k < kSamples; ++k) {
+    eps.push_back(Tensor::randn(u.shape(), byHand));
+  }
+  const auto fromEps = head.predict(u, q, eps);
+
+  ASSERT_EQ(fromRng.samples.size(), fromEps.samples.size());
+  const auto bitwise = [](const Tensor& a, const Tensor& b) {
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<std::size_t>(a.numel()) * sizeof(float)),
+              0);
+  };
+  bitwise(fromRng.mean, fromEps.mean);
+  for (std::size_t k = 0; k < fromRng.samples.size(); ++k) {
+    bitwise(fromRng.samples[k], fromEps.samples[k]);
+  }
+}
+
+TEST(BayesianHead, FusedForwardBitwiseMatchesEagerAtScalarTier) {
+  // Module-level half of the fusion parity contract: the whole
+  // distribution -> predict readout, compiled vs eager, at the pinned
+  // scalar tier — and across two batch shapes through the same program
+  // caches (the shape signature must keep them apart).
+  Rng rng(16);
+  BayesianHead head(10, 10, rng);
+  tensor::kernels::forceTier(tensor::kernels::Tier::kScalar);
+  const bool savedFusion = tensor::expr::fusionEnabled();
+  for (const std::int64_t batch : {3, 6, 3}) {
+    const Tensor u = Tensor::randn({batch, 10}, rng);
+    std::vector<Tensor> eps;
+    Rng noise(777 + batch);
+    for (int k = 0; k < 4; ++k) eps.push_back(Tensor::randn(u.shape(), noise));
+
+    tensor::NoGradGuard noGrad;
+    tensor::expr::setFusionEnabled(true);
+    const auto qFused = head.distribution(u);
+    const auto fused = head.predict(u, qFused, eps);
+    tensor::expr::setFusionEnabled(false);
+    const auto qEager = head.distribution(u);
+    const auto eager = head.predict(u, qEager, eps);
+
+    const auto bitwise = [](const Tensor& a, const Tensor& b) {
+      ASSERT_EQ(a.shape(), b.shape());
+      EXPECT_EQ(
+          std::memcmp(a.data(), b.data(),
+                      static_cast<std::size_t>(a.numel()) * sizeof(float)),
+          0);
+    };
+    bitwise(qEager.mu, qFused.mu);
+    bitwise(qEager.logvar, qFused.logvar);
+    bitwise(eager.mean, fused.mean);
+    ASSERT_EQ(eager.samples.size(), fused.samples.size());
+    for (std::size_t k = 0; k < eager.samples.size(); ++k) {
+      bitwise(eager.samples[k], fused.samples[k]);
+    }
+  }
+  tensor::expr::setFusionEnabled(savedFusion);
+  tensor::kernels::resetTier();
 }
 
 TEST(Models, PredictDesignIsDeterministic) {

@@ -380,5 +380,189 @@ TEST(KernelParity, Conv2dGradCheckEveryTier) {
   }
 }
 
+TEST(KernelParity, FusedEwRowsBitwiseAcrossTiers) {
+  // One program per EwOp, run over a [rows, cols] block with a full-matrix,
+  // a row-vector and a column-vector operand: every tier must match the
+  // scalar reference bit for bit (the fused contract in kernels.hpp).
+  const std::int64_t rows = 7, cols = 19;
+  Rng rng(41);
+  const std::vector<float> seed =
+      randomVec(static_cast<std::size_t>(rows * cols), rng);
+  const std::vector<float> full =
+      randomVec(static_cast<std::size_t>(rows * cols), rng);
+  const std::vector<float> rowv = randomVec(static_cast<std::size_t>(cols), rng);
+  const std::vector<float> colv = randomVec(static_cast<std::size_t>(rows), rng);
+
+  const float* operands[4] = {seed.data(), full.data(), rowv.data(),
+                              colv.data()};
+  const std::uint8_t kinds[4] = {
+      static_cast<std::uint8_t>(EwOperandKind::kFull),
+      static_cast<std::uint8_t>(EwOperandKind::kFull),
+      static_cast<std::uint8_t>(EwOperandKind::kRowVec),
+      static_cast<std::uint8_t>(EwOperandKind::kColVec)};
+
+  const EwOp allOps[] = {EwOp::kAddV,   EwOp::kSubV,      EwOp::kRsubV,
+                         EwOp::kMulV,   EwOp::kDivV,      EwOp::kRdivV,
+                         EwOp::kAddS,   EwOp::kMulS,      EwOp::kRelu,
+                         EwOp::kLeakyRelu, EwOp::kTanh,   EwOp::kSigmoid,
+                         EwOp::kExp,    EwOp::kLog,       EwOp::kSqrt,
+                         EwOp::kSquare, EwOp::kSoftplus,  EwOp::kPowInt};
+  for (const EwOp op : allOps) {
+    SCOPED_TRACE(static_cast<int>(op));
+    // Each program: the op under test against every operand kind it
+    // accepts, bracketed by a scale so the accumulator is never trivial.
+    std::vector<EwStep> steps;
+    steps.push_back({EwOp::kMulS, -1, 0.75f, 0});
+    const bool binary = op == EwOp::kAddV || op == EwOp::kSubV ||
+                        op == EwOp::kRsubV || op == EwOp::kMulV ||
+                        op == EwOp::kDivV || op == EwOp::kRdivV;
+    if (binary) {
+      for (std::int32_t operand = 1; operand <= 3; ++operand) {
+        steps.push_back({op, operand, 0.0f, 0});
+      }
+    } else {
+      EwStep s{op, -1, 0.0f, 0};
+      if (op == EwOp::kAddS || op == EwOp::kMulS) s.scalar = 1.25f;
+      if (op == EwOp::kLeakyRelu) s.scalar = 0.1f;
+      if (op == EwOp::kLog || op == EwOp::kSqrt) s.scalar = 1e-6f;
+      if (op == EwOp::kPowInt) s.ipow = 3;
+      steps.push_back(s);
+    }
+
+    std::vector<float> ref(static_cast<std::size_t>(rows * cols));
+    table(Tier::kScalar)
+        .fusedEwRows(operands, kinds, 4, steps.data(),
+                     static_cast<int>(steps.size()), ref.data(), rows, cols);
+    for (const Tier tier : supportedTiers()) {
+      SCOPED_TRACE(tierName(tier));
+      std::vector<float> out(ref.size(), -1.0f);
+      table(tier).fusedEwRows(operands, kinds, 4, steps.data(),
+                              static_cast<int>(steps.size()), out.data(),
+                              rows, cols);
+      EXPECT_TRUE(bitwiseEqual(ref, out));
+    }
+  }
+}
+
+TEST(KernelParity, FusedGemmEpilogueMatchesGemmPlusScalarEpilogue) {
+  // Contract: the GEMM part of fusedGemmEpilogueRows rounds exactly like
+  // the tier's own gemmRows, and the epilogue (bias -> activation ->
+  // residual) is bitwise identical across tiers. So for every tier,
+  // fused == gemmRows-of-that-tier + the scalar reference epilogue, bit
+  // for bit — including the AVX2 single-pass epilogue.
+  const std::int64_t n = 13, k = 27, m = 22;
+  Rng rng(43);
+  const std::vector<float> a = randomVec(static_cast<std::size_t>(n * k), rng);
+  const std::vector<float> b = randomVec(static_cast<std::size_t>(k * m), rng);
+  const std::vector<float> bias = randomVec(static_cast<std::size_t>(m), rng);
+  const std::vector<float> residual =
+      randomVec(static_cast<std::size_t>(n * m), rng);
+
+  for (const Tier tier : supportedTiers()) {
+    SCOPED_TRACE(tierName(tier));
+    const KernelTable& kt = table(tier);
+    for (std::int32_t activation = 0; activation <= 4; ++activation) {
+      for (const bool withBias : {false, true}) {
+        for (const bool withResidual : {false, true}) {
+          SCOPED_TRACE("act=" + std::to_string(activation) +
+                       " bias=" + std::to_string(withBias) +
+                       " res=" + std::to_string(withResidual));
+          GemmEpilogue ep;
+          ep.bias = withBias ? bias.data() : nullptr;
+          ep.residual = withResidual ? residual.data() : nullptr;
+          ep.activation = activation;
+          ep.slope = activation == 4 ? 0.15f : 0.0f;
+
+          // Unfused reference: the tier's own GEMM, then the scalar
+          // epilogue expressions (exactly the eager op chain).
+          std::vector<float> ref(static_cast<std::size_t>(n * m), 0.0f);
+          kt.gemmRows(a.data(), b.data(), ref.data(), 0, n, k, m);
+          for (std::int64_t r = 0; r < n; ++r) {
+            float* crow = ref.data() + r * m;
+            if (ep.bias != nullptr) {
+              for (std::int64_t j = 0; j < m; ++j) crow[j] += ep.bias[j];
+            }
+            for (std::int64_t j = 0; j < m; ++j) {
+              switch (activation) {
+                case 1: crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f; break;
+                case 2: crow[j] = std::tanh(crow[j]); break;
+                case 3: crow[j] = 1.0f / (1.0f + std::exp(-crow[j])); break;
+                case 4:
+                  crow[j] = crow[j] > 0.0f ? crow[j] : ep.slope * crow[j];
+                  break;
+                default: break;
+              }
+            }
+            if (ep.residual != nullptr) {
+              const float* rrow = ep.residual + r * m;
+              for (std::int64_t j = 0; j < m; ++j) crow[j] += rrow[j];
+            }
+          }
+
+          std::vector<float> fused(static_cast<std::size_t>(n * m), 0.0f);
+          kt.fusedGemmEpilogueRows(a.data(), b.data(), /*packedB=*/nullptr,
+                                   fused.data(), 0, n, k, m, &ep);
+          EXPECT_TRUE(bitwiseEqual(ref, fused));
+
+          // Prepacked-B path: same rounding as the plain-B path.
+          const std::int64_t packSize = kt.gemmPackBSize(k, m);
+          if (packSize > 0) {
+            std::vector<float> panel(static_cast<std::size_t>(packSize));
+            kt.gemmPackB(b.data(), k, m, panel.data());
+            std::vector<float> packed(static_cast<std::size_t>(n * m), 0.0f);
+            kt.fusedGemmEpilogueRows(a.data(), b.data(), panel.data(),
+                                     packed.data(), 0, n, k, m, &ep);
+            EXPECT_TRUE(bitwiseEqual(fused, packed));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SegmentSumRowsBitwiseAcrossTiers) {
+  const std::int64_t rows = 23, cols = 17, segments = 5;
+  Rng rng(47);
+  const std::vector<float> src =
+      randomVec(static_cast<std::size_t>(rows * cols), rng);
+  std::vector<std::int64_t> segment(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    segment[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(rng.uniform(0.0, 1.0) * segments) % segments;
+  }
+  std::vector<float> ref(static_cast<std::size_t>(segments * cols), 0.0f);
+  table(Tier::kScalar)
+      .segmentSumRows(src.data(), segment.data(), rows, cols, ref.data());
+  for (const Tier tier : supportedTiers()) {
+    SCOPED_TRACE(tierName(tier));
+    std::vector<float> out(ref.size(), 0.0f);
+    table(tier).segmentSumRows(src.data(), segment.data(), rows, cols,
+                               out.data());
+    EXPECT_TRUE(bitwiseEqual(ref, out));
+  }
+}
+
+TEST(KernelParity, GatherRowsPtrsBitwiseAcrossTiers) {
+  const std::int64_t rows = 29, cols = 13;
+  Rng rng(53);
+  const std::vector<float> pool =
+      randomVec(static_cast<std::size_t>(rows * cols * 2), rng);
+  std::vector<const float*> ptrs(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const auto offset =
+        static_cast<std::size_t>(rng.uniform(0.0, 1.0) * (rows * 2 - 1));
+    ptrs[static_cast<std::size_t>(r)] =
+        pool.data() + offset * static_cast<std::size_t>(cols);
+  }
+  std::vector<float> ref(static_cast<std::size_t>(rows * cols), 0.0f);
+  table(Tier::kScalar).gatherRowsPtrs(ptrs.data(), rows, cols, ref.data());
+  for (const Tier tier : supportedTiers()) {
+    SCOPED_TRACE(tierName(tier));
+    std::vector<float> out(ref.size(), -7.0f);
+    table(tier).gatherRowsPtrs(ptrs.data(), rows, cols, out.data());
+    EXPECT_TRUE(bitwiseEqual(ref, out));
+  }
+}
+
 }  // namespace
 }  // namespace dagt::tensor::kernels

@@ -193,6 +193,44 @@ TEST(DagtLint, IntrinsicsAllowedInsideKernelTierFiles) {
       << renderAll(findings);
 }
 
+TEST(DagtLint, FusedKernelRegistrationFiresOnMissingTierEntry) {
+  // The fixture TU zero-seeds a table and forgets fusedGemmEpilogueRows;
+  // the trimmed kernels.hpp impersonation supplies the member list.
+  const auto findings = lintFiles(
+      {{"src/tensor/kernels/kernels.hpp",
+        readFixture("fused_registration.hpp")},
+       {"src/tensor/kernels/kernels_newtier.cpp",
+        readFixture("fused_registration.cpp")}});
+  EXPECT_EQ(countRule(findings, "fused-kernel-registration"), 1)
+      << renderAll(findings);
+  EXPECT_EQ(findings.size(), 1u) << renderAll(findings);
+  EXPECT_EQ(findings[0].path, "src/tensor/kernels/kernels_newtier.cpp");
+  EXPECT_NE(findings[0].message.find("fusedGemmEpilogueRows"),
+            std::string::npos);
+}
+
+TEST(DagtLint, FusedKernelRegistrationSkipsCopySeededTables) {
+  // A tier built by copying another tier's table inherits its fused
+  // registrations — no finding even though nothing is assigned here.
+  const std::string copyOnlyTier =
+      "namespace dagt::tensor::kernels {\n"
+      "const KernelTable& fixtureTable() {\n"
+      "  static const KernelTable t = [] {\n"
+      "    KernelTable x = otherTable();\n"
+      "    x.gemmRows = nullptr;\n"
+      "    return x;\n"
+      "  }();\n"
+      "  return t;\n"
+      "}\n"
+      "}  // namespace dagt::tensor::kernels\n";
+  const auto findings = lintFiles(
+      {{"src/tensor/kernels/kernels.hpp",
+        readFixture("fused_registration.hpp")},
+       {"src/tensor/kernels/kernels_fixturetier.cpp", copyOnlyTier}});
+  EXPECT_EQ(countRule(findings, "fused-kernel-registration"), 0)
+      << renderAll(findings);
+}
+
 TEST(DagtLint, CleanFixtureProducesNoFindings) {
   const auto findings =
       lintFixture("src/serve/clean_fixture.hpp", "clean.hpp");

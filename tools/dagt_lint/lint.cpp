@@ -218,6 +218,30 @@ bool isRawSimdIdent(const std::string& t) {
   return false;
 }
 
+/// Kernel tier translation units: the files that build a KernelTable
+/// (kernels_scalar.cpp, kernels_avx2.cpp, ...). dispatch.cpp and the
+/// headers are not tables.
+bool isKernelTierTU(const std::string& path) {
+  return startsWith(path, "src/tensor/kernels/kernels_") &&
+         endsWith(path, ".cpp");
+}
+
+/// Fused composite entries of the KernelTable declaration: function-pointer
+/// members `void (*fusedX)(...)` whose name starts with "fused". These are
+/// the expression compiler's lowering targets, so a tier that forgets one
+/// would crash (or silently fall back) the first time a program replays.
+std::vector<std::string> collectFusedTableMembers(const LexedFile& lexed) {
+  std::vector<std::string> members;
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text == "(" && toks[i + 1].text == "*" &&
+        startsWith(toks[i + 2].text, "fused") && toks[i + 3].text == ")") {
+      members.push_back(toks[i + 2].text);
+    }
+  }
+  return members;
+}
+
 bool isGuardedByScope(const std::string& path) {
   return (startsWith(path, "src/serve/") && endsWith(path, ".hpp")) ||
          path == "src/tensor/storage.hpp" ||
@@ -337,6 +361,16 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
   // Lex everything once up front; guarded-by pairs headers with sources.
   std::map<std::string, LexedFile> lexedByPath;
   for (const auto& file : files) lexedByPath.emplace(file.path, lex(file.text));
+
+  // The fused-kernel-registration rule needs the KernelTable declaration:
+  // fused composite entries are collected from kernels.hpp when it is part
+  // of the lint set (always true for lintTree; fixture sets provide a
+  // trimmed impersonation).
+  std::vector<std::string> fusedMembers;
+  const auto kernelsHpp = lexedByPath.find("src/tensor/kernels/kernels.hpp");
+  if (kernelsHpp != lexedByPath.end()) {
+    fusedMembers = collectFusedTableMembers(kernelsHpp->second);
+  }
 
   for (const auto& file : files) {
     const LexedFile& lexed = lexedByPath.at(file.path);
@@ -518,6 +552,43 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
           emit(t.line, "stdout-logging",
                "library code logs through src/common/logging, not " + t.text +
                    "()");
+        }
+      }
+    }
+
+    // -- fused-kernel-registration ------------------------------------------
+    // A tier TU that zero-seeds its table (`KernelTable x{};`) must assign
+    // every fused composite entry declared in kernels.hpp: the expression
+    // compiler lowers straight to these slots, so a forgotten registration
+    // is a null call the first time a compiled program replays on that
+    // tier. Tables seeded by copying another tier (`KernelTable x =
+    // avx2Table();`) inherit the base tier's registrations and only
+    // override what they specialize.
+    if (isKernelTierTU(file.path) && !fusedMembers.empty()) {
+      int zeroSeedLine = -1;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text == "KernelTable" &&
+            isIdentStart(toks[i + 1].text[0]) && toks[i + 2].text == "{") {
+          zeroSeedLine = toks[i].line;
+          break;
+        }
+      }
+      if (zeroSeedLine != -1) {
+        for (const std::string& member : fusedMembers) {
+          bool assigned = false;
+          for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].text == "." && toks[i + 1].text == member &&
+                toks[i + 2].text == "=") {
+              assigned = true;
+              break;
+            }
+          }
+          if (!assigned) {
+            emit(zeroSeedLine, "fused-kernel-registration",
+                 "tier table never assigns fused kernel '" + member +
+                     "'; register every fused composite for this tier (or "
+                     "seed the table from another tier's table)");
+          }
         }
       }
     }

@@ -26,6 +26,15 @@
 //                           same file;
 //   guarded-by-unlocked     and the companion .cpp (or the header itself)
 //                           actually acquires that mutex.
+//   fused-kernel-registration
+//                           every fused composite entry of the KernelTable
+//                           (function pointers named fused*) is assigned in
+//                           each tier TU that zero-seeds a table
+//                           (`KernelTable x{};`) — a missing registration
+//                           is a null dispatch slot the first time a
+//                           compiled program replays on that tier. Tables
+//                           copy-seeded from another tier inherit its
+//                           registrations.
 //   stdout-logging          no std::cout / std::cerr / printf outside
 //                           src/common/logging (CLI, tools, benches and
 //                           examples are exempt).

@@ -6,6 +6,8 @@
 #   docs      tools/check_docs.sh (+ --selftest) — docs/ in sync with
 #             metrics keys, span names, kernel tiers, DAGT_* knobs, benches
 #   bench     bench_micro_ops smoke run + BENCH JSON validation (tier table)
+#   fusion    bench_fusion smoke run — fused-vs-unfused bitwise parity,
+#             >= 1.2x interactive-forward speedup, <= 3 allocs/predict
 #   asan      ASan/UBSan build, tensor + concurrency suites
 #   tsan      ThreadSanitizer build, concurrency stress suite
 #   obs       ThreadSanitizer build, tracing-layer suite (dagt_obs_tests)
@@ -128,11 +130,39 @@ print(f"bench-smoke: ok ({', '.join(sorted(tiers))})")
 EOF
 }
 
+# Expression-fusion smoke: run bench_fusion at reduced shapes with the
+# gates slightly looser than the recorded numbers (the bench's own defaults
+# are 1.3x / 3 allocs; the smoke gate leaves margin for noisy CI boxes),
+# then validate the JSON it writes: parity must be bitwise at the scalar
+# tier AND the active tier, and the compiled programs must actually have
+# replaced graph launches with fused kernels.
+run_fusion() {
+  cmake --build build -j "$JOBS" --target bench_fusion &&
+    rm -rf build/fusion-smoke && mkdir -p build/fusion-smoke &&
+    DAGT_BENCH_DIR=build/fusion-smoke \
+      DAGT_FUSION_MIN_SPEEDUP=1.2 DAGT_FUSION_MAX_ALLOCS=3 \
+      ./build/bench/bench_fusion &&
+    python3 - <<'EOF'
+import json
+doc = json.load(open("build/fusion-smoke/BENCH_fusion.json"))
+assert doc["parity_bitwise_scalar"], "fused != unfused at scalar tier"
+assert doc["parity_bitwise_active_tier"], "fused != unfused at active tier"
+assert doc["speedup"] >= 1.2, f"fusion speedup {doc['speedup']:.2f}x < 1.2x"
+assert doc["fused_allocs_per_predict"] <= 3, (
+    f"{doc['fused_allocs_per_predict']:.1f} pooled allocs/predict > 3")
+assert doc["fused_gemm_launches"] > 0, "no fused GEMM launches recorded"
+assert doc["fused_ew_launches"] > 0, "no fused elementwise launches recorded"
+print(f"fusion-smoke: ok ({doc['speedup']:.2f}x, "
+      f"{doc['fused_allocs_per_predict']:.1f} allocs/predict)")
+EOF
+}
+
 mkdir -p build
 stage default build/verify-default.log run_default
 stage lint build/verify-lint.log run_lint
 stage docs build/verify-docs.log run_docs
 stage bench build/verify-bench.log run_bench
+stage fusion build/verify-fusion.log run_fusion
 if [[ "$FAST" == 0 ]]; then
   mkdir -p build-asan build-tsan
   stage asan build-asan/verify-asan.log run_asan
