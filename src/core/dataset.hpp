@@ -92,6 +92,7 @@ class TimingDataset {
   /// under imageMutex_, so concurrent batch assembly (serving workers,
   /// what-if readers) is safe without a prewarm pass. A slot is written
   /// at most once; the image bytes themselves are immutable.
+  // GUARDED_BY(imageMutex_)
   mutable std::unordered_map<const features::DesignData*,
                              std::vector<ImageSlot>>
       imageCache_;

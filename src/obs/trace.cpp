@@ -143,6 +143,7 @@ TraceSnapshot TraceRegistry::collect() const {
   }
   TraceSnapshot snapshot;
   for (const auto& buffer : buffers) {
+    // dagt-analyze: mutex(ThreadTraceBuffer::mutex_)
     std::lock_guard<std::mutex> lock(buffer->mutex_);
     const std::size_t held = buffer->ring_.size();
     if (buffer->written_ > held) snapshot.dropped += buffer->written_ - held;
@@ -176,6 +177,7 @@ std::vector<SpanStats> TraceRegistry::aggregate(
   // pointers for the same span name.
   std::unordered_map<std::string, SpanStats> merged;
   for (const auto& buffer : buffers) {
+    // dagt-analyze: mutex(ThreadTraceBuffer::mutex_)
     std::lock_guard<std::mutex> lock(buffer->mutex_);
     for (const auto& [name, agg] : buffer->agg_) {
       if (std::strncmp(name, prefix.c_str(), prefix.size()) != 0) continue;
@@ -203,6 +205,7 @@ void TraceRegistry::reset() {
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
+    // dagt-analyze: mutex(ThreadTraceBuffer::mutex_)
     std::lock_guard<std::mutex> lock(buffer->mutex_);
     buffer->ring_.clear();
     buffer->written_ = 0;

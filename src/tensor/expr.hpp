@@ -292,6 +292,7 @@ class ProgramCache {
   static constexpr std::size_t kMaxEntries = 64;
 
   mutable std::mutex mutex_;
+  // GUARDED_BY(mutex_)
   std::unordered_map<std::uint64_t, std::shared_ptr<const FusedProgram>>
       entries_;
 };

@@ -1,0 +1,17 @@
+// Seeded violation: two classes declare mutex_, so `left->mutex_` has no
+// unique owner. Expected: exactly one lock-order-ambiguous finding.
+#include <mutex>
+
+class Left {
+ public:
+  std::mutex mutex_;
+};
+
+class Right {
+ public:
+  std::mutex mutex_;
+};
+
+void stir(Left* left) {
+  std::lock_guard<std::mutex> lock(left->mutex_);
+}

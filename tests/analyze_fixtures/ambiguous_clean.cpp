@@ -1,0 +1,18 @@
+// Clean twin of ambiguous_bad.cpp: the owner hint resolves the expression.
+// Expected: zero findings.
+#include <mutex>
+
+class Left {
+ public:
+  std::mutex mutex_;
+};
+
+class Right {
+ public:
+  std::mutex mutex_;
+};
+
+void stir(Left* left) {
+  // dagt-analyze: mutex(Left::mutex_)
+  std::lock_guard<std::mutex> lock(left->mutex_);
+}

@@ -1,0 +1,9 @@
+// Drift fixture: one documented span, one undocumented span, one
+// undocumented env knob. The test injects docs text that mentions only
+// `fixture.documented`. Expected: one span-drift and one knob-drift.
+void traced() {
+  DAGT_TRACE_SCOPE("fixture.documented");
+  DAGT_TRACE_SCOPE("fixture.mystery");
+  const char* cap = getenv("DAGT_FIXTURE_KNOB");
+  (void)cap;
+}

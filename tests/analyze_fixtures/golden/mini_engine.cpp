@@ -1,0 +1,24 @@
+// Golden fixture TU 2: definitions exercising spans, env reads, lock
+// acquisition with held tracking, and guarded mutations.
+#include "mini_engine.hpp"
+
+#include <cstdlib>
+
+namespace mini {
+
+void Engine::enqueue(const std::string& item) {
+  DAGT_TRACE_SCOPE("mini.enqueue");
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(item);
+}
+
+std::size_t Engine::drain() {
+  const char* cap = getenv("DAGT_MINI_CAP");
+  (void)cap;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t n = queue_.size();
+  queue_.clear();
+  return n;
+}
+
+}  // namespace mini

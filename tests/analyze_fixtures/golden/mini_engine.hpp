@@ -1,0 +1,22 @@
+// Golden fixture TU 1: declarations only. The committed fact dump in
+// golden_facts.txt must match this file byte-for-byte after re-extraction.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mini {
+
+class Engine {
+ public:
+  void enqueue(const std::string& item);
+  std::size_t drain();
+
+ private:
+  std::mutex mutex_;
+  // GUARDED_BY(mutex_)
+  std::vector<std::string> queue_;
+};
+
+}  // namespace mini

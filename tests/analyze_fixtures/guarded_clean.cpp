@@ -1,0 +1,17 @@
+// Clean twin of guarded_bad.cpp: the declaration is annotated.
+// Expected: zero findings.
+#include <mutex>
+#include <vector>
+
+class Cache {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mutex_;
+  // GUARDED_BY(mutex_)
+  std::vector<int> values_;
+};

@@ -1,0 +1,7 @@
+// Miniature KernelTable for the kernel-table-complete fixtures.
+#pragma once
+
+struct KernelTable {
+  void (*axpy)(float*, const float*, int);
+  void (*scale)(float*, float, int);
+};

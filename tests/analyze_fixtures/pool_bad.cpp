@@ -1,0 +1,10 @@
+// Seeded violations under the virtual path src/serve/pool_bad.cpp:
+// a raw pool acquire, a manual release, and a foreign Buffer construction.
+// Expected: one finding from each of pool-raw-acquire, pool-manual-release
+// and pool-foreign-buffer (three total).
+void assemble() {
+  auto buffer = globalPool().acquire(1024);
+  globalPool().release(buffer);
+  auto foreign = new Buffer(512);
+  (void)foreign;
+}

@@ -1,0 +1,7 @@
+// Clean pool usage outside src/tensor/: allocation goes through makeOut,
+// so ownership stays with the pool's shared_ptr deleter.
+// Expected: zero findings.
+void assemble() {
+  auto out = makeOut(shape);
+  (void)out;
+}

@@ -1,0 +1,7 @@
+// Seeded violation under the virtual path src/tensor/storage.cpp (where
+// release/parkGlobal are otherwise legal): the same chunk is parked twice
+// in one function. Expected: exactly one pool-double-release finding.
+void trim() {
+  parkGlobal(chunk);
+  parkGlobal(chunk);
+}

@@ -1,0 +1,12 @@
+// Tokenizer fixture (never compiled): digit separators and exponents. A
+// ' separator must stay inside one pp-number token — the ad-hoc lexer once
+// opened a bogus char literal at the first ' and swallowed code until the
+// next apostrophe (including the rand() below).
+static long population = 1'000'000;
+static int hexsep = 0xFF'00;
+static double expo = 1.5e+10;
+static double hexfloat = 0x1.8p-3;
+int not_swallowed = rand();  // line 9: visible to rules despite separators
+static char quoted = 'x';
+static wchar_t wquoted = L'y';
+int marker_after_numbers = 12;  // must land on line 12

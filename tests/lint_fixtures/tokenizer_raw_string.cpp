@@ -1,0 +1,12 @@
+// Tokenizer fixture (never compiled): raw string literals. Contents that
+// look like rule triggers (new, malloc, rand, _mm256_*) must stay inside
+// the literal token and never reach the rule engines; line counting must
+// survive multi-line bodies so the marker line below is exact.
+static const char* plain = R"(new malloc( rand() _mm256_loadu_ps)";
+static const char* delimited = R"ab(contains )" quote-close inside)ab";
+static const char* multi = R"(first
+second
+third)";
+static const char* prefixed = u8R"(std::cout << "hi")";
+static const wchar_t* wide = LR"(srand(1))";
+int marker_after_raw = 12;  // must land on line 12

@@ -1,0 +1,8 @@
+// Tokenizer fixture (never compiled): a backslash-newline splice inside a
+// line comment continues the comment, so the "code" on the next physical
+// line is comment text, not tokens.
+int before = 1;
+// this comment splices onto the next line \
+int hidden_by_splice = rand();
+int after_splice = 7;  // must land on line 7
+// a trailing backslash at EOF must not crash \

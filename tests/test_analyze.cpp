@@ -1,0 +1,259 @@
+// dagt-analyze self-tests: every pass is exercised against a seeded
+// fixture (the violation must fire exactly once) and a clean twin (zero
+// findings), plus golden fact-extraction stability on a miniature two-TU
+// project and fingerprint/baseline round-trips.
+//
+// Fixtures live in tests/analyze_fixtures/ but are analyzed under
+// *virtual* paths (e.g. src/serve/...) because several passes gate on the
+// repo location of the TU, not its on-disk home.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "facts.hpp"
+#include "passes.hpp"
+
+namespace {
+
+using namespace dagt::analyze;
+
+std::string fixturePath(const std::string& name) {
+  return std::string(DAGT_ANALYZE_FIXTURE_DIR) + "/" + name;
+}
+
+std::string readFixture(const std::string& name) {
+  std::ifstream in(fixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Analyze fixtures under virtual paths: {virtualPath, fixtureFile}.
+std::vector<Finding> analyze(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& options = Options{}) {
+  std::vector<TuFacts> tus;
+  for (const auto& [virtualPath, fixture] : files) {
+    tus.push_back(extractFacts(virtualPath, readFixture(fixture)));
+  }
+  return runPasses(tus, options);
+}
+
+std::map<std::string, int> countByPass(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const auto& f : findings) counts[f.pass] += 1;
+  return counts;
+}
+
+TEST(AnalyzeLockOrder, CycleFiresExactlyOnce) {
+  const auto findings = analyze({{"src/fixture/cycle_bad.cpp", "cycle_bad.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "lock-order-cycle");
+  EXPECT_NE(findings[0].message.find("Engine::a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Engine::b_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, ConsistentOrderIsQuiet) {
+  const auto findings =
+      analyze({{"src/fixture/cycle_clean.cpp", "cycle_clean.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeLockOrder, AmbiguousOwnerFiresExactlyOnce) {
+  const auto findings =
+      analyze({{"src/fixture/ambiguous_bad.cpp", "ambiguous_bad.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "lock-order-ambiguous");
+  EXPECT_NE(findings[0].message.find("left->mutex_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, MutexAnnotationResolvesAmbiguity) {
+  const auto findings =
+      analyze({{"src/fixture/ambiguous_clean.cpp", "ambiguous_clean.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeLockOrder, DeclaredOrderViolationFires) {
+  const auto findings =
+      analyze({{"src/fixture/violation_bad.cpp", "violation_bad.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "lock-order-violation");
+}
+
+TEST(AnalyzePool, EachLifetimeViolationFiresOnce) {
+  const auto findings = analyze({{"src/serve/pool_bad.cpp", "pool_bad.cpp"}});
+  const auto counts = countByPass(findings);
+  EXPECT_EQ(findings.size(), 3u) << findingsToJson(findings, {});
+  EXPECT_EQ(counts.at("pool-raw-acquire"), 1);
+  EXPECT_EQ(counts.at("pool-manual-release"), 1);
+  EXPECT_EQ(counts.at("pool-foreign-buffer"), 1);
+}
+
+TEST(AnalyzePool, DoubleReleaseFiresOnceInsidePool) {
+  const auto findings =
+      analyze({{"src/tensor/storage.cpp", "pool_double.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "pool-double-release");
+  EXPECT_NE(findings[0].message.find("chunk"), std::string::npos);
+}
+
+TEST(AnalyzePool, MakeOutPathIsQuiet) {
+  const auto findings =
+      analyze({{"src/serve/pool_clean.cpp", "pool_clean.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeGuardedBy, GapFiresExactlyOnce) {
+  const auto findings =
+      analyze({{"src/fixture/guarded_bad.cpp", "guarded_bad.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "guarded-by-gap");
+  EXPECT_NE(findings[0].message.find("Cache::values_"), std::string::npos);
+}
+
+TEST(AnalyzeGuardedBy, AnnotationSilencesGap) {
+  const auto findings =
+      analyze({{"src/fixture/guarded_clean.cpp", "guarded_clean.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeGuardedBy, AllowSuppressesOnMutationLine) {
+  const auto findings =
+      analyze({{"src/fixture/guarded_allowed.cpp", "guarded_allowed.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeKernelTable, MissingSlotFiresExactlyOnce) {
+  const auto findings =
+      analyze({{"src/fixture/kernels.hpp", "kernels.hpp"},
+               {"src/fixture/kernels_partial.cpp", "kernels_partial.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << findingsToJson(findings, {});
+  EXPECT_EQ(findings[0].pass, "kernel-table-complete");
+  EXPECT_NE(findings[0].message.find("'scale'"), std::string::npos);
+}
+
+TEST(AnalyzeKernelTable, CompleteTableIsQuiet) {
+  const auto findings =
+      analyze({{"src/fixture/kernels.hpp", "kernels.hpp"},
+               {"src/fixture/kernels_complete.cpp", "kernels_complete.cpp"}});
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+TEST(AnalyzeDrift, UndocumentedSpanAndKnobEachFireOnce) {
+  Options options;
+  options.hasObsDocs = true;
+  options.obsDocs = "The `fixture.documented` span covers batch assembly.";
+  options.hasPerfDocs = true;
+  options.perfDocs = "No knobs documented here.";
+  const auto findings =
+      analyze({{"src/fixture/drift.cpp", "drift.cpp"}}, options);
+  const auto counts = countByPass(findings);
+  EXPECT_EQ(findings.size(), 2u) << findingsToJson(findings, {});
+  EXPECT_EQ(counts.at("span-drift"), 1);
+  EXPECT_EQ(counts.at("knob-drift"), 1);
+  for (const auto& f : findings) {
+    EXPECT_TRUE(f.message.find("fixture.mystery") != std::string::npos ||
+                f.message.find("DAGT_FIXTURE_KNOB") != std::string::npos)
+        << f.render();
+  }
+}
+
+TEST(AnalyzeDrift, DocumentedNamesAreQuiet) {
+  Options options;
+  options.hasObsDocs = true;
+  options.obsDocs = "`fixture.documented` and `fixture.mystery` spans.";
+  options.hasPerfDocs = true;
+  options.perfDocs = "`DAGT_FIXTURE_KNOB` caps the fixture.";
+  const auto findings =
+      analyze({{"src/fixture/drift.cpp", "drift.cpp"}}, options);
+  EXPECT_TRUE(findings.empty()) << findingsToJson(findings, {});
+}
+
+// -- golden fact extraction --------------------------------------------------
+
+std::string goldenDump() {
+  std::string dump;
+  for (const char* name : {"mini_engine.hpp", "mini_engine.cpp"}) {
+    const std::string virtualPath = std::string("golden/") + name;
+    dump += serializeFacts(
+        extractFacts(virtualPath, readFixture(std::string("golden/") + name)));
+  }
+  return dump;
+}
+
+TEST(AnalyzeGolden, FactExtractionMatchesCommittedDump) {
+  const std::string dump = goldenDump();
+  const std::string goldenFile = fixturePath("golden/golden_facts.txt");
+  if (std::getenv("DAGT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(goldenFile, std::ios::binary);
+    out << dump;
+    GTEST_SKIP() << "regenerated " << goldenFile;
+  }
+  std::ifstream in(goldenFile, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden dump; run with DAGT_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(dump, expected.str());
+}
+
+TEST(AnalyzeGolden, SerializationRoundTripsByteIdentical) {
+  for (const char* name : {"mini_engine.hpp", "mini_engine.cpp"}) {
+    const std::string virtualPath = std::string("golden/") + name;
+    const TuFacts facts =
+        extractFacts(virtualPath, readFixture(std::string("golden/") + name));
+    const std::string once = serializeFacts(facts);
+    const std::string twice = serializeFacts(parseFacts(once));
+    EXPECT_EQ(once, twice) << virtualPath;
+  }
+}
+
+TEST(AnalyzeGolden, GoldenFactsCoverEveryChannel) {
+  // Guards against the extractor silently losing a fact family: the mini
+  // project deliberately exercises each record kind that applies to it.
+  const std::string dump = goldenDump();
+  for (const char* record : {"mutex\t", "guard\t", "fn\t", "acq\t", "mut\t",
+                             "span\t", "env\t"}) {
+    EXPECT_NE(dump.find(record), std::string::npos)
+        << "no '" << record << "' record in golden dump:\n" << dump;
+  }
+}
+
+// -- fingerprints and baselines ----------------------------------------------
+
+TEST(AnalyzeBaseline, FingerprintIgnoresLineNumbers) {
+  Finding a{"guarded-by-gap", "src/x.cpp", 10, "field 'C::f_' unannotated"};
+  Finding b = a;
+  b.line = 99;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.message += " (changed)";
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(AnalyzeBaseline, JsonRoundTripsFingerprints) {
+  Finding a{"span-drift", "src/x.cpp", 3, "span 'a' undocumented"};
+  Finding b{"knob-drift", "src/y.cpp", 7, "knob \"B\" undocumented"};
+  const std::string json = findingsToJson({a, b}, {true, false});
+  const auto fingerprints = parseBaselineFingerprints(json);
+  ASSERT_EQ(fingerprints.size(), 2u);
+  EXPECT_EQ(fingerprints[0], a.fingerprint());
+  EXPECT_EQ(fingerprints[1], b.fingerprint());
+  EXPECT_NE(json.find("\"baselined\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"baselined\": false"), std::string::npos);
+}
+
+TEST(AnalyzeBaseline, EmptyBaselineParsesToNothing) {
+  const std::string json = findingsToJson({}, {});
+  EXPECT_TRUE(parseBaselineFingerprints(json).empty());
+  EXPECT_NE(json.find("\"total\": 0"), std::string::npos);
+}
+
+}  // namespace

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lexer.hpp"
 #include "lint.hpp"
 
 #ifndef DAGT_LINT_FIXTURE_DIR
@@ -235,6 +236,83 @@ TEST(DagtLint, CleanFixtureProducesNoFindings) {
   const auto findings =
       lintFixture("src/serve/clean_fixture.hpp", "clean.hpp");
   EXPECT_EQ(findings.size(), 0u) << renderAll(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer regressions: each fixture encodes a construct that once
+// desynchronized the ad-hoc lexer (raw strings swallowing code, spliced
+// line comments leaking tokens, digit separators opening bogus char
+// literals). The markers pin exact line numbers after the construct.
+// ---------------------------------------------------------------------------
+
+const Token* findToken(const LexedFile& lexed, const std::string& text,
+                       TokenKind kind) {
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == kind && t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+TEST(DagtLexer, RawStringsStayOpaqueAndCountLines) {
+  const LexedFile lexed = lex(readFixture("tokenizer_raw_string.cpp"));
+  // Literal contents never become code tokens...
+  EXPECT_EQ(findToken(lexed, "malloc", TokenKind::kIdent), nullptr);
+  EXPECT_EQ(findToken(lexed, "_mm256_loadu_ps", TokenKind::kIdent), nullptr);
+  // ...but are recoverable as positioned string tokens.
+  const Token* plain =
+      findToken(lexed, "new malloc( rand() _mm256_loadu_ps", TokenKind::kString);
+  ASSERT_NE(plain, nullptr);
+  EXPECT_EQ(plain->line, 5);
+  const Token* delimited = findToken(
+      lexed, "contains )\" quote-close inside", TokenKind::kString);
+  ASSERT_NE(delimited, nullptr);
+  EXPECT_EQ(delimited->line, 6);
+  const Token* multi =
+      findToken(lexed, "first\nsecond\nthird", TokenKind::kString);
+  ASSERT_NE(multi, nullptr);
+  EXPECT_EQ(multi->line, 7);
+  // Line counting survives the multi-line body.
+  const Token* marker = findToken(lexed, "marker_after_raw", TokenKind::kIdent);
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->line, 12);
+  // And no rule fires on literal contents even under the strictest path.
+  const auto findings = lintFixture("src/tensor/ops_fixture.cpp",
+                                    "tokenizer_raw_string.cpp");
+  EXPECT_EQ(findings.size(), 0u) << renderAll(findings);
+}
+
+TEST(DagtLexer, LineCommentSpliceContinuesComment) {
+  const LexedFile lexed = lex(readFixture("tokenizer_splice.cpp"));
+  // The spliced physical line is comment text, not code.
+  EXPECT_EQ(findToken(lexed, "hidden_by_splice", TokenKind::kIdent), nullptr);
+  const auto comment = lexed.commentByLine.find(5);
+  ASSERT_NE(comment, lexed.commentByLine.end());
+  EXPECT_NE(comment->second.find("hidden_by_splice"), std::string::npos);
+  const Token* marker = findToken(lexed, "after_splice", TokenKind::kIdent);
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->line, 7);
+  // The rand() hidden behind the splice must not trip unseeded-rng.
+  const auto findings =
+      lintFixture("src/core/splice_fixture.cpp", "tokenizer_splice.cpp");
+  EXPECT_EQ(countRule(findings, "unseeded-rng"), 0) << renderAll(findings);
+}
+
+TEST(DagtLexer, DigitSeparatorsStayInsideOneNumber) {
+  const LexedFile lexed = lex(readFixture("tokenizer_digit_sep.cpp"));
+  EXPECT_NE(findToken(lexed, "1'000'000", TokenKind::kNumber), nullptr);
+  EXPECT_NE(findToken(lexed, "0xFF'00", TokenKind::kNumber), nullptr);
+  EXPECT_NE(findToken(lexed, "1.5e+10", TokenKind::kNumber), nullptr);
+  EXPECT_NE(findToken(lexed, "0x1.8p-3", TokenKind::kNumber), nullptr);
+  const Token* marker =
+      findToken(lexed, "marker_after_numbers", TokenKind::kIdent);
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->line, 12);
+  // Positive control: the rand() after the separators is real code and
+  // still visible to the rule engine at its true line.
+  const auto findings =
+      lintFixture("src/core/sep_fixture.cpp", "tokenizer_digit_sep.cpp");
+  ASSERT_EQ(countRule(findings, "unseeded-rng"), 1) << renderAll(findings);
+  EXPECT_EQ(findings[0].line, 9);
 }
 
 TEST(DagtLint, FindingRenderFormat) {

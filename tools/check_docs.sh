@@ -18,7 +18,16 @@
 #      docs/performance.md;
 #   4. every what-if edit command in the canonical table of
 #      src/whatif/edit_script.cpp (between the DOCS:WHATIF_COMMANDS
-#      markers) must appear (backticked) in docs/whatif.md.
+#      markers) must appear (backticked) in docs/whatif.md;
+#   5. every dagt-analyze pass id in the canonical table of
+#      tools/dagt_analyze/passes.cpp (between the DOCS:ANALYZE_PASSES
+#      markers) must appear (backticked) in docs/static-analysis.md.
+#
+# Span and env-var extraction prefers `dagt_analyze --dump spans|env` when
+# the binary has been built: the analyzer lexes the sources, so names that
+# appear only inside comments or disabled code do not pollute the check.
+# The grep fallback (fresh checkout, no build tree yet) drops full-line
+# comments but cannot see nuance beyond that.
 #
 # Adding a metric, span, tier, knob or bench without documenting it fails
 # verify. Exits non-zero with one line per missing name.
@@ -33,6 +42,9 @@ cd "$(dirname "$0")/.."
 
 SELFTEST=0
 [[ "${1:-}" == "--selftest" ]] && SELFTEST=1
+
+ANALYZER=build/tools/dagt_analyze/dagt_analyze
+[[ -x "$ANALYZER" ]] || ANALYZER=""
 
 MISSING=0
 MISSED_NAMES=""
@@ -76,8 +88,14 @@ OBS=docs/observability.md
 if [[ ! -f "$OBS" ]]; then
   miss "$OBS does not exist"
 else
-  SPANS=$(grep -rhoE 'DAGT_TRACE_(SCOPE|INSTANT)\("[^"]+"' src tools bench |
-    sed 's/.*("\([^"]*\)".*/\1/' | sort -u)
+  if [[ -n "$ANALYZER" ]]; then
+    SPANS=$("$ANALYZER" --dump spans .)
+  else
+    SPANS=$(grep -rhE 'DAGT_TRACE_(SCOPE|INSTANT)\("[^"]+"' src tools bench |
+      grep -vE '^[[:space:]]*//' |
+      grep -oE 'DAGT_TRACE_(SCOPE|INSTANT)\("[^"]+"' |
+      sed 's/.*("\([^"]*\)".*/\1/' | sort -u)
+  fi
   [[ -n "$SPANS" ]] || miss "no DAGT_TRACE_* names found under src/ tools/ bench/ (extraction broke?)"
 
   for span in $SPANS; do
@@ -103,8 +121,14 @@ OPTIONS=$(grep -rhoE '(option|set)\(DAGT_[A-Z_]+' --include=CMakeLists.txt . |
 
 # DAGT_* environment variables read at runtime — directly via getenv or
 # through the benches' envOr("DAGT_...", fallback) helper.
-ENVVARS=$(grep -rhoE '(getenv|envOr)\("DAGT_[A-Z_]+"' src tools bench |
-  sed 's/.*"\(DAGT_[A-Z_]*\)".*/\1/' | sort -u)
+if [[ -n "$ANALYZER" ]]; then
+  ENVVARS=$("$ANALYZER" --dump env .)
+else
+  ENVVARS=$(grep -rhE '(getenv|envOr)\("DAGT_[A-Z_]+"' src tools bench |
+    grep -vE '^[[:space:]]*//' |
+    grep -oE '(getenv|envOr)\("DAGT_[A-Z_]+"' |
+    sed 's/.*"\(DAGT_[A-Z_]*\)".*/\1/' | sort -u)
+fi
 [[ -n "$ENVVARS" ]] || miss "no getenv(\"DAGT_*\") env vars found under src/ tools/ bench/ (extraction broke?)"
 
 # Benchmark targets: declared via the dagt_bench() macro or directly with
@@ -172,12 +196,37 @@ else
   done
 fi
 
+# --- 5. dagt-analyze pass ids -> docs/static-analysis.md -------------------
+
+SAN=docs/static-analysis.md
+
+# Pass ids from the canonical table in passes.cpp (the same table drives
+# the pass engine, `--dump passes` and the findings JSON).
+PASSES=$(sed -n '/DOCS:ANALYZE_PASSES_BEGIN/,/DOCS:ANALYZE_PASSES_END/p' \
+  tools/dagt_analyze/passes.cpp |
+  grep -oE '\{"[a-z-]+"' | tr -d '{"' | sort -u)
+[[ -n "$PASSES" ]] || miss "no pass ids found in tools/dagt_analyze/passes.cpp (extraction broke?)"
+
+if [[ "$SELFTEST" == 1 ]]; then
+  PASSES="$PASSES
+phantom-pass-zz"
+fi
+
+if [[ ! -f "$SAN" ]]; then
+  miss "$SAN does not exist"
+else
+  for pass in $PASSES; do
+    grep -qF "\`${pass}\`" "$SAN" ||
+      miss "analyzer pass '${pass}' (tools/dagt_analyze/passes.cpp) is not documented in $SAN"
+  done
+fi
+
 # --- verdict ---------------------------------------------------------------
 
 if [[ "$SELFTEST" == 1 ]]; then
   rc=0
   for phantom in phantom_tier_zz DAGT_PHANTOM_OPTION DAGT_PHANTOM_ENV \
-    bench_phantom_target phantomcmd; do
+    bench_phantom_target phantomcmd phantom-pass-zz; do
     case "$MISSED_NAMES" in
       *"'${phantom}'"*) ;;
       *)

@@ -1,0 +1,646 @@
+#include "passes.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace dagt::analyze {
+
+namespace {
+
+using lint::endsWith;
+using lint::startsWith;
+
+// DOCS:ANALYZE_PASSES_BEGIN
+const std::vector<PassInfo> kPasses = {
+    {"lock-order-cycle", "cycle in the mutex acquisition-order graph"},
+    {"lock-order-ambiguous", "unresolvable lock expression (annotate owner)"},
+    {"lock-order-violation", "acquisition contradicts a declared lock-order"},
+    {"pool-raw-acquire", "BufferPool::acquire outside src/tensor/"},
+    {"pool-manual-release", "manual release/parkGlobal outside the pool"},
+    {"pool-foreign-buffer", "direct Buffer construction outside the pool"},
+    {"pool-double-release", "same buffer released twice in one function"},
+    {"guarded-by-gap", "field mutated under lock without GUARDED_BY"},
+    {"kernel-table-complete", "zero-seeded tier table missing a kernel slot"},
+    {"span-drift", "trace span missing from docs/observability.md"},
+    {"knob-drift", "DAGT_* env knob missing from docs/performance.md"},
+};
+// DOCS:ANALYZE_PASSES_END
+
+/// Merged cross-TU view used by every pass.
+struct Database {
+  const std::vector<TuFacts>* tus = nullptr;
+  // mutex member name -> declaring classes
+  std::map<std::string, std::set<std::string>> mutexClasses;
+  // "Class::field" annotated GUARDED_BY
+  std::set<std::string> guardedFields;
+  // function last name -> qualified names ("Class::name" or "name")
+  std::map<std::string, std::set<std::string>> functionsByName;
+  // path -> line -> allowed pass ids
+  std::map<std::string, std::map<int, std::set<std::string>>> allows;
+  // path -> line -> mutex owner hints ("Class::member")
+  std::map<std::string, std::map<int, std::string>> mutexHints;
+  // declared lock-order edges "A::m" < "B::n"
+  std::set<std::pair<std::string, std::string>> declaredOrder;
+};
+
+std::string qualify(const std::string& cls, const std::string& name) {
+  return cls.empty() ? name : cls + "::" + name;
+}
+
+Database buildDatabase(const std::vector<TuFacts>& tus) {
+  Database db;
+  db.tus = &tus;
+  for (const auto& tu : tus) {
+    for (const auto& m : tu.mutexes) {
+      db.mutexClasses[m.member].insert(m.className);
+    }
+    for (const auto& g : tu.guarded) {
+      db.guardedFields.insert(qualify(g.className, g.field));
+    }
+    for (const auto& f : tu.functions) {
+      db.functionsByName[f.name].insert(qualify(f.className, f.name));
+    }
+    for (const auto& a : tu.annotations) {
+      if (a.kind == "allow") {
+        db.allows[tu.path][a.line].insert(a.value);
+      } else if (a.kind == "mutex") {
+        db.mutexHints[tu.path][a.line] = a.value;
+      } else if (a.kind == "lock-order") {
+        const std::size_t lt = a.value.find('<');
+        if (lt != std::string::npos) {
+          db.declaredOrder.emplace(a.value.substr(0, lt),
+                                   a.value.substr(lt + 1));
+        }
+      }
+    }
+  }
+  return db;
+}
+
+/// Resolve a textual mutex expression to a stable identity.
+struct Resolution {
+  std::string id;         // "Class::member" or "<path>::member" for locals
+  bool resolved = false;  // false => ambiguous, needs an annotation
+};
+
+Resolution resolveMutex(const Database& db, const std::string& tuPath,
+                        const std::string& enclosingClass, std::string expr,
+                        int line) {
+  Resolution r;
+  // An explicit owner hint on the acquisition line (or the line above)
+  // wins outright.
+  const auto hintsIt = db.mutexHints.find(tuPath);
+  if (hintsIt != db.mutexHints.end()) {
+    for (int probe : {line, line - 1}) {
+      const auto at = hintsIt->second.find(probe);
+      if (at != hintsIt->second.end()) {
+        r.id = at->second;
+        r.resolved = true;
+        return r;
+      }
+    }
+  }
+  if (startsWith(expr, "this->")) expr = expr.substr(6);
+  if (expr.find('(') != std::string::npos) {
+    return r;  // call result — cannot resolve statically
+  }
+  std::string member = expr;
+  bool qualifiedAccess = false;
+  for (const char* sep : {"->", ".", "::"}) {
+    const std::size_t at = expr.rfind(sep);
+    if (at != std::string::npos) {
+      const std::string tail = expr.substr(at + std::string(sep).size());
+      if (!qualifiedAccess || tail.size() < member.size()) member = tail;
+      qualifiedAccess = true;
+    }
+  }
+  const auto declarers = db.mutexClasses.find(member);
+  if (!qualifiedAccess) {
+    // Bare name: the enclosing class wins when it declares the member.
+    if (declarers != db.mutexClasses.end()) {
+      if (!enclosingClass.empty() &&
+          declarers->second.count(enclosingClass) != 0) {
+        r.id = enclosingClass + "::" + member;
+        r.resolved = true;
+        return r;
+      }
+      if (declarers->second.size() == 1) {
+        r.id = *declarers->second.begin() + "::" + member;
+        r.resolved = true;
+        return r;
+      }
+      return r;  // several candidate owners — ambiguous
+    }
+    // Not a known class member: a function-local or file-static mutex.
+    r.id = tuPath + "::" + member;
+    r.resolved = true;
+    return r;
+  }
+  // Member access through an object: unique declaring class or bust.
+  if (declarers != db.mutexClasses.end() && declarers->second.size() == 1) {
+    r.id = *declarers->second.begin() + "::" + member;
+    r.resolved = true;
+    return r;
+  }
+  return r;
+}
+
+bool isAllowed(const Database& db, const Finding& f) {
+  const auto it = db.allows.find(f.path);
+  if (it == db.allows.end()) return false;
+  for (int probe : {f.line, f.line - 1}) {
+    const auto at = it->second.find(probe);
+    if (at != it->second.end() && at->second.count(f.pass) != 0) return true;
+  }
+  return false;
+}
+
+// -- lock-order --------------------------------------------------------------
+
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string path;  // witness site
+  int line = 0;
+};
+
+void lockOrderPasses(const Database& db, std::vector<Finding>& out) {
+  std::vector<Edge> edges;
+  // function qual name -> directly acquired (resolved) mutexes
+  std::map<std::string, std::set<std::string>> direct;
+  // function qual name -> unique known callees
+  std::map<std::string, std::set<std::string>> callees;
+
+  for (const auto& tu : *db.tus) {
+    for (const auto& a : tu.acquires) {
+      const Resolution target =
+          resolveMutex(db, tu.path, a.className, a.mutexExpr, a.line);
+      if (!target.resolved) {
+        out.push_back(
+            {"lock-order-ambiguous", tu.path, a.line,
+             "cannot resolve mutex expression '" + a.mutexExpr +
+                 "' to a unique owner; add // dagt-analyze: mutex(" +
+                 "Class::member) on this line"});
+      } else {
+        direct[qualify(a.className, a.function)].insert(target.id);
+        for (const auto& h : a.held) {
+          const Resolution held =
+              resolveMutex(db, tu.path, a.className, h, a.line);
+          if (held.resolved && held.id != target.id) {
+            edges.push_back({held.id, target.id, tu.path, a.line});
+          }
+        }
+      }
+    }
+    for (const auto& c : tu.calls) {
+      std::string calleeQual;
+      if (!c.qualifier.empty()) {
+        const auto it = db.functionsByName.find(c.callee);
+        if (it != db.functionsByName.end() &&
+            it->second.count(c.qualifier + "::" + c.callee) != 0) {
+          calleeQual = c.qualifier + "::" + c.callee;
+        }
+      } else {
+        const auto it = db.functionsByName.find(c.callee);
+        if (it != db.functionsByName.end() && it->second.size() == 1) {
+          calleeQual = *it->second.begin();
+        }
+      }
+      if (calleeQual.empty()) continue;
+      callees[qualify(c.className, c.function)].insert(calleeQual);
+    }
+  }
+
+  // May-acquire fixpoint over the unique-callee graph.
+  std::map<std::string, std::set<std::string>> may = direct;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < 64) {
+    changed = false;
+    ++rounds;
+    for (const auto& [fn, cs] : callees) {
+      auto& mine = may[fn];
+      const std::size_t before = mine.size();
+      for (const auto& callee : cs) {
+        const auto it = may.find(callee);
+        if (it == may.end()) continue;
+        mine.insert(it->second.begin(), it->second.end());
+      }
+      if (mine.size() != before) changed = true;
+    }
+  }
+
+  // Calls made while holding: edge held -> everything the callee may take.
+  for (const auto& tu : *db.tus) {
+    for (const auto& c : tu.calls) {
+      if (c.held.empty()) continue;
+      std::string calleeQual;
+      if (!c.qualifier.empty()) {
+        const auto it = db.functionsByName.find(c.callee);
+        if (it != db.functionsByName.end() &&
+            it->second.count(c.qualifier + "::" + c.callee) != 0) {
+          calleeQual = c.qualifier + "::" + c.callee;
+        }
+      } else {
+        const auto it = db.functionsByName.find(c.callee);
+        if (it != db.functionsByName.end() && it->second.size() == 1) {
+          calleeQual = *it->second.begin();
+        }
+      }
+      if (calleeQual.empty()) continue;
+      const auto acquired = may.find(calleeQual);
+      if (acquired == may.end()) continue;
+      for (const auto& h : c.held) {
+        const Resolution held =
+            resolveMutex(db, tu.path, c.className, h, c.line);
+        if (!held.resolved) continue;
+        for (const auto& m : acquired->second) {
+          if (m != held.id) edges.push_back({held.id, m, tu.path, c.line});
+        }
+      }
+    }
+  }
+
+  // Declared-order violations: edge X->Y while the annotation says Y<X.
+  for (const auto& e : edges) {
+    if (db.declaredOrder.count({e.to, e.from}) != 0) {
+      out.push_back({"lock-order-violation", e.path, e.line,
+                     "acquires '" + e.to + "' while holding '" + e.from +
+                         "', contradicting declared lock-order(" + e.to +
+                         "<" + e.from + ")"});
+    }
+  }
+
+  // Cycle detection: nodes left by Kahn's algorithm sit on cycles; group
+  // them into strongly-connected components and report each once.
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::string, int> indeg;
+  for (const auto& e : edges) {
+    indeg.emplace(e.from, 0);
+    indeg.emplace(e.to, 0);
+    if (adj[e.from].insert(e.to).second) ++indeg[e.to];
+  }
+  std::vector<std::string> queue;
+  for (const auto& [n, d] : indeg) {
+    if (d == 0) queue.push_back(n);
+  }
+  std::map<std::string, int> live = indeg;
+  while (!queue.empty()) {
+    const std::string n = queue.back();
+    queue.pop_back();
+    live.erase(n);
+    const auto it = adj.find(n);
+    if (it == adj.end()) continue;
+    for (const auto& next : it->second) {
+      const auto d = live.find(next);
+      if (d != live.end() && --d->second == 0) queue.push_back(next);
+    }
+  }
+  // `live` now holds only nodes on (or downstream of) cycles. The SCC of a
+  // node is reach(node) ∩ coreach(node); a node sits on a cycle iff it can
+  // reach itself through at least one edge.
+  std::map<std::string, std::set<std::string>> radj;
+  for (const auto& [from, tos] : adj) {
+    for (const auto& to : tos) radj[to].insert(from);
+  }
+  const auto reachable = [&](const std::string& start,
+                             const std::map<std::string, std::set<std::string>>&
+                                 graph) {
+    std::set<std::string> seen;
+    std::vector<std::string> stack = {start};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      const auto it = graph.find(cur);
+      if (it == graph.end()) continue;
+      for (const auto& next : it->second) {
+        if (live.count(next) != 0 && seen.insert(next).second) {
+          stack.push_back(next);
+        }
+      }
+    }
+    return seen;
+  };
+  std::set<std::string> reported;
+  for (const auto& [node, d] : live) {
+    if (reported.count(node) != 0) continue;
+    const std::set<std::string> fwd = reachable(node, adj);
+    if (fwd.count(node) == 0) continue;  // not on a cycle itself
+    const std::set<std::string> back = reachable(node, radj);
+    std::vector<std::string> component;
+    for (const auto& n : fwd) {
+      if (back.count(n) != 0) {
+        component.push_back(n);
+        reported.insert(n);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    std::string cycleDesc;
+    for (const auto& n : component) {
+      if (!cycleDesc.empty()) cycleDesc += " <-> ";
+      cycleDesc += n;
+    }
+    // Witness: the first edge inside the component, by (path, line).
+    const Edge* witness = nullptr;
+    for (const auto& e : edges) {
+      if (std::find(component.begin(), component.end(), e.from) ==
+              component.end() ||
+          std::find(component.begin(), component.end(), e.to) ==
+              component.end()) {
+        continue;
+      }
+      if (witness == nullptr || e.path < witness->path ||
+          (e.path == witness->path && e.line < witness->line)) {
+        witness = &e;
+      }
+    }
+    out.push_back({"lock-order-cycle",
+                   witness != nullptr ? witness->path : "",
+                   witness != nullptr ? witness->line : 0,
+                   "potential deadlock: acquisition-order cycle between " +
+                       cycleDesc +
+                       "; break the cycle or declare the intended order "
+                       "with // dagt-analyze: lock-order(A::m<B::n)"});
+  }
+}
+
+// -- pooled-buffer lifetime --------------------------------------------------
+
+bool isPoolHome(const std::string& path) {
+  return startsWith(path, "src/tensor/");
+}
+
+void poolPasses(const Database& db, std::vector<Finding>& out) {
+  for (const auto& tu : *db.tus) {
+    // (function, arg) -> release count, for double-release.
+    std::map<std::pair<std::string, std::string>, std::pair<int, int>>
+        releases;  // -> {count, last line}
+    for (const auto& p : tu.pool) {
+      if (p.kind == "acquire" && !isPoolHome(tu.path)) {
+        out.push_back({"pool-raw-acquire", tu.path, p.line,
+                       "raw BufferPool acquire ('" + p.receiver +
+                           ".acquire(...)') outside src/tensor/; route "
+                           "allocations through makeOut/makeView or a "
+                           "Workspace so the release contract stays with "
+                           "the pool"});
+      }
+      if ((p.kind == "release" || p.kind == "park") &&
+          !(tu.path == "src/tensor/storage.cpp" ||
+            tu.path == "src/tensor/storage.hpp")) {
+        out.push_back({"pool-manual-release", tu.path, p.line,
+                       "manual pool " +
+                           std::string(p.kind == "park" ? "parkGlobal"
+                                                        : "release") +
+                           " outside the pool implementation; ownership "
+                           "must flow through the shared_ptr deleter "
+                           "(single-release contract)"});
+      }
+      if (p.kind == "buffer-new" && !(tu.path == "src/tensor/storage.cpp" ||
+                                      tu.path == "src/tensor/storage.hpp")) {
+        out.push_back({"pool-foreign-buffer", tu.path, p.line,
+                       "direct Buffer construction outside the pool; "
+                           "foreign buffers trip the parked-bit contract "
+                           "on release — acquire from BufferPool instead"});
+      }
+      if ((p.kind == "release" || p.kind == "park") && !p.arg.empty()) {
+        auto& slot = releases[{p.function, p.arg}];
+        slot.first += 1;
+        slot.second = p.line;
+      }
+    }
+    for (const auto& [key, countLine] : releases) {
+      if (countLine.first < 2) continue;
+      out.push_back({"pool-double-release", tu.path, countLine.second,
+                     "function '" + key.first + "' releases '" + key.second +
+                         "' " + std::to_string(countLine.first) +
+                         " times; the second release hits the parked-bit "
+                         "double-release contract at runtime"});
+    }
+  }
+}
+
+// -- guarded-by-gap ----------------------------------------------------------
+
+void guardedByGapPass(const Database& db, std::vector<Finding>& out) {
+  std::set<std::string> seen;  // "Class::field" already reported
+  for (const auto& tu : *db.tus) {
+    for (const auto& m : tu.mutations) {
+      if (m.className.empty() || m.field.empty()) continue;
+      const std::string qualified = qualify(m.className, m.field);
+      if (db.guardedFields.count(qualified) != 0) continue;
+      // The mutated name must not itself be a mutex member.
+      const auto owners = db.mutexClasses.find(m.field);
+      if (owners != db.mutexClasses.end() &&
+          owners->second.count(m.className) != 0) {
+        continue;
+      }
+      // At least one held lock must belong to the same class — that is
+      // what proves the field is meant to be lock-protected.
+      std::string protecting;
+      for (const auto& h : m.held) {
+        const Resolution r = resolveMutex(db, tu.path, m.className, h, m.line);
+        if (r.resolved && startsWith(r.id, m.className + "::")) {
+          protecting = r.id;
+          break;
+        }
+      }
+      if (protecting.empty()) continue;
+      if (!seen.insert(qualified).second) continue;
+      out.push_back({"guarded-by-gap", tu.path, m.line,
+                     "field '" + qualified + "' is mutated under " +
+                         protecting + " but carries no // GUARDED_BY(" +
+                         protecting.substr(m.className.size() + 2) +
+                         ") annotation on its declaration"});
+    }
+  }
+}
+
+// -- kernel-table-complete ---------------------------------------------------
+
+void kernelTablePass(const Database& db, std::vector<Finding>& out) {
+  std::vector<std::string> members;
+  for (const auto& tu : *db.tus) {
+    if (!tu.kernelMembers.empty()) members = tu.kernelMembers;
+  }
+  if (members.empty()) return;
+  for (const auto& tu : *db.tus) {
+    for (const auto& table : tu.tiers) {
+      if (!table.seedSource.empty()) continue;  // copy-seeded tiers inherit
+      const std::set<std::string> assigned(table.assigned.begin(),
+                                           table.assigned.end());
+      for (const auto& member : members) {
+        if (assigned.count(member) != 0) continue;
+        out.push_back({"kernel-table-complete", tu.path, table.line,
+                       "zero-seeded tier table '" + table.var +
+                           "' never assigns kernel slot '" + member +
+                           "'; a compiled program lowering to it would "
+                           "call a null pointer on this tier"});
+      }
+    }
+  }
+}
+
+// -- docs drift --------------------------------------------------------------
+
+bool documented(const std::string& docs, const std::string& name) {
+  return docs.find("`" + name + "`") != std::string::npos;
+}
+
+bool isDocsExempt(const std::string& path) {
+  return startsWith(path, "tests/");
+}
+
+void driftPasses(const Database& db, const Options& options,
+                 std::vector<Finding>& out) {
+  if (options.hasObsDocs) {
+    std::set<std::string> reported;
+    for (const auto& tu : *db.tus) {
+      if (isDocsExempt(tu.path)) continue;
+      for (const auto& s : tu.spans) {
+        if (documented(options.obsDocs, s.name)) continue;
+        if (!reported.insert(s.name).second) continue;
+        out.push_back({"span-drift", tu.path, s.line,
+                       "trace span '" + s.name +
+                           "' is not documented in docs/observability.md"});
+      }
+    }
+  }
+  if (options.hasPerfDocs) {
+    std::set<std::string> reported;
+    for (const auto& tu : *db.tus) {
+      if (isDocsExempt(tu.path)) continue;
+      for (const auto& e : tu.envs) {
+        if (documented(options.perfDocs, e.name)) continue;
+        if (!reported.insert(e.name).second) continue;
+        out.push_back({"knob-drift", tu.path, e.line,
+                       "env knob '" + e.name +
+                           "' is not documented in docs/performance.md"});
+      }
+    }
+  }
+}
+
+void appendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Finding::fingerprint() const {
+  const std::uint64_t h = fnv1a64(pass + "|" + path + "|" + message);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string Finding::render() const {
+  std::ostringstream os;
+  os << path << ':' << line << ": [" << pass << "] " << message;
+  return os.str();
+}
+
+const std::vector<PassInfo>& passTable() { return kPasses; }
+
+std::vector<Finding> runPasses(const std::vector<TuFacts>& tus,
+                               const Options& options) {
+  const Database db = buildDatabase(tus);
+  std::vector<Finding> findings;
+  lockOrderPasses(db, findings);
+  poolPasses(db, findings);
+  guardedByGapPass(db, findings);
+  kernelTablePass(db, findings);
+  driftPasses(db, options, findings);
+
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return isAllowed(db, f);
+                                }),
+                 findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.pass != b.pass) return a.pass < b.pass;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+std::string findingsToJson(const std::vector<Finding>& findings,
+                           const std::vector<bool>& baselined) {
+  std::string out = "{\n  \"findings\": [";
+  std::size_t newCount = 0;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const bool isBase = i < baselined.size() && baselined[i];
+    if (!isBase) ++newCount;
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"pass\": \"";
+    appendJsonEscaped(out, f.pass);
+    out += "\", \"path\": \"";
+    appendJsonEscaped(out, f.path);
+    out += "\", \"line\": " + std::to_string(f.line);
+    out += ", \"fingerprint\": \"" + f.fingerprint();
+    out += "\", \"baselined\": ";
+    out += isBase ? "true" : "false";
+    out += ", \"message\": \"";
+    appendJsonEscaped(out, f.message);
+    out += "\"}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"summary\": {\"total\": " + std::to_string(findings.size()) +
+         ", \"new\": " + std::to_string(newCount) +
+         ", \"baselined\": " + std::to_string(findings.size() - newCount) +
+         "}\n}\n";
+  return out;
+}
+
+std::vector<std::string> parseBaselineFingerprints(const std::string& json) {
+  std::vector<std::string> out;
+  const std::string key = "\"fingerprint\"";
+  std::size_t at = json.find(key);
+  while (at != std::string::npos) {
+    std::size_t colon = json.find(':', at + key.size());
+    if (colon == std::string::npos) break;
+    std::size_t open = json.find('"', colon);
+    if (open == std::string::npos) break;
+    std::size_t close = json.find('"', open + 1);
+    if (close == std::string::npos) break;
+    out.push_back(json.substr(open + 1, close - open - 1));
+    at = json.find(key, close);
+  }
+  return out;
+}
+
+}  // namespace dagt::analyze

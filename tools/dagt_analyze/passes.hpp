@@ -1,0 +1,78 @@
+#pragma once
+
+// dagt-analyze phase 2: whole-repo passes over the merged fact database.
+//
+// Passes (canonical table in passes.cpp, drift-checked against
+// docs/static-analysis.md by tools/check_docs.sh):
+//
+//   lock-order-cycle      cycle in the mutex acquisition-order graph
+//   lock-order-ambiguous  a lock expression whose owning class cannot be
+//                         resolved (fix: // dagt-analyze: mutex(C::m))
+//   lock-order-violation  an acquisition contradicting a declared
+//                         // dagt-analyze: lock-order(A::m<B::n) edge
+//   pool-raw-acquire      BufferPool::acquire outside src/tensor/
+//   pool-manual-release   release/parkGlobal outside the pool itself
+//   pool-foreign-buffer   direct Buffer construction outside the pool
+//   pool-double-release   one function releases the same buffer twice
+//   guarded-by-gap        field mutated under its class's mutex without a
+//                         // GUARDED_BY(m) annotation
+//   kernel-table-complete zero-seeded tier table missing a KernelTable slot
+//   span-drift            trace span name missing from docs/observability.md
+//   knob-drift            DAGT_* env knob missing from docs/performance.md
+//
+// Suppression: `// dagt-analyze: allow(<pass-id>)` on the finding's line
+// or the line above. Fingerprints hash pass|path|message (line excluded)
+// so baselines survive unrelated edits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "facts.hpp"
+
+namespace dagt::analyze {
+
+struct Finding {
+  std::string pass;
+  std::string path;
+  int line = 0;
+  std::string message;
+
+  std::string fingerprint() const;  // 16 hex chars, line-independent
+  std::string render() const;       // path:line: [pass] message
+};
+
+struct Options {
+  // Docs contents for the drift passes; when absent the pass is skipped
+  // (the CLI loads them from <root>/docs, tests inject fixture text).
+  bool hasObsDocs = false;
+  std::string obsDocs;
+  bool hasPerfDocs = false;
+  std::string perfDocs;
+};
+
+struct PassInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The canonical pass table (order = report order).
+const std::vector<PassInfo>& passTable();
+
+/// Run every pass over the merged database. Findings are sorted by
+/// (path, line, pass, message) and already filtered through
+/// dagt-analyze: allow() annotations.
+std::vector<Finding> runPasses(const std::vector<TuFacts>& tus,
+                               const Options& options);
+
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Machine-readable output: a stable JSON document. `baselined` marks
+/// fingerprints present in the committed baseline.
+std::string findingsToJson(const std::vector<Finding>& findings,
+                           const std::vector<bool>& baselined);
+
+/// Extract the "fingerprint" values from a baseline JSON document.
+std::vector<std::string> parseBaselineFingerprints(const std::string& json);
+
+}  // namespace dagt::analyze

@@ -8,190 +8,15 @@
 #include <set>
 #include <sstream>
 
+#include "lexer.hpp"
+
 namespace dagt::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexer-lite
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-/// The lexed view of one file: code tokens (identifiers + punctuation,
-/// with comments / literals / preprocessor lines stripped out), raw
-/// preprocessor lines, and per-line comment text.
-struct LexedFile {
-  std::vector<Token> tokens;
-  std::vector<std::pair<int, std::string>> directives;  // (line, raw text)
-  std::map<int, std::string> commentByLine;
-};
-
-bool isIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool isIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-LexedFile lex(const std::string& text) {
-  LexedFile out;
-  const std::size_t n = text.size();
-  std::size_t i = 0;
-  int line = 1;
-
-  auto addComment = [&](int atLine, const std::string& body) {
-    auto& slot = out.commentByLine[atLine];
-    if (!slot.empty()) slot += ' ';
-    slot += body;
-  };
-
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    // Preprocessor line (first non-ws char of the line is '#'): consume to
-    // end of line, honoring backslash continuations.
-    if (c == '#') {
-      bool lineStart = true;
-      for (std::size_t k = i; k-- > 0;) {
-        if (text[k] == '\n') break;
-        if (!std::isspace(static_cast<unsigned char>(text[k]))) {
-          lineStart = false;
-          break;
-        }
-      }
-      if (lineStart) {
-        const int startLine = line;
-        std::string directive;
-        while (i < n) {
-          if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-            directive += ' ';
-            ++line;
-            i += 2;
-            continue;
-          }
-          if (text[i] == '\n') break;
-          directive += text[i];
-          ++i;
-        }
-        out.directives.emplace_back(startLine, directive);
-        continue;
-      }
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      std::string body;
-      i += 2;
-      while (i < n && text[i] != '\n') body += text[i++];
-      addComment(line, body);
-      continue;
-    }
-    // Block comment (may span lines; body credited to each line it opens).
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      i += 2;
-      std::string body;
-      int bodyLine = line;
-      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') {
-          addComment(bodyLine, body);
-          body.clear();
-          ++line;
-          bodyLine = line;
-        } else {
-          body += text[i];
-        }
-        ++i;
-      }
-      addComment(bodyLine, body);
-      i = std::min(n, i + 2);
-      continue;
-    }
-    // Raw string literal R"delim(...)delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      std::size_t open = text.find('(', i + 2);
-      if (open != std::string::npos) {
-        const std::string delim = ")" + text.substr(i + 2, open - i - 2) + "\"";
-        std::size_t close = text.find(delim, open + 1);
-        if (close == std::string::npos) close = n;
-        line += static_cast<int>(
-            std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
-                       text.begin() + static_cast<std::ptrdiff_t>(
-                                          std::min(n, close + delim.size())),
-                       '\n'));
-        i = std::min(n, close + delim.size());
-        continue;
-      }
-    }
-    // String / char literal: contents dropped.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < n) ++i;
-        if (text[i] == '\n') ++line;  // unterminated literal; stay sane
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    // Identifier.
-    if (isIdentStart(c)) {
-      std::string ident;
-      while (i < n && isIdentChar(text[i])) ident += text[i++];
-      out.tokens.push_back({std::move(ident), line});
-      continue;
-    }
-    // '::' as one token; every other punctuation char stands alone.
-    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
-      out.tokens.push_back({"::", line});
-      i += 2;
-      continue;
-    }
-    if (!std::isspace(static_cast<unsigned char>(c))) {
-      out.tokens.push_back({std::string(1, c), line});
-    }
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Token helpers
-// ---------------------------------------------------------------------------
-
-bool seqAt(const std::vector<Token>& toks, std::size_t i,
-           std::initializer_list<const char*> seq) {
-  std::size_t k = i;
-  for (const char* want : seq) {
-    if (k >= toks.size() || toks[k].text != want) return false;
-    ++k;
-  }
-  return true;
-}
-
-bool nextIs(const std::vector<Token>& toks, std::size_t i, const char* want) {
-  return i + 1 < toks.size() && toks[i + 1].text == want;
-}
-
-// ---------------------------------------------------------------------------
 // Rule scoping
 // ---------------------------------------------------------------------------
-
-bool startsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool endsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
 
 bool isOpKernel(const std::string& path) {
   return startsWith(path, "src/tensor/ops_") && endsWith(path, ".cpp");
@@ -234,8 +59,9 @@ std::vector<std::string> collectFusedTableMembers(const LexedFile& lexed) {
   std::vector<std::string> members;
   const auto& toks = lexed.tokens;
   for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
-    if (toks[i].text == "(" && toks[i + 1].text == "*" &&
-        startsWith(toks[i + 2].text, "fused") && toks[i + 3].text == ")") {
+    if (tokenIs(toks, i, "(") && tokenIs(toks, i + 1, "*") &&
+        toks[i + 2].kind == TokenKind::kIdent &&
+        startsWith(toks[i + 2].text, "fused") && tokenIs(toks, i + 3, ")")) {
       members.push_back(toks[i + 2].text);
     }
   }
@@ -301,7 +127,7 @@ GuardedByInfo collectGuardedBy(const LexedFile& lexed) {
   const auto& toks = lexed.tokens;
   for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
     if (seqAt(toks, i, {"std", "::", "mutex"}) &&
-        isIdentStart(toks[i + 3].text[0]) && toks[i + 4].text == ";") {
+        toks[i + 3].kind == TokenKind::kIdent && tokenIs(toks, i + 4, ";")) {
       info.mutexDeclLine.emplace(toks[i + 3].text, toks[i + 3].line);
     }
   }
@@ -330,16 +156,16 @@ bool acquiresMutex(const std::vector<Token>& toks,
   static const std::set<std::string> lockTypes = {
       "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
   for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (lockTypes.count(toks[i].text)) {
+    if (toks[i].kind == TokenKind::kIdent && lockTypes.count(toks[i].text)) {
       // The mutex appears within the constructor argument list a few
       // tokens later: `std::lock_guard<std::mutex> lock(mutexName);`.
       const std::size_t limit = std::min(toks.size(), i + 16);
       for (std::size_t k = i + 1; k < limit; ++k) {
-        if (toks[k].text == mutexName) return true;
-        if (toks[k].text == ";") break;
+        if (tokenIs(toks, k, mutexName.c_str())) return true;
+        if (tokenIs(toks, k, ";")) break;
       }
     }
-    if (toks[i].text == mutexName && nextIs(toks, i, ".") &&
+    if (tokenIs(toks, i, mutexName.c_str()) && nextIs(toks, i, ".") &&
         seqAt(toks, i + 2, {"lock", "("})) {
       return true;
     }
@@ -411,6 +237,7 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
                                                     "realloc"};
       for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdent) continue;
         if (t.text == "Tensor" && nextIs(toks, i, "::") && i + 2 < toks.size() &&
             tensorAllocs.count(toks[i + 2].text)) {
           emit(t.line, "kernel-alloc",
@@ -456,7 +283,7 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
     // rounding contract; an intrinsic anywhere else silently escapes both.
     if (!isKernelTierFile(file.path)) {
       for (std::size_t i = 0; i < toks.size(); ++i) {
-        if (isRawSimdIdent(toks[i].text)) {
+        if (toks[i].kind == TokenKind::kIdent && isRawSimdIdent(toks[i].text)) {
           emit(toks[i].line, "intrinsics-outside-kernels",
                "raw SIMD intrinsic '" + toks[i].text +
                    "' outside src/tensor/kernels/; call through "
@@ -487,6 +314,7 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
           "minstd_rand"};
       for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdent) continue;
         if ((t.text == "rand" || t.text == "srand") && nextIs(toks, i, "(")) {
           emit(t.line, "unseeded-rng",
                t.text + "() bypasses the seeded dagt::Rng; draw from an "
@@ -542,6 +370,7 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
                                                      "puts", "putchar"};
       for (std::size_t i = 0; i < toks.size(); ++i) {
         const Token& t = toks[i];
+        if (t.kind != TokenKind::kIdent) continue;
         if (t.text == "std" && nextIs(toks, i, "::") && i + 2 < toks.size() &&
             (toks[i + 2].text == "cout" || toks[i + 2].text == "cerr")) {
           emit(t.line, "stdout-logging",
@@ -567,8 +396,8 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
     if (isKernelTierTU(file.path) && !fusedMembers.empty()) {
       int zeroSeedLine = -1;
       for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-        if (toks[i].text == "KernelTable" &&
-            isIdentStart(toks[i + 1].text[0]) && toks[i + 2].text == "{") {
+        if (tokenIs(toks, i, "KernelTable") &&
+            toks[i + 1].kind == TokenKind::kIdent && tokenIs(toks, i + 2, "{")) {
           zeroSeedLine = toks[i].line;
           break;
         }
@@ -577,8 +406,9 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
         for (const std::string& member : fusedMembers) {
           bool assigned = false;
           for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-            if (toks[i].text == "." && toks[i + 1].text == member &&
-                toks[i + 2].text == "=") {
+            if (tokenIs(toks, i, ".") &&
+                tokenIs(toks, i + 1, member.c_str()) &&
+                tokenIs(toks, i + 2, "=")) {
               assigned = true;
               break;
             }
@@ -596,10 +426,15 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile>& files) {
     // -- trace-macro-only ---------------------------------------------------
     if (!startsWith(file.path, "src/obs/")) {
       for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
-        if ((toks[i].text == "." || toks[i].text == "::" ||
-             toks[i].text == "->") &&
-            toks[i + 1].text == "emit" && toks[i + 2].text == "(") {
+        if ((tokenIs(toks, i, ".") || tokenIs(toks, i, "::")) &&
+            tokenIs(toks, i + 1, "emit") && tokenIs(toks, i + 2, "(")) {
           emit(toks[i + 1].line, "trace-macro-only",
+               "TraceRegistry::emit is called directly only inside src/obs/; "
+               "everywhere else use DAGT_TRACE_SCOPE/DAGT_TRACE_INSTANT so "
+               "DAGT_TRACING=0 compiles the site out");
+        }
+        if (seqAt(toks, i, {"-", ">", "emit", "("})) {
+          emit(toks[i + 2].line, "trace-macro-only",
                "TraceRegistry::emit is called directly only inside src/obs/; "
                "everywhere else use DAGT_TRACE_SCOPE/DAGT_TRACE_INSTANT so "
                "DAGT_TRACING=0 compiles the site out");
@@ -627,9 +462,10 @@ std::vector<Finding> lintTree(const std::string& root) {
          it != fs::recursive_directory_iterator(); ++it) {
       if (it->is_directory()) {
         const std::string name = it->path().filename().string();
-        // Build trees and the intentionally-bad lint fixtures are not
-        // part of the linted surface.
-        if (startsWith(name, "build") || name == "lint_fixtures") {
+        // Build trees and the intentionally-bad lint/analyze fixtures are
+        // not part of the linted surface.
+        if (startsWith(name, "build") || name == "lint_fixtures" ||
+            name == "analyze_fixtures") {
           it.disable_recursion_pending();
         }
         continue;

@@ -3,6 +3,10 @@
 #
 #   default   RelWithDebInfo build + complete ctest suite (DAGT_CHECKS on)
 #   lint      dagt-lint over the checkout (ctest -L lint)
+#   analyze   dagt-analyze cross-TU passes (lock-order, pooled lifetime,
+#             contract drift) over the checkout against the committed
+#             baseline, plus the per-pass fixture self-tests (ctest -L
+#             analyze)
 #   docs      tools/check_docs.sh (+ --selftest) — docs/ in sync with
 #             metrics keys, span names, kernel tiers, DAGT_* knobs, benches
 #   bench     bench_micro_ops smoke run + BENCH JSON validation (tier table)
@@ -15,7 +19,8 @@
 #             smoke (short edit stream, parity + 5x refresh-speedup gate)
 #
 # Usage: tools/verify.sh [--fast]
-#   --fast skips the sanitizer stages (default + lint + docs + bench only).
+#   --fast skips the sanitizer stages (default + lint + analyze + docs +
+#   bench only).
 #
 # Each sanitizer preset gets its own build tree (build-asan/, build-tsan/) —
 # the runtimes are mutually exclusive, and CMake enforces that (see
@@ -53,6 +58,14 @@ run_default() {
 
 run_lint() {
   ctest --test-dir build -L lint --output-on-failure
+}
+
+# The analyze label covers both halves of dagt-analyze: analyze.repo (the
+# binary over the checkout, gated on tools/dagt_analyze/baseline.json) and
+# dagt_analyze_tests (seeded-violation/clean-twin fixtures per pass plus
+# the golden fact-extraction dump).
+run_analyze() {
+  ctest --test-dir build -L analyze --output-on-failure
 }
 
 run_asan() {
@@ -160,6 +173,7 @@ EOF
 mkdir -p build
 stage default build/verify-default.log run_default
 stage lint build/verify-lint.log run_lint
+stage analyze build/verify-analyze.log run_analyze
 stage docs build/verify-docs.log run_docs
 stage bench build/verify-bench.log run_bench
 stage fusion build/verify-fusion.log run_fusion
