@@ -1,0 +1,357 @@
+// Fleet saturation bench: aggregate QPS vs shard count, overload
+// degradation, and routed-vs-direct parity.
+//
+// Trains a small predictor, exports it as a bundle, builds one design and
+// shares its feature snapshot across every fleet under test (the fleet's
+// shared read-only feature segment — one extraction, many replicas). Then:
+//
+//   parity      sequential single-endpoint queries through a 2-shard
+//               router must be bitwise identical to the owning engine
+//               asked directly (same snapshot, same bundle weights, same
+//               deterministic batch composition).
+//   scaling     K=4 design keys salted to split 2/2 across two shards,
+//               T=4 closed-loop callers (one per key), per-shard
+//               admission bound M=2. The 1-shard fleet can only hold two
+//               designs in its bounded queue (the rest shed and back
+//               off), so it amortizes each coalescing window over two
+//               designs; two shards run the same pipeline twice with the
+//               (CPU-idle) windows overlapped. The scaling is therefore
+//               wait-structure, not core-count: the run is
+//               wait-dominated by construction (window = 12x the
+//               measured forward) and honest on any machine. Gate:
+//               >= DAGT_FLEET_MIN_SCALING (default 1.7).
+//   overload    closed-loop caller sweep against the 2-shard fleet;
+//               records QPS, caller-observed p50/p99 and shed rate per
+//               offered concurrency — the degradation curve (QPS
+//               plateaus, refusals climb, accepted-request latency
+//               holds).
+//
+// Writes BENCH_fleet.json. DAGT_FLEET_REQUESTS scales the per-caller
+// request count down for smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "fleet/shard_router.hpp"
+#include "harness.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace {
+
+using namespace dagt;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kDesignKeys = 4;      // K: salted copies of the design
+constexpr int kCallerThreads = 4;   // T: closed-loop callers, one per key
+constexpr std::int64_t kMaxInflight = 2;  // M: per-shard admission bound
+
+std::int64_t envOr(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+double envOrF(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtod(raw, nullptr);
+}
+
+double secondsSince(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+struct LoadResult {
+  double qps = 0.0;
+  std::uint64_t successes = 0;
+  std::uint64_t sheds = 0;
+  double p50Us = 0.0;
+  double p99Us = 0.0;
+
+  double shedRate() const {
+    const double total = static_cast<double>(successes + sheds);
+    return total == 0.0 ? 0.0 : static_cast<double>(sheds) / total;
+  }
+};
+
+/// Closed-loop load: `threads` callers, each pinned to one design key,
+/// each completing `perCaller` queries. A shed response backs the caller
+/// off ~200us and retries the same query (the retry loop is the caller's
+/// load response, mirroring what docs/fleet.md prescribes).
+LoadResult runClosedLoop(fleet::ShardRouter& router,
+                         const std::vector<std::string>& keys, int threads,
+                         int perCaller, std::int64_t numEndpoints) {
+  LoadResult result;
+  std::mutex mergeMutex;
+  std::vector<double> latencies;
+  std::uint64_t sheds = 0;
+  const auto start = Clock::now();
+  std::vector<std::thread> callers;
+  for (int t = 0; t < threads; ++t) {
+    callers.emplace_back([&, t] {
+      const std::string& key = keys[static_cast<std::size_t>(t) % keys.size()];
+      std::vector<double> mine;
+      std::uint64_t myShed = 0;
+      for (int i = 0; i < perCaller; ++i) {
+        const std::int64_t endpoint =
+            (static_cast<std::int64_t>(t) * 31 + i * 7) % numEndpoints;
+        while (true) {
+          const auto reqStart = Clock::now();
+          try {
+            (void)router.predictEndpoint(key, endpoint);
+            mine.push_back(secondsSince(reqStart) * 1e6);
+            break;
+          } catch (const fleet::OverloadShedError&) {
+            ++myShed;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mergeMutex);
+      latencies.insert(latencies.end(), mine.begin(), mine.end());
+      sheds += myShed;
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  const double elapsed = secondsSince(start);
+  result.successes = static_cast<std::uint64_t>(threads) * perCaller;
+  result.sheds = sheds;
+  result.qps = static_cast<double>(result.successes) / elapsed;
+  result.p50Us = percentile(latencies, 0.50);
+  result.p99Us = percentile(latencies, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t perCaller = envOr("DAGT_FLEET_REQUESTS", 48);
+  const double minScaling = envOrF("DAGT_FLEET_MIN_SCALING", 1.7);
+
+  // -- Train a small model and export it as a bundle -------------------------
+  features::DataConfig dataConfig;
+  dataConfig.designScale = 0.3f;
+  const features::DataPipeline pipeline(dataConfig);
+  std::vector<features::DesignData> trainDesigns;
+  for (const char* name : {"smallboom", "jpeg", "linkruncca"}) {
+    trainDesigns.push_back(pipeline.build(name));
+  }
+  std::vector<const features::DesignData*> pointers;
+  for (const auto& d : trainDesigns) pointers.push_back(&d);
+  const core::TimingDataset trainSet(pointers);
+
+  core::TrainConfig config;
+  config.epochs = 4;
+  config.finetuneEpochs = 2;
+  const core::Trainer trainer(trainSet, config);
+  const auto model = trainer.train(core::Strategy::kOurs);
+
+  serve::BundleManifest manifest;
+  manifest.strategy = core::strategyName(core::Strategy::kOurs);
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig.nodes;
+  manifest.pinFeatureDim = pipeline.featureDim();
+  manifest.model = config.model;
+  manifest.model.imageResolution = dataConfig.imageResolution;
+  manifest.features = dataConfig.features;
+  const std::string bundleDir = "dagt_fleet_bench_bundle";
+  serve::ModelBundle::save(*model, manifest, bundleDir);
+
+  const auto serveDesign = pipeline.build("or1200");
+  const std::int64_t numEndpoints = serveDesign.numEndpoints();
+  std::fprintf(stderr, "serving %s: %lld endpoints\n",
+               serveDesign.name.c_str(),
+               static_cast<long long>(numEndpoints));
+
+  // -- Calibrate the coalescing window to the measured forward ---------------
+  // F = warm single-endpoint forward on a solo (non-batching) engine;
+  // the fleet window W = 12F makes every run wait-dominated, so the
+  // scaling result reflects dispatch structure rather than core count.
+  serve::EngineConfig soloConfig;
+  soloConfig.batching = false;
+  serve::PredictionEngine solo(soloConfig);
+  solo.addBundleFromDir(bundleDir);
+  solo.loadDesign("calib", serveDesign.netlist, serveDesign.node,
+                  serveDesign.placement);
+  solo.predictEndpoint("calib", 0);
+  solo.predictEndpoint("calib", 1);
+  const auto calibStart = Clock::now();
+  constexpr int kCalibQueries = 8;
+  for (int i = 0; i < kCalibQueries; ++i) {
+    solo.predictEndpoint("calib", i % numEndpoints);
+  }
+  const double forwardUs = secondsSince(calibStart) * 1e6 / kCalibQueries;
+  const std::int64_t waitUs = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(12.0 * forwardUs), 2000, 40000);
+  std::fprintf(stderr, "calibrated: forward %.0f us, window %lld us\n",
+               forwardUs, static_cast<long long>(waitUs));
+
+  serve::EngineConfig shardEngine;
+  shardEngine.maxBatch = 16;
+  shardEngine.maxWaitUs = waitUs;
+
+  // -- Salted keys splitting 2/2 across a 2-shard ring -----------------------
+  // Deterministic search (no RNG): "d<i>~<t>" with the first salt whose
+  // primary owner on the canonical 64-vnode 2-shard ring is shard i%2.
+  fleet::HashRing probe(fleet::FleetConfig{}.virtualNodes);
+  probe.addShard(0);
+  probe.addShard(1);
+  std::vector<std::string> keys;
+  for (int i = 0; i < kDesignKeys; ++i) {
+    for (int salt = 0; salt < 64; ++salt) {
+      const std::string key =
+          "d" + std::to_string(i) + "~" + std::to_string(salt);
+      if (probe.shardsFor(key, 1).front() == i % 2) {
+        keys.push_back(key);
+        break;
+      }
+    }
+  }
+  DAGT_CHECK_MSG(static_cast<int>(keys.size()) == kDesignKeys,
+                 "salt search failed to split keys across both shards");
+
+  // -- Direct reference engine + the shared feature snapshot -----------------
+  serve::PredictionEngine direct(shardEngine);
+  direct.addBundleFromDir(bundleDir);
+  direct.loadDesign(keys[0], serveDesign.netlist, serveDesign.node,
+                    serveDesign.placement);
+  const auto snapshot = direct.currentSnapshot(keys[0]);
+  DAGT_CHECK_MSG(snapshot != nullptr, "no snapshot after loadDesign");
+  for (int i = 1; i < kDesignKeys; ++i) {
+    direct.adoptDesign(keys[static_cast<std::size_t>(i)], serveDesign.node,
+                       "0", snapshot);
+  }
+
+  auto makeFleet = [&](std::int32_t shards) {
+    fleet::FleetConfig fc;
+    fc.shards = shards;
+    fc.replication = 1;
+    fc.maxInflight = kMaxInflight;
+    fc.engine = shardEngine;
+    auto router = std::make_unique<fleet::ShardRouter>(fc);
+    router->addBundleFromDir(bundleDir);
+    for (const std::string& key : keys) {
+      router->adoptDesign(key, serveDesign.node, "0", snapshot);
+    }
+    return router;
+  };
+
+  // -- Parity: routed == direct, bitwise ------------------------------------
+  auto fleet2 = makeFleet(2);
+  bool parity = true;
+  const std::int64_t parityQueries = std::min<std::int64_t>(64, numEndpoints);
+  for (std::int64_t e = 0; e < parityQueries; ++e) {
+    const float routed = fleet2->predictEndpoint(keys[0], e);
+    const float straight = direct.predictEndpoint(keys[0], e);
+    if (std::memcmp(&routed, &straight, sizeof(float)) != 0) {
+      parity = false;
+      std::fprintf(stderr, "parity mismatch at endpoint %lld: %.9g vs %.9g\n",
+                   static_cast<long long>(e), routed, straight);
+    }
+  }
+
+  // -- Scaling: 1 shard vs 2 shards under identical closed-loop load ---------
+  auto fleet1 = makeFleet(1);
+  for (const std::string& key : keys) (void)fleet1->predictEndpoint(key, 0);
+  for (const std::string& key : keys) (void)fleet2->predictEndpoint(key, 0);
+  const LoadResult oneShard =
+      runClosedLoop(*fleet1, keys, kCallerThreads,
+                    static_cast<int>(perCaller), numEndpoints);
+  const LoadResult twoShards =
+      runClosedLoop(*fleet2, keys, kCallerThreads,
+                    static_cast<int>(perCaller), numEndpoints);
+  const double scaling = twoShards.qps / oneShard.qps;
+
+  // -- Overload degradation sweep on the 2-shard fleet -----------------------
+  JsonValue degradation = JsonValue::array();
+  TextTable degrTable({"callers", "QPS", "p50 (us)", "p99 (us)",
+                       "shed rate"});
+  const int sweepPerCaller =
+      std::max(8, static_cast<int>(perCaller) / 4);
+  for (const int callers : {1, 2, 4, 8, 16}) {
+    const LoadResult r = runClosedLoop(*fleet2, keys, callers,
+                                       sweepPerCaller, numEndpoints);
+    degrTable.addRow({std::to_string(callers), TextTable::num(r.qps, 1),
+                      TextTable::num(r.p50Us, 1), TextTable::num(r.p99Us, 1),
+                      TextTable::num(r.shedRate(), 3)});
+    degradation.push(JsonValue::object()
+                         .set("callers", static_cast<std::int64_t>(callers))
+                         .set("qps", r.qps)
+                         .set("p50_us", r.p50Us)
+                         .set("p99_us", r.p99Us)
+                         .set("shed_rate", r.shedRate())
+                         .set("sheds", r.sheds));
+  }
+
+  // -- Report ----------------------------------------------------------------
+  TextTable table({"fleet", "callers", "QPS", "p50 (us)", "p99 (us)",
+                   "shed rate"});
+  table.addRow({"1 shard", std::to_string(kCallerThreads),
+                TextTable::num(oneShard.qps, 1),
+                TextTable::num(oneShard.p50Us, 1),
+                TextTable::num(oneShard.p99Us, 1),
+                TextTable::num(oneShard.shedRate(), 3)});
+  table.addRow({"2 shards", std::to_string(kCallerThreads),
+                TextTable::num(twoShards.qps, 1),
+                TextTable::num(twoShards.p50Us, 1),
+                TextTable::num(twoShards.p99Us, 1),
+                TextTable::num(twoShards.shedRate(), 3)});
+  std::printf("fleet saturation (%lld-endpoint %s, %d keys, window %lld us)\n"
+              "%s",
+              static_cast<long long>(numEndpoints), serveDesign.name.c_str(),
+              kDesignKeys, static_cast<long long>(waitUs),
+              table.render().c_str());
+  std::printf("1->2 shard scaling: %.2fx %s; routed parity: %s\n", scaling,
+              scaling >= minScaling ? "(gate met)" : "(below gate)",
+              parity ? "bitwise" : "MISMATCH");
+  std::printf("overload degradation (2 shards)\n%s",
+              degrTable.render().c_str());
+
+  JsonValue doc = JsonValue::object();
+  doc.set("design", serveDesign.name);
+  doc.set("endpoints", numEndpoints);
+  doc.set("design_keys", static_cast<std::int64_t>(kDesignKeys));
+  doc.set("caller_threads", static_cast<std::int64_t>(kCallerThreads));
+  doc.set("max_inflight", kMaxInflight);
+  doc.set("requests_per_caller", perCaller);
+  doc.set("forward_us", forwardUs);
+  doc.set("window_us", waitUs);
+  doc.set("one_shard_qps", oneShard.qps);
+  doc.set("one_shard_p50_us", oneShard.p50Us);
+  doc.set("one_shard_p99_us", oneShard.p99Us);
+  doc.set("one_shard_shed_rate", oneShard.shedRate());
+  doc.set("two_shard_qps", twoShards.qps);
+  doc.set("two_shard_p50_us", twoShards.p50Us);
+  doc.set("two_shard_p99_us", twoShards.p99Us);
+  doc.set("two_shard_shed_rate", twoShards.shedRate());
+  doc.set("scaling", scaling);
+  doc.set("min_scaling_gate", minScaling);
+  doc.set("parity_bitwise", parity);
+  doc.set("degradation", std::move(degradation));
+  doc.set("fleet_metrics", fleet2->metrics().toJson());
+  const auto path = bench::writeBenchJson("fleet", doc);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+
+  const bool pass = parity && scaling >= minScaling;
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "fleet/fleet_metrics.hpp"
+
+#include "common/table.hpp"
+
+namespace dagt::fleet {
+
+std::string FleetMetricsSnapshot::renderTable() const {
+  TextTable fleet({"fleet metric", "value"});
+  fleet.addRow({"shards", std::to_string(shards)});
+  fleet.addRow({"replication", std::to_string(replication)});
+  fleet.addRow({"virtual nodes / shard", std::to_string(virtualNodes)});
+  fleet.addRow({"designs", std::to_string(designs)});
+  fleet.addRow({"requests", std::to_string(requests)});
+  fleet.addRow({"hedges", std::to_string(hedges)});
+  fleet.addRow({"hedge wins", std::to_string(hedgeWins)});
+  fleet.addRow({"sheds", std::to_string(sheds)});
+  fleet.addRow({"failovers", std::to_string(failovers)});
+  fleet.addRow({"rebalances", std::to_string(rebalances)});
+  std::string out = fleet.render();
+
+  TextTable byShard({"shard", "healthy", "inflight", "routed", "sheds",
+                     "ewma (us)", "p50 (us)", "p99 (us)", "mean batch"});
+  for (const ShardSnapshot& s : perShard) {
+    byShard.addRow({std::to_string(s.shard), s.healthy ? "yes" : "NO",
+                    std::to_string(s.inflight), std::to_string(s.routed),
+                    std::to_string(s.sheds), TextTable::num(s.ewmaUs, 1),
+                    TextTable::num(s.engine.p50Us, 1),
+                    TextTable::num(s.engine.p99Us, 1),
+                    TextTable::num(s.engine.meanBatchSize, 2)});
+  }
+  out += byShard.render();
+  if (!traceSpans.empty()) {
+    TextTable spans({"fleet span", "count / mean us"});
+    for (const obs::SpanStats& span : traceSpans) {
+      spans.addRow({span.name, std::to_string(span.count) + " / " +
+                                   TextTable::num(span.meanUs(), 1)});
+    }
+    out += spans.render();
+  }
+  return out;
+}
+
+JsonValue FleetMetricsSnapshot::toJson() const {
+  JsonValue j = JsonValue::object();
+  j.set("fleet_shards", shards)
+      .set("fleet_replication", replication)
+      .set("fleet_virtual_nodes", virtualNodes)
+      .set("fleet_designs", designs)
+      .set("fleet_requests", requests)
+      .set("fleet_hedges", hedges)
+      .set("fleet_hedge_wins", hedgeWins)
+      .set("fleet_sheds", sheds)
+      .set("fleet_failovers", failovers)
+      .set("fleet_rebalances", rebalances);
+  JsonValue shardsJson = JsonValue::array();
+  for (const ShardSnapshot& s : perShard) {
+    shardsJson.push(JsonValue::object()
+                        .set("shard", s.shard)
+                        .set("healthy", s.healthy)
+                        .set("inflight", s.inflight)
+                        .set("routed", s.routed)
+                        .set("sheds", s.sheds)
+                        .set("ewma_us", s.ewmaUs)
+                        .set("engine", s.engine.toJson()));
+  }
+  j.set("fleet_per_shard", std::move(shardsJson));
+  if (!traceSpans.empty()) {
+    JsonValue spans = JsonValue::object();
+    for (const obs::SpanStats& span : traceSpans) {
+      spans.set(span.name, JsonValue::object()
+                               .set("count", span.count)
+                               .set("total_us", span.totalUs())
+                               .set("mean_us", span.meanUs()));
+    }
+    j.set("fleet_trace_spans", std::move(spans));
+  }
+  return j;
+}
+
+}  // namespace dagt::fleet

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+#include "serve/metrics.hpp"
+
+namespace dagt::fleet {
+
+/// Point-in-time view of one shard behind the router: router-side load
+/// signals (in-flight depth, EWMA latency, shed count) plus the shard
+/// engine's own serving snapshot.
+struct ShardSnapshot {
+  std::int32_t shard = 0;
+  bool healthy = true;
+  std::int64_t inflight = 0;   // requests dispatched, reply not yet consumed
+  std::uint64_t routed = 0;    // requests this shard has been chosen for
+  std::uint64_t sheds = 0;     // admissions refused at this shard's bound
+  double ewmaUs = 0.0;         // router-observed request latency (EWMA)
+  serve::MetricsSnapshot engine;
+};
+
+/// Fleet-wide counters plus the per-shard breakdown. Rendered by
+/// `dagt fleet` and recorded by bench_fleet; the JSON keys are the
+/// `fleet_*` namespace documented in docs/metrics-reference.md (checked
+/// by tools/check_docs.sh section 6).
+struct FleetMetricsSnapshot {
+  std::int32_t shards = 0;
+  std::int32_t replication = 1;
+  std::int32_t virtualNodes = 0;
+  std::uint64_t designs = 0;     // keys in the routing registry
+  std::uint64_t requests = 0;    // routed queries answered (all shards)
+  std::uint64_t hedges = 0;      // duplicate submissions to a replica
+  std::uint64_t hedgeWins = 0;   // hedges whose reply beat the primary
+  std::uint64_t sheds = 0;       // requests refused (every candidate full)
+  std::uint64_t failovers = 0;   // retries after a shard died mid-request
+  std::uint64_t rebalances = 0;  // topology changes that moved designs
+  std::vector<ShardSnapshot> perShard;
+  /// Per-span totals of the router path ("fleet/" names, process-wide),
+  /// populated only while tracing is runtime-enabled.
+  std::vector<obs::SpanStats> traceSpans;
+
+  /// Fleet overview + one row per shard, for terminal output.
+  std::string renderTable() const;
+  /// The same numbers as a JSON object (for BENCH_fleet.json / dashboards).
+  JsonValue toJson() const;
+};
+
+}  // namespace dagt::fleet

@@ -1,0 +1,78 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dagt::fleet {
+
+std::uint64_t stableHash64(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        0x100000001b3ULL;
+  }
+  // FNV-1a alone avalanches poorly on short, similar strings (the ring's
+  // "shard:N#V" points differ in a handful of trailing characters), which
+  // skews arc lengths by an order of magnitude. A splitmix64-style
+  // finalizer spreads the points uniformly while staying deterministic.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(std::int32_t virtualNodes)
+    : virtualNodes_(virtualNodes) {
+  DAGT_CHECK_MSG(virtualNodes_ >= 1, "ring needs at least one virtual node");
+}
+
+void HashRing::addShard(std::int32_t shard) {
+  DAGT_CHECK_MSG(shards_.insert(shard).second,
+                 "shard " << shard << " already on the ring");
+  for (std::int32_t v = 0; v < virtualNodes_; ++v) {
+    const std::string point =
+        "shard:" + std::to_string(shard) + "#" + std::to_string(v);
+    // Collisions between virtual points just drop one of them — with a
+    // 64-bit ring they are astronomically unlikely and harmless (one
+    // fewer point for that shard).
+    ring_.emplace(stableHash64(point), shard);
+  }
+}
+
+void HashRing::removeShard(std::int32_t shard) {
+  DAGT_CHECK_MSG(shards_.erase(shard) > 0,
+                 "shard " << shard << " is not on the ring");
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == shard) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::int32_t> HashRing::shardsFor(const std::string& key,
+                                              std::int32_t replicas) const {
+  std::vector<std::int32_t> owners;
+  if (ring_.empty() || replicas <= 0) return owners;
+  const std::uint64_t h = stableHash64(key);
+  auto it = ring_.lower_bound(h);
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(replicas), shards_.size());
+  // At most one full lap: after ring_.size() steps every distinct shard
+  // has been seen.
+  for (std::size_t step = 0; step < ring_.size() && owners.size() < want;
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    bool seen = false;
+    for (const std::int32_t s : owners) seen = seen || s == it->second;
+    if (!seen) owners.push_back(it->second);
+    ++it;
+  }
+  return owners;
+}
+
+}  // namespace dagt::fleet

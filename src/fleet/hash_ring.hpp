@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dagt::fleet {
+
+/// FNV-1a over the key bytes — the same stable 64-bit hash family the
+/// serving batcher seeds its Monte-Carlo draws with, so placement is
+/// reproducible across processes and platforms (no std::hash).
+std::uint64_t stableHash64(const std::string& key);
+
+/// Consistent-hash ring over shard ids with virtual nodes.
+///
+/// Each shard contributes `virtualNodes` points ("shard:<id>#<v>") on the
+/// 64-bit ring; a key is owned by the first points clockwise of
+/// hash(key). Virtual nodes keep the per-shard key share near uniform
+/// (stddev ~ 1/sqrt(virtualNodes)), and removing a shard only remaps the
+/// keys that shard owned — every other key keeps its owner, which is what
+/// makes rebalances proportional to the topology change instead of the
+/// registry size.
+///
+/// Not internally synchronized: the ShardRouter mutates it under its
+/// topology lock and hands out copies of the owner lists.
+class HashRing {
+ public:
+  explicit HashRing(std::int32_t virtualNodes = 64);
+
+  void addShard(std::int32_t shard);
+  void removeShard(std::int32_t shard);
+  bool contains(std::int32_t shard) const { return shards_.count(shard) > 0; }
+  std::size_t size() const { return shards_.size(); }
+
+  /// Owners of `key`, primary first: walk clockwise from hash(key)
+  /// collecting distinct shards until `replicas` are found or the ring is
+  /// exhausted. Empty ring -> empty vector.
+  std::vector<std::int32_t> shardsFor(const std::string& key,
+                                      std::int32_t replicas) const;
+
+ private:
+  std::int32_t virtualNodes_;
+  std::map<std::uint64_t, std::int32_t> ring_;  // point -> shard id
+  std::set<std::int32_t> shards_;
+};
+
+}  // namespace dagt::fleet

@@ -1,0 +1,222 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fleet/fleet_metrics.hpp"
+#include "fleet/hash_ring.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace dagt::fleet {
+
+/// Topology + dispatch policy of a serve fleet. Env overrides
+/// (DAGT_FLEET_*) and the `dagt fleet --config` file feed the same
+/// struct; see docs/fleet.md for every knob.
+struct FleetConfig {
+  /// Shards spun up at construction. Each shard is a full
+  /// PredictionEngine: its own worker threads, workspace and feature
+  /// cache (in-process today; the Shard boundary is the process/host
+  /// transport seam).
+  std::int32_t shards = 2;
+  /// Owners per design key on the hash ring. 1 = partition only; 2+
+  /// buys failover and hedging targets at the cost of replicated
+  /// routing entries (feature snapshots are shared, not copied).
+  std::int32_t replication = 1;
+  /// Virtual nodes per shard on the ring (placement uniformity).
+  std::int32_t virtualNodes = 64;
+  /// Admission bound per shard: a shard with this many dispatched,
+  /// unanswered requests is full. When every candidate replica is full
+  /// the router sheds (OverloadShedError) instead of queueing without
+  /// bound — overload degrades into explicit, typed refusals while
+  /// accepted requests keep their latency.
+  std::int64_t maxInflight = 64;
+  /// Hedge trigger: if the chosen shard has not answered within this
+  /// many microseconds, duplicate the request to the next replica and
+  /// take whichever reply lands first. 0 disables hedging (the default;
+  /// needs replication >= 2 to ever fire).
+  std::int64_t hedgeAfterUs = 0;
+  /// Smoothing of the router-side per-shard latency EWMA (load signal).
+  double ewmaAlpha = 0.2;
+  /// Per-shard engine policy (batching window, worker threads, ...).
+  serve::EngineConfig engine;
+
+  /// Defaults overridden by the DAGT_FLEET_* environment knobs.
+  static FleetConfig fromEnv();
+  /// key=value file ('#' comments); unknown keys are an error. Applied
+  /// on top of fromEnv(), so a config file beats the environment.
+  static FleetConfig fromFile(const std::string& path);
+};
+
+/// Typed overload refusal: every candidate replica for the key was at
+/// its admission bound. Callers are expected to back off and retry —
+/// catching this is load-response logic, not error handling, which is
+/// why it is not a bare CheckError.
+class OverloadShedError : public std::runtime_error {
+ public:
+  explicit OverloadShedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Front door of an in-process serve fleet: N PredictionEngine shards
+/// behind consistent-hash routing with replication, health/load-aware
+/// dispatch, hedged retry and bounded-queue shedding.
+///
+/// Design keys are partitioned across shards by a virtual-node hash
+/// ring; bundles (per technology node) are registered on every shard so
+/// any owner can serve any design of that node. Replicas adopt one
+/// shared read-only feature snapshot per design — replication costs a
+/// routing entry, not a second feature build.
+///
+/// Dispatch: resolve the key's owner replicas, drop unhealthy shards,
+/// pick the least-loaded owner with admission headroom (in-flight depth,
+/// EWMA latency as tie-break), and submit asynchronously. A reply slower
+/// than hedgeAfterUs is duplicated to the next replica (first reply
+/// wins); a shard that dies mid-request is failed over to a replica
+/// exactly once per candidate, so callers see each response once.
+///
+/// Lock discipline: topologyMutex_ orders all topology state and is
+/// never held across an engine call, so it stays leaf-like relative to
+/// the engines' internal locks.
+// dagt-analyze: lock-order(ShardRouter::topologyMutex_<PredictionEngine::designsMutex_)
+// dagt-analyze: lock-order(ShardRouter::topologyMutex_<PredictionEngine::queueMutex_)
+class ShardRouter {
+ public:
+  explicit ShardRouter(FleetConfig config = FleetConfig{});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Load a bundle directory on every shard (current and future ones).
+  /// One bundle per technology node, fleet-wide.
+  void addBundleFromDir(const std::string& dir);
+
+  /// Build the design's features once (on the primary owner) and adopt
+  /// the snapshot on the other owner replicas. Returns endpoint count.
+  std::int64_t loadDesign(const std::string& key, netlist::Netlist netlist,
+                          netlist::TechNode node,
+                          const place::PlacementResult& placement,
+                          const std::string& revision = "0");
+  /// Register a prebuilt read-only snapshot on every owner replica of
+  /// `key` (the shared feature-cache segment; no extraction runs).
+  std::int64_t adoptDesign(const std::string& key, netlist::TechNode node,
+                           const std::string& revision,
+                           std::shared_ptr<const serve::ServableDesign> design);
+
+  /// Routed queries. Blocking; identical results to asking the owning
+  /// shard's engine directly (bitwise, given identical bundles).
+  float predictEndpoint(const std::string& key, std::int64_t endpoint);
+  std::vector<float> predictEndpoints(const std::string& key,
+                                      const std::vector<std::int64_t>& endpoints);
+  std::vector<float> predictDesign(const std::string& key);
+
+  /// Grow the fleet by one shard: loads the registered bundles, inserts
+  /// the shard into the ring and migrates design ownership (adopt on new
+  /// owners, drop on former ones). Returns the new shard id.
+  std::int32_t addShard();
+  /// Ops/chaos hook: mark a shard unhealthy and shut its engine down.
+  /// Dispatch routes around it; in-flight work drains first.
+  void killShard(std::int32_t shard);
+
+  /// Current owner replicas (primary first) the ring assigns to `key`.
+  /// Pure ring arithmetic — usable before the design is loaded.
+  std::vector<std::int32_t> ownersOf(const std::string& key) const;
+  std::int32_t shardCount() const;
+  const FleetConfig& config() const { return config_; }
+
+  FleetMetricsSnapshot metrics() const;
+
+ private:
+  /// One serve shard plus the router-side load/health signals. Stored
+  /// behind a stable unique_ptr (slots are append-only) so dispatch can
+  /// use Shard* without holding the topology lock.
+  struct Shard {
+    explicit Shard(const serve::EngineConfig& engineConfig);
+
+    std::unique_ptr<serve::PredictionEngine> engine;
+    std::atomic<bool> healthy{true};
+    std::atomic<std::int64_t> inflight{0};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> sheds{0};
+    /// EWMA of router-observed request latency, stored as double bits so
+    /// the update can stay a lock-free CAS.
+    std::atomic<std::uint64_t> ewmaUsBits{0};
+
+    double ewmaUs() const;
+    void observeLatencyUs(double us, double alpha);
+  };
+
+  /// What a rebalance needs to re-register a key elsewhere.
+  struct DesignInfo {
+    netlist::TechNode node = netlist::TechNode::k7nm;
+    std::string revision;
+    std::int64_t numEndpoints = 0;
+  };
+
+  /// A hedged request whose duplicate lost the race: the future still
+  /// has to be consumed (for inflight accounting) without blocking the
+  /// winner's caller, so it parks here until a later poll finds it done.
+  struct AbandonedReply {
+    Shard* shard = nullptr;
+    std::future<std::vector<float>> reply;
+  };
+
+  /// Owner replicas of `key` as stable Shard pointers (primary first).
+  /// Throws CheckError when the key is not in the fleet registry.
+  std::vector<Shard*> candidatesFor(const std::string& key) const;
+  /// Same ring walk without the registry check — used while a design is
+  /// being loaded, before it has a registry entry.
+  std::vector<Shard*> candidatesForLoad(const std::string& key) const;
+  /// Least-loaded healthy candidate with admission headroom, plus the
+  /// runner-up as hedge/failover target. Throws OverloadShedError when
+  /// every healthy candidate is full, CheckError when none is healthy.
+  std::pair<Shard*, Shard*> chooseShards(const std::vector<Shard*>& candidates,
+                                         const std::string& key);
+  std::vector<float> awaitWithHedge(const std::string& key,
+                                    const std::vector<std::int64_t>& endpoints,
+                                    Shard* primary, Shard* hedge,
+                                    std::future<std::vector<float>> primaryReply,
+                                    std::chrono::steady_clock::time_point start);
+  std::vector<float> consumeReply(Shard* shard,
+                                  std::future<std::vector<float>> reply,
+                                  std::chrono::steady_clock::time_point start);
+  void abandonReply(Shard* shard, std::future<std::vector<float>> reply) const;
+  /// Opportunistically reap abandoned hedge replies that have since
+  /// completed (called at dispatch and metrics time; never blocks).
+  void drainAbandonedReplies() const;
+  Shard* shardAt(std::int32_t shard) const;
+
+  FleetConfig config_;
+
+  // topologyMutex_ covers ring membership, the shard slot vector, the
+  // design registry and the bundle-dir list; all four move together on
+  // addShard/loadDesign. Never held across engine calls (see the
+  // class-comment lock-order declarations). Shard addresses are stable:
+  // slots are append-only unique_ptrs, freed only by the destructor.
+  mutable std::mutex topologyMutex_;
+  HashRing ring_;  // GUARDED_BY(topologyMutex_)
+  std::vector<std::unique_ptr<Shard>> shardSlots_;  // GUARDED_BY(topologyMutex_)
+  std::unordered_map<std::string, DesignInfo> designs_;  // GUARDED_BY(topologyMutex_)
+  std::vector<std::string> bundleDirs_;  // GUARDED_BY(topologyMutex_)
+
+  mutable std::mutex hedgeMutex_;
+  mutable std::vector<AbandonedReply> abandoned_;  // GUARDED_BY(hedgeMutex_)
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedgeWins_{0};
+  std::atomic<std::uint64_t> shedCount_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
+};
+
+}  // namespace dagt::fleet

@@ -1,6 +1,8 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <thread>
 
 #include "common/table.hpp"
 #include "tensor/expr.hpp"
@@ -160,9 +162,20 @@ void ServeMetrics::recordBatch(std::uint64_t coalescedSize) {
   coalesced_.fetch_add(coalescedSize, std::memory_order_relaxed);
 }
 
+ServeMetrics::LatencyStripe& ServeMetrics::stripeForThisThread() {
+  // Stable per-thread stripe choice: an engine worker always lands on the
+  // same stripe, so its lock is effectively private (contended only by the
+  // occasional snapshot drain of that stripe).
+  const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kLatencyStripes;
+  return stripes_[idx];
+}
+
 void ServeMetrics::recordLatencyUs(double us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  latenciesUs_.push_back(static_cast<float>(us));
+  LatencyStripe& stripe = stripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.stripeMutex_);
+  stripe.samplesUs_.push_back(static_cast<float>(us));
 }
 
 MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
@@ -193,10 +206,14 @@ MetricsSnapshot ServeMetrics::snapshot(std::uint64_t cacheHits,
       snap.batches == 0 ? 0.0
                         : static_cast<double>(coalesced) /
                               static_cast<double>(snap.batches);
+  // Merge the latency stripes one at a time — each stripe's lock is held
+  // only for its copy, so recorders on other stripes are never blocked and
+  // the recorder sharing a stripe blocks for one memcpy at poll cadence.
   std::vector<float> sorted;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sorted = latenciesUs_;
+  for (const LatencyStripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.stripeMutex_);
+    sorted.insert(sorted.end(), stripe.samplesUs_.begin(),
+                  stripe.samplesUs_.end());
   }
   snap.cacheHits = cacheHits;
   snap.cacheMisses = cacheMisses;

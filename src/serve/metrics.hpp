@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -74,8 +76,14 @@ struct MetricsSnapshot {
 /// Counters are relaxed atomics: workers on the serve hot path increment
 /// without taking a lock, and each counter is monotone, so a snapshot that
 /// reads them individually is consistent enough for monitoring (it may sit
-/// between two increments of one batch, never see torn values). Only the
-/// latency samples need the mutex (vector growth is not atomic).
+/// between two increments of one batch, never see torn values).
+///
+/// Latency samples land in per-thread-striped accumulators (the vector
+/// growth is not atomic, so each stripe keeps a mutex — but a recorder
+/// thread hashes to its own stripe, so the hot path never contends with
+/// other workers or with a metrics poll draining a different stripe).
+/// Snapshots merge all stripes; percentiles stay exact. A fleet of shard
+/// engines therefore adds no shared lock on the request path.
 class ServeMetrics {
  public:
   void recordRequests(std::uint64_t count);
@@ -83,20 +91,31 @@ class ServeMetrics {
   void recordBatch(std::uint64_t coalescedSize);
   void recordLatencyUs(double us);
 
-  /// Percentiles are computed here (sorted copy); call off the hot path.
-  /// Cache counters are supplied by the caller (the FeatureService owns
-  /// them), as are the buffer-pool counters (the BufferPool owns those).
+  /// Percentiles are computed here (merged + sorted copy); call off the
+  /// hot path. Cache counters are supplied by the caller (the
+  /// FeatureService owns them), as are the buffer-pool counters (the
+  /// BufferPool owns those).
   MetricsSnapshot snapshot(std::uint64_t cacheHits, std::uint64_t cacheMisses,
                            const tensor::PoolStats& pool = {}) const;
 
  private:
+  static constexpr std::size_t kLatencyStripes = 8;
+
+  /// One latency accumulator stripe; cache-line separated so recorder
+  /// threads on different stripes don't false-share.
+  struct alignas(64) LatencyStripe {
+    mutable std::mutex stripeMutex_;
+    std::vector<float> samplesUs_;  // GUARDED_BY(stripeMutex_)
+  };
+
+  LatencyStripe& stripeForThisThread();
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> fullDesignRequests_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> coalesced_{0};
 
-  mutable std::mutex mutex_;
-  std::vector<float> latenciesUs_;  // GUARDED_BY(mutex_)
+  mutable std::array<LatencyStripe, kLatencyStripes> stripes_;
 };
 
 }  // namespace dagt::serve

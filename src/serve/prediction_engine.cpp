@@ -195,6 +195,35 @@ void PredictionEngine::installSnapshot(
   designs_[key].design = std::move(design);
 }
 
+void PredictionEngine::adoptDesign(
+    const std::string& key, netlist::TechNode node,
+    const std::string& revision,
+    std::shared_ptr<const ServableDesign> design) {
+  DAGT_CHECK_MSG(design != nullptr, "adoptDesign: null snapshot");
+  DesignRef ref;
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    const auto it = nodes_.find(static_cast<int>(node));
+    DAGT_CHECK_MSG(it != nodes_.end(), "no bundle registered for "
+                                           << netlist::techNodeName(node));
+    ref.node = &it->second;
+  }
+  // Register with the node's FeatureService first so a later fromNetlist
+  // under the same key/revision is a cache hit, then route the key.
+  ref.node->features->installSnapshot(key, revision, design);
+  ref.design = std::move(design);
+  {
+    std::lock_guard<std::mutex> lock(designsMutex_);
+    designs_[key] = ref;
+  }
+  warmFusionPrograms(ref);
+}
+
+bool PredictionEngine::dropDesign(const std::string& key) {
+  std::lock_guard<std::mutex> lock(designsMutex_);
+  return designs_.erase(key) > 0;
+}
+
 std::shared_ptr<const ServableDesign> PredictionEngine::currentSnapshot(
     const std::string& key) const {
   std::lock_guard<std::mutex> lock(designsMutex_);
@@ -220,6 +249,35 @@ std::vector<float> PredictionEngine::predictEndpoints(
     const std::string& key, const std::vector<std::int64_t>& endpoints) {
   DAGT_TRACE_SCOPE("serve/request");
   DAGT_CHECK_MSG(!endpoints.empty(), "empty endpoint query");
+  if (!config_.batching) {
+    RequestGroup group;
+    group.ref = designRef(key);
+    const std::int64_t n = group.ref.design->numEndpoints();
+    for (const std::int64_t e : endpoints) {
+      DAGT_CHECK_MSG(e >= 0 && e < n, "endpoint " << e << " out of range for '"
+                                                  << key << "' (" << n
+                                                  << ")");
+    }
+    group.endpoints = endpoints;
+    group.enqueued = std::chrono::steady_clock::now();
+    auto future = group.reply.get_future();
+    // Caller-thread forward: scope a workspace around it so this request's
+    // temporaries land back in the shared pool for the next caller.
+    tensor::Workspace workspace;
+    std::vector<RequestGroup> solo;
+    solo.push_back(std::move(group));
+    serveBatch(std::move(solo));
+    return future.get();
+  }
+  return predictEndpointsAsync(key, endpoints).get();
+}
+
+std::future<std::vector<float>> PredictionEngine::predictEndpointsAsync(
+    const std::string& key, const std::vector<std::int64_t>& endpoints) {
+  DAGT_CHECK_MSG(config_.batching,
+                 "async submission needs the batching queue "
+                 "(EngineConfig::batching = true)");
+  DAGT_CHECK_MSG(!endpoints.empty(), "empty endpoint query");
   RequestGroup group;
   group.ref = designRef(key);
   const std::int64_t n = group.ref.design->numEndpoints();
@@ -230,23 +288,13 @@ std::vector<float> PredictionEngine::predictEndpoints(
   group.endpoints = endpoints;
   group.enqueued = std::chrono::steady_clock::now();
   auto future = group.reply.get_future();
-
-  if (!config_.batching) {
-    // Caller-thread forward: scope a workspace around it so this request's
-    // temporaries land back in the shared pool for the next caller.
-    tensor::Workspace workspace;
-    std::vector<RequestGroup> solo;
-    solo.push_back(std::move(group));
-    serveBatch(std::move(solo));
-    return future.get();
-  }
   {
     std::lock_guard<std::mutex> lock(queueMutex_);
     DAGT_CHECK_MSG(!stopping_, "engine is shut down");
     queue_.push_back(std::move(group));
   }
   queueCv_.notify_all();
-  return future.get();
+  return future;
 }
 
 std::vector<float> PredictionEngine::predictDesign(const std::string& key) {

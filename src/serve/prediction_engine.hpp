@@ -99,6 +99,20 @@ class PredictionEngine {
   void installSnapshot(const std::string& key, const std::string& revision,
                        std::shared_ptr<const ServableDesign> design);
 
+  /// Register a snapshot built elsewhere under a fresh `key`, routed to
+  /// `node`'s bundle. Unlike installSnapshot, the key need not be loaded
+  /// yet — this is how fleet replicas share one fingerprinted feature
+  /// build instead of each paying extraction again (the snapshot is
+  /// read-only, so sharing the shared_ptr across engines is safe).
+  void adoptDesign(const std::string& key, netlist::TechNode node,
+                   const std::string& revision,
+                   std::shared_ptr<const ServableDesign> design);
+
+  /// Remove `key` from the routing table (fleet rebalance moved it away).
+  /// Returns false if the key was not loaded. In-flight queries finish
+  /// against the snapshot they hold.
+  bool dropDesign(const std::string& key);
+
   /// The snapshot currently routed for `key` (nullptr if not loaded).
   std::shared_ptr<const ServableDesign> currentSnapshot(
       const std::string& key) const;
@@ -109,6 +123,12 @@ class PredictionEngine {
   /// Batch query; one coalescable unit, answered in request order.
   std::vector<float> predictEndpoints(const std::string& key,
                                       const std::vector<std::int64_t>& endpoints);
+  /// Non-blocking variant: validate and enqueue, return the reply future.
+  /// Requires the batching queue (the solo path runs in the caller's
+  /// thread, so "async" would be a lie there). The fleet router submits
+  /// through this so it can hedge a slow shard instead of blocking on it.
+  std::future<std::vector<float>> predictEndpointsAsync(
+      const std::string& key, const std::vector<std::int64_t>& endpoints);
   /// All endpoints, bit-exact with the in-process trainer's predictions.
   std::vector<float> predictDesign(const std::string& key);
 

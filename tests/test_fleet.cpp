@@ -1,0 +1,437 @@
+// Fleet router suite. Built into its own binary (dagt_fleet_tests, label
+// "fleet") so it can be compiled alone under ThreadSanitizer, like the
+// concurrency suite:
+//
+//   cmake -B build-tsan -S . -DDAGT_SANITIZE=thread
+//   cmake --build build-tsan --target dagt_fleet_tests
+//   ./build-tsan/tests/dagt_fleet_tests
+//
+// Covers the ring (determinism, balance, rebalance stability), routed vs
+// direct parity, shard-death failover (no lost or duplicated responses),
+// ownership migration on addShard, the typed overload shed, hedged retry,
+// and a concurrent route/metrics/rebalance stress for TSan. Prediction
+// quality is irrelevant here, so the bundle wraps an untrained (randomly
+// initialized) deterministic dac23 model — cheap to build and forward.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "features/design_data.hpp"
+#include "fleet/hash_ring.hpp"
+#include "fleet/shard_router.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace dagt::fleet {
+namespace {
+
+// -- Tiny untrained bundle fixture (same shape as the concurrency suite) -----
+
+const features::DataConfig& dataConfig() {
+  static features::DataConfig config = [] {
+    features::DataConfig c;
+    c.designScale = 0.2f;
+    return c;
+  }();
+  return config;
+}
+
+const features::DataPipeline& pipeline() {
+  static features::DataPipeline* p = new features::DataPipeline(dataConfig());
+  return *p;
+}
+
+const features::DesignData& target7() {
+  static features::DesignData d = pipeline().build("smallboom");
+  return d;
+}
+
+serve::BundleManifest tinyManifest() {
+  serve::BundleManifest manifest;
+  manifest.modelKind = "dac23";
+  manifest.variant = "shared";
+  manifest.strategy = "fleet-test";
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig().nodes;
+  manifest.pinFeatureDim = pipeline().featureDim();
+  manifest.model.gnnHidden = 16;
+  manifest.model.cnnBaseChannels = 4;
+  manifest.model.cnnDim = 8;
+  manifest.model.headHidden = 16;
+  manifest.model.imageResolution = dataConfig().imageResolution;
+  manifest.features = dataConfig().features;
+  return manifest;
+}
+
+const std::string& bundleDir() {
+  static std::string dir = [] {
+    const serve::BundleManifest manifest = tinyManifest();
+    const auto model = serve::ModelBundle::instantiate(manifest);
+    const std::string d =
+        (std::filesystem::temp_directory_path() /
+         ("dagt_fleet_bundle_" + std::to_string(::getpid())))
+            .string();
+    serve::ModelBundle::save(*model, manifest, d);
+    return d;
+  }();
+  return dir;
+}
+
+/// The design's feature snapshot, built exactly once (in a throwaway
+/// engine) and shared by every router in the suite — the fleet's shared
+/// read-only feature segment, and also what makes parity bitwise.
+std::shared_ptr<const serve::ServableDesign> sharedSnapshot() {
+  static std::shared_ptr<const serve::ServableDesign> snap = [] {
+    serve::PredictionEngine builder;
+    builder.addBundleFromDir(bundleDir());
+    const auto& d = target7();
+    builder.loadDesign("seed", d.netlist, d.node, d.placement, "r1");
+    return builder.currentSnapshot("seed");
+  }();
+  return snap;
+}
+
+FleetConfig testConfig(std::int32_t shards, std::int32_t replication) {
+  FleetConfig fc;
+  fc.shards = shards;
+  fc.replication = replication;
+  fc.engine.maxBatch = 16;
+  fc.engine.maxWaitUs = 100;
+  return fc;
+}
+
+std::unique_ptr<ShardRouter> makeRouter(FleetConfig fc,
+                                        const std::vector<std::string>& keys) {
+  auto router = std::make_unique<ShardRouter>(fc);
+  router->addBundleFromDir(bundleDir());
+  for (const std::string& key : keys) {
+    router->adoptDesign(key, target7().node, "r1", sharedSnapshot());
+  }
+  return router;
+}
+
+/// First salt whose key "d<i>~<salt>" lands its primary owner on `want`
+/// for a `shards`-wide canonical ring. Deterministic — no RNG (and the
+/// router uses the same default vnodes, so its placement agrees).
+std::string saltedKey(int i, std::int32_t shards, std::int32_t want) {
+  HashRing probe(FleetConfig{}.virtualNodes);
+  for (std::int32_t s = 0; s < shards; ++s) probe.addShard(s);
+  for (int salt = 0; salt < 256; ++salt) {
+    const std::string key =
+        "d" + std::to_string(i) + "~" + std::to_string(salt);
+    if (probe.shardsFor(key, 1).front() == want) return key;
+  }
+  ADD_FAILURE() << "no salt lands d" << i << " on shard " << want;
+  return "d" + std::to_string(i) + "~0";
+}
+
+// -- HashRing ----------------------------------------------------------------
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  HashRing a(64), b(64);
+  for (std::int32_t s = 0; s < 4; ++s) {
+    a.addShard(s);
+    b.addShard(s);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(a.shardsFor(key, 2), b.shardsFor(key, 2)) << key;
+  }
+}
+
+TEST(HashRing, ReplicasAreDistinctAndCapped) {
+  HashRing ring(32);
+  ring.addShard(0);
+  ring.addShard(1);
+  ring.addShard(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto owners = ring.shardsFor("k" + std::to_string(i), 5);
+    EXPECT_EQ(owners.size(), 3u);  // capped at the shard count
+    const std::set<std::int32_t> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), owners.size());
+  }
+}
+
+TEST(HashRing, BalancesKeysAcrossShards) {
+  HashRing ring(64);
+  constexpr std::int32_t kShards = 4;
+  for (std::int32_t s = 0; s < kShards; ++s) ring.addShard(s);
+  std::map<std::int32_t, int> counts;
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; ++i) {
+    counts[ring.shardsFor("key" + std::to_string(i), 1).front()]++;
+  }
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(kShards));
+  for (const auto& [shard, count] : counts) {
+    // Loose uniformity: every shard owns a meaningful share (exact
+    // uniformity would need far more virtual nodes than placement does).
+    EXPECT_GT(count, kKeys / (kShards * 4)) << "shard " << shard;
+  }
+}
+
+TEST(HashRing, AddingShardMovesOnlyAMinorityOfKeys) {
+  HashRing ring(64);
+  for (std::int32_t s = 0; s < 4; ++s) ring.addShard(s);
+  constexpr int kKeys = 1000;
+  std::vector<std::int32_t> before;
+  for (int i = 0; i < kKeys; ++i) {
+    before.push_back(ring.shardsFor("key" + std::to_string(i), 1).front());
+  }
+  ring.addShard(4);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const auto owner = ring.shardsFor("key" + std::to_string(i), 1).front();
+    if (owner != before[static_cast<std::size_t>(i)]) {
+      ++moved;
+      // Consistent hashing: a key that moves can only move to the new
+      // shard, never between old ones.
+      EXPECT_EQ(owner, 4);
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kKeys / 2);  // ~1/5 expected; < 1/2 is the hard claim
+}
+
+// -- Router ------------------------------------------------------------------
+
+TEST(ShardRouter, ParityRoutedVsDirect) {
+  const std::string key = saltedKey(0, 2, 1);
+  auto router = makeRouter(testConfig(2, 1), {key});
+
+  serve::PredictionEngine direct(testConfig(2, 1).engine);
+  direct.addBundleFromDir(bundleDir());
+  direct.adoptDesign(key, target7().node, "r1", sharedSnapshot());
+
+  const std::int64_t endpoints = sharedSnapshot()->numEndpoints();
+  const std::int64_t queries = std::min<std::int64_t>(32, endpoints);
+  for (std::int64_t e = 0; e < queries; ++e) {
+    const float routed = router->predictEndpoint(key, e);
+    const float straight = direct.predictEndpoint(key, e);
+    ASSERT_TRUE(std::isfinite(routed));
+    EXPECT_EQ(std::memcmp(&routed, &straight, sizeof(float)), 0)
+        << "endpoint " << e << ": " << routed << " vs " << straight;
+  }
+  const auto full = router->predictDesign(key);
+  const auto fullDirect = direct.predictDesign(key);
+  ASSERT_EQ(full.size(), fullDirect.size());
+  EXPECT_EQ(std::memcmp(full.data(), fullDirect.data(),
+                        full.size() * sizeof(float)),
+            0);
+}
+
+TEST(ShardRouter, ShardDeathFailoverLosesNoResponses) {
+  const std::string key = saltedKey(0, 2, 0);
+  auto router = makeRouter(testConfig(2, 2), {key});
+  const std::int64_t endpoints = sharedSnapshot()->numEndpoints();
+  const std::int32_t victim = router->ownersOf(key).front();
+
+  constexpr int kCallers = 4;
+  constexpr int kPerCaller = 20;
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<bool> badValue{false};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int i = 0; i < kPerCaller; ++i) {
+        const float v =
+            router->predictEndpoint(key, (c * 13 + i) % endpoints);
+        if (!std::isfinite(v)) badValue = true;
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Kill the primary owner mid-traffic: dispatch must route around it and
+  // every blocking call above must still return exactly once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  router->killShard(victim);
+  for (auto& t : callers) t.join();
+
+  EXPECT_FALSE(badValue.load());
+  EXPECT_EQ(answered.load(),
+            static_cast<std::uint64_t>(kCallers) * kPerCaller);
+  const auto metrics = router->metrics();
+  EXPECT_FALSE(metrics.perShard[static_cast<std::size_t>(victim)].healthy);
+  // The fleet keeps serving on the surviving replica.
+  EXPECT_TRUE(std::isfinite(router->predictEndpoint(key, 0)));
+}
+
+TEST(ShardRouter, AddShardRebalancesAndKeepsAnswers) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) keys.push_back(saltedKey(i, 2, i % 2));
+  auto router = makeRouter(testConfig(2, 1), keys);
+
+  std::map<std::string, std::vector<std::int32_t>> ownersBefore;
+  std::map<std::string, float> valueBefore;
+  for (const auto& key : keys) {
+    ownersBefore[key] = router->ownersOf(key);
+    valueBefore[key] = router->predictEndpoint(key, 3);
+  }
+
+  const std::int32_t added = router->addShard();
+  EXPECT_EQ(added, 2);
+  EXPECT_EQ(router->shardCount(), 3);
+
+  int moved = 0;
+  for (const auto& key : keys) {
+    const auto owners = router->ownersOf(key);
+    if (owners != ownersBefore[key]) {
+      ++moved;
+      EXPECT_EQ(owners.front(), added);  // keys only move to the new shard
+    }
+    // Moved or not, the answer is the same snapshot through the same
+    // bundle weights — bitwise stable across the rebalance.
+    const float after = router->predictEndpoint(key, 3);
+    EXPECT_EQ(std::memcmp(&after, &valueBefore[key], sizeof(float)), 0)
+        << key;
+  }
+  // 6 keys on 3 shards: rebalance moved at least one onto the new shard.
+  EXPECT_GE(moved, 1);
+  EXPECT_GE(router->metrics().rebalances, 1u);
+}
+
+TEST(ShardRouter, OverloadShedsTypedErrorInsteadOfQueueing) {
+  FleetConfig fc = testConfig(1, 1);
+  fc.maxInflight = 1;
+  fc.engine.maxWaitUs = 20000;  // park the admitted request in the window
+  const std::string key = "overload";
+  auto router = makeRouter(fc, {key});
+
+  constexpr int kCallers = 4;
+  std::atomic<int> successes{0};
+  std::atomic<int> sheds{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      try {
+        (void)router->predictEndpoint(key, c);
+        successes.fetch_add(1, std::memory_order_relaxed);
+      } catch (const OverloadShedError& e) {
+        EXPECT_NE(std::string(e.what()).find("max inflight"),
+                  std::string::npos);
+        sheds.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  // Every caller got a definite outcome (no hang), at least one request
+  // was served, at least one was refused, and the counters agree.
+  EXPECT_EQ(successes.load() + sheds.load(), kCallers);
+  EXPECT_GE(successes.load(), 1);
+  EXPECT_GE(sheds.load(), 1);
+  const auto metrics = router->metrics();
+  EXPECT_EQ(metrics.sheds, static_cast<std::uint64_t>(sheds.load()));
+}
+
+TEST(ShardRouter, HedgeDuplicatesSlowShardAndFirstReplyWins) {
+  FleetConfig fc = testConfig(2, 2);
+  fc.hedgeAfterUs = 20000;
+  fc.engine.maxWaitUs = 60000;  // wide window: every solo query is "slow"
+  fc.maxInflight = 8;
+  const std::string key = saltedKey(0, 2, 0);
+  auto router = makeRouter(fc, {key});
+  const std::int64_t endpoints = sharedSnapshot()->numEndpoints();
+
+  // Park one query on the primary owner: it opens a 60ms coalescing
+  // window there at t=0. The main query starts at t=10ms, selects the
+  // idle replica as its primary (fresh window, fires at t=70ms) and
+  // hedges back to the parked shard at t=30ms — where it joins the
+  // already-open batch and completes at t=60ms, a solid 10ms before its
+  // own window. First reply wins: the hedge. (The hedge delay must
+  // exceed the 10ms stagger, or the parker's own hedge would open the
+  // second shard's window early and erase the margin.)
+  std::thread parker([&] { (void)router->predictEndpoint(key, 1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const float v = router->predictEndpoint(key, 2 % endpoints);
+  parker.join();
+  EXPECT_TRUE(std::isfinite(v));
+
+  const auto metrics = router->metrics();
+  EXPECT_GE(metrics.hedges, 1u);
+  EXPECT_GE(metrics.hedgeWins, 1u);
+  // The abandoned loser is reaped once it completes; in-flight counts
+  // must return to zero (retry a few times — the reap is opportunistic).
+  for (int i = 0; i < 50; ++i) {
+    std::int64_t inflight = 0;
+    for (const auto& shard : router->metrics().perShard) {
+      inflight += shard.inflight;
+    }
+    if (inflight == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::int64_t inflight = 0;
+  for (const auto& shard : router->metrics().perShard) {
+    inflight += shard.inflight;
+  }
+  EXPECT_EQ(inflight, 0);
+}
+
+TEST(ShardRouter, ConcurrentRouteMetricsAndRebalanceStress) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 3; ++i) keys.push_back(saltedKey(i, 2, i % 2));
+  auto router = makeRouter(testConfig(2, 2), keys);
+  const std::int64_t endpoints = sharedSnapshot()->numEndpoints();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string& key = keys[static_cast<std::size_t>(c) % keys.size()];
+      for (int i = 0; i < 15; ++i) {
+        while (true) {
+          try {
+            const float v =
+                router->predictEndpoint(key, (c * 17 + i) % endpoints);
+            if (!std::isfinite(v)) failed = true;
+            break;
+          } catch (const OverloadShedError&) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 30; ++i) {
+      const auto snap = router->metrics();
+      if (snap.shards < 2) failed = true;
+      for (const auto& shard : snap.perShard) {
+        if (shard.inflight < 0) failed = true;
+      }
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    (void)router->addShard();
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 40; ++i) {
+      for (const auto& key : keys) {
+        if (router->ownersOf(key).empty()) failed = true;
+      }
+      if (router->shardCount() < 2) failed = true;
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(router->shardCount(), 3);
+  EXPECT_GE(router->metrics().requests, 4u * 15u);
+}
+
+}  // namespace
+}  // namespace dagt::fleet

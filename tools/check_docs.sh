@@ -21,7 +21,12 @@
 #      markers) must appear (backticked) in docs/whatif.md;
 #   5. every dagt-analyze pass id in the canonical table of
 #      tools/dagt_analyze/passes.cpp (between the DOCS:ANALYZE_PASSES
-#      markers) must appear (backticked) in docs/static-analysis.md.
+#      markers) must appear (backticked) in docs/static-analysis.md;
+#   6. the fleet operations handbook: every DAGT_FLEET_* env knob and
+#      every fleet/* trace span must appear (backticked) in docs/fleet.md,
+#      and every JSON key emitted via .set("...") in src/fleet/*.cpp must
+#      appear inside the GENERATED fleet-metrics-keys section of
+#      docs/metrics-reference.md.
 #
 # Span and env-var extraction prefers `dagt_analyze --dump spans|env` when
 # the binary has been built: the analyzer lexes the sources, so names that
@@ -221,12 +226,64 @@ else
   done
 fi
 
+# --- 6. fleet knobs, spans and metric keys -> docs/fleet.md ----------------
+
+FLEET=docs/fleet.md
+
+# The fleet handbook re-documents its own slice of the global lists (which
+# sections 2 and 3 already check against the general docs): the DAGT_FLEET_*
+# env knobs and the fleet/* spans.
+FLEETENVS=$(grep -E '^DAGT_FLEET_' <<<"${ENVVARS:-}" | sort -u)
+[[ -n "$FLEETENVS" ]] || miss "no DAGT_FLEET_* env knobs found (extraction broke?)"
+
+FLEETSPANS=$(grep -E '^fleet/' <<<"${SPANS:-}" | sort -u)
+[[ -n "$FLEETSPANS" ]] || miss "no fleet/* trace spans found (extraction broke?)"
+
+FLEETKEYS=$(grep -ho '\.set("[A-Za-z0-9_]*"' src/fleet/*.cpp 2>/dev/null |
+  sed 's/.*("\([^"]*\)".*/\1/' | sort -u)
+[[ -n "$FLEETKEYS" ]] || miss "no .set(\"...\") keys found in src/fleet/*.cpp (extraction broke?)"
+
+if [[ "$SELFTEST" == 1 ]]; then
+  FLEETENVS="$FLEETENVS
+DAGT_FLEET_PHANTOM_KNOB"
+  FLEETSPANS="$FLEETSPANS
+fleet/phantom_span"
+  FLEETKEYS="$FLEETKEYS
+fleet_phantom_key"
+fi
+
+if [[ ! -f "$FLEET" ]]; then
+  miss "$FLEET does not exist"
+else
+  for var in $FLEETENVS; do
+    grep -qF "\`${var}\`" "$FLEET" ||
+      miss "fleet knob '${var}' is not documented in $FLEET"
+  done
+  for span in $FLEETSPANS; do
+    grep -qF "\`${span}\`" "$FLEET" ||
+      miss "fleet span '${span}' is not documented in $FLEET"
+  done
+fi
+
+if [[ -f "$REF" ]]; then
+  grep -q 'BEGIN GENERATED: fleet-metrics-keys' "$REF" &&
+    grep -q 'END GENERATED: fleet-metrics-keys' "$REF" ||
+    miss "$REF lost its fleet-metrics-keys GENERATED section markers"
+  FLEETSECTION=$(sed -n '/BEGIN GENERATED: fleet-metrics-keys/,/END GENERATED: fleet-metrics-keys/p' "$REF")
+  for key in $FLEETKEYS; do
+    if ! grep -qE "\`([^\`]*[^A-Za-z0-9_])?${key}([^A-Za-z0-9_][^\`]*)?\`" <<<"$FLEETSECTION"; then
+      miss "fleet metric key '${key}' (src/fleet/) is not documented in $REF"
+    fi
+  done
+fi
+
 # --- verdict ---------------------------------------------------------------
 
 if [[ "$SELFTEST" == 1 ]]; then
   rc=0
   for phantom in phantom_tier_zz DAGT_PHANTOM_OPTION DAGT_PHANTOM_ENV \
-    bench_phantom_target phantomcmd phantom-pass-zz; do
+    bench_phantom_target phantomcmd phantom-pass-zz \
+    DAGT_FLEET_PHANTOM_KNOB fleet/phantom_span fleet_phantom_key; do
     case "$MISSED_NAMES" in
       *"'${phantom}'"*) ;;
       *)
