@@ -1,0 +1,355 @@
+// Learned-prediction-cache bench: replayed revision-stream workload for
+// the uncertainty-gated ANN retrieval layer (src/retrieval/).
+//
+// Trains a small predictor, serves or1200 through two solo engines —
+// retrieval ON vs retrieval OFF — and replays the same revision stream
+// through both: R placement revisions (tiny deterministic jitter of cell
+// locations, re-extracted features per revision), each queried for Q
+// rounds over E endpoints. The OFF engine pays a full forward per query;
+// the ON engine embeds once per (revision, endpoint), probes the index,
+// and runs the Bayesian head only for the misses.
+//
+//   sigma gate   self-calibrated: DAGT_RETRIEVAL_MAX_SIGMA defaults to
+//                the p90 of the model's own predictive stddev on the
+//                served design, so ~90% of endpoint posteriors are
+//                admissible and the tail the head is unsure about always
+//                falls through.
+//   budget       DAGT_RETRIEVAL_BUDGET_PS defaults to 2x the sigma gate:
+//                a hit is "in budget" when it lands within +-2 sigma_max
+//                of the fresh forward for the same (revision, endpoint).
+//   speedup      effective QPS(on) / QPS(off) over the identical stream.
+//                Gate: >= DAGT_RETRIEVAL_MIN_SPEEDUP (default 2.0).
+//   accuracy     in-budget fraction of hit-served replies. Gate:
+//                >= DAGT_RETRIEVAL_MIN_ACCURACY (default 0.9).
+//   parity       an enabled engine whose distance gate admits nothing
+//                (maxDist < 0) must be bitwise identical to the disabled
+//                engine — the miss path IS the cache-off path, so
+//                DAGT_RETRIEVAL=0 cannot change results.
+//
+// Writes BENCH_retrieval.json. DAGT_RETRIEVAL_REVISIONS / _ROUNDS /
+// _ENDPOINTS scale the stream down for smoke runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "features/design_data.hpp"
+#include "harness.hpp"
+#include "serve/model_bundle.hpp"
+#include "serve/prediction_engine.hpp"
+
+namespace {
+
+using namespace dagt;
+using Clock = std::chrono::steady_clock;
+
+std::int64_t envOr(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+double envOrF(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtod(raw, nullptr);
+}
+
+double secondsSince(const Clock::time_point& start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// Revision r of the placement: every placed cell jittered by a small
+/// deterministic gaussian step (fraction of the die edge), clamped back
+/// into the die. Revision 0 is the original placement.
+netlist::Netlist jitterPlacement(const netlist::Netlist& base,
+                                 const place::PlacementResult& placement,
+                                 int revision, double jitterFrac) {
+  netlist::Netlist out = base;
+  if (revision == 0) return out;
+  Rng rng(0x5eedULL + static_cast<std::uint64_t>(revision));
+  const float ax = static_cast<float>(jitterFrac) * placement.dieArea.width();
+  const float ay = static_cast<float>(jitterFrac) * placement.dieArea.height();
+  for (netlist::CellId c = 0; c < base.numCells(); ++c) {
+    const auto& cell = base.cell(c);
+    if (!cell.placed) continue;
+    Point p = cell.location;
+    p.x = std::clamp(p.x + static_cast<float>(rng.normal()) * ax,
+                     placement.dieArea.lo.x, placement.dieArea.hi.x);
+    p.y = std::clamp(p.y + static_cast<float>(rng.normal()) * ay,
+                     placement.dieArea.lo.y, placement.dieArea.hi.y);
+    out.setCellLocation(c, p);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t revisions = envOr("DAGT_RETRIEVAL_REVISIONS", 4);
+  const std::int64_t rounds = envOr("DAGT_RETRIEVAL_ROUNDS", 3);
+  const std::int64_t endpointCap = envOr("DAGT_RETRIEVAL_ENDPOINTS", 48);
+  const double jitterFrac = envOrF("DAGT_RETRIEVAL_JITTER", 0.002);
+  const double minSpeedup = envOrF("DAGT_RETRIEVAL_MIN_SPEEDUP", 2.0);
+  const double minAccuracy = envOrF("DAGT_RETRIEVAL_MIN_ACCURACY", 0.9);
+
+  // -- Train a small model and export it as a bundle -------------------------
+  features::DataConfig dataConfig;
+  dataConfig.designScale = 0.3f;
+  const features::DataPipeline pipeline(dataConfig);
+  std::vector<features::DesignData> trainDesigns;
+  for (const char* name : {"smallboom", "jpeg", "linkruncca"}) {
+    trainDesigns.push_back(pipeline.build(name));
+  }
+  std::vector<const features::DesignData*> pointers;
+  for (const auto& d : trainDesigns) pointers.push_back(&d);
+  const core::TimingDataset trainSet(pointers);
+
+  core::TrainConfig config;
+  config.epochs = 4;
+  config.finetuneEpochs = 2;
+  const core::Trainer trainer(trainSet, config);
+  const auto model = trainer.train(core::Strategy::kOurs);
+
+  serve::BundleManifest manifest;
+  manifest.strategy = core::strategyName(core::Strategy::kOurs);
+  manifest.targetNode = netlist::TechNode::k7nm;
+  manifest.vocabularyNodes = dataConfig.nodes;
+  manifest.pinFeatureDim = pipeline.featureDim();
+  manifest.model = config.model;
+  manifest.model.imageResolution = dataConfig.imageResolution;
+  manifest.features = dataConfig.features;
+  const std::string bundleDir = "dagt_retrieval_bench_bundle";
+  serve::ModelBundle::save(*model, manifest, bundleDir);
+
+  auto serveDesign = pipeline.build("or1200");
+  const std::int64_t numEndpoints = serveDesign.numEndpoints();
+  const std::int64_t queryEndpoints = std::min(endpointCap, numEndpoints);
+  std::fprintf(stderr, "serving %s: %lld endpoints (%lld queried)\n",
+               serveDesign.name.c_str(), static_cast<long long>(numEndpoints),
+               static_cast<long long>(queryEndpoints));
+
+  // -- Self-calibrate the sigma gate from the model's own uncertainty --------
+  // p90 of the predictive stddev on the served design: the gate admits the
+  // ~90% of posteriors the head is confident about; the uncertain tail
+  // always falls through to a fresh forward.
+  auto* ours = dynamic_cast<core::OursModel*>(model.get());
+  DAGT_CHECK_MSG(ours != nullptr, "retrieval bench needs the ours model");
+  const core::TimingDataset serveSet({&serveDesign});
+  const auto uncertainty =
+      ours->predictDesignWithUncertainty(serveSet, serveDesign);
+  std::vector<double> sigmas(uncertainty.stddev.begin(),
+                             uncertainty.stddev.end());
+  const double calibratedSigmaPs = percentile(sigmas, 0.90);
+  const double maxSigmaPs =
+      envOrF("DAGT_RETRIEVAL_MAX_SIGMA", calibratedSigmaPs);
+  const double budgetPs =
+      envOrF("DAGT_RETRIEVAL_BUDGET_PS", 2.0 * maxSigmaPs);
+  std::fprintf(stderr,
+               "calibrated: p90 sigma %.1f ps, gate %.1f ps, budget %.1f ps\n",
+               calibratedSigmaPs, maxSigmaPs, budgetPs);
+
+  // -- Three solo engines over the same bundle -------------------------------
+  // off: retrieval disabled (the DAGT_RETRIEVAL=0 serve path). on: gates
+  // as calibrated. missOnly: enabled but maxDist < 0 admits nothing, so
+  // every query exercises the miss path — it must be bitwise identical
+  // to `off`.
+  serve::EngineConfig offConfig;
+  offConfig.batching = false;
+  offConfig.retrieval = retrieval::CacheConfig{};
+  offConfig.retrieval.enabled = false;
+
+  serve::EngineConfig onConfig = offConfig;
+  onConfig.retrieval = retrieval::CacheConfig::fromEnv();
+  onConfig.retrieval.enabled = true;
+  onConfig.retrieval.maxSigmaPs = static_cast<float>(maxSigmaPs);
+
+  serve::EngineConfig missConfig = onConfig;
+  missConfig.retrieval.maxDist = -1.0f;
+
+  serve::PredictionEngine engineOff(offConfig);
+  serve::PredictionEngine engineOn(onConfig);
+  serve::PredictionEngine engineMiss(missConfig);
+  for (auto* engine : {&engineOff, &engineOn, &engineMiss}) {
+    engine->addBundleFromDir(bundleDir);
+  }
+
+  // -- Pre-build the revision stream ----------------------------------------
+  std::vector<netlist::Netlist> stream;
+  for (int r = 0; r < static_cast<int>(revisions); ++r) {
+    stream.push_back(jitterPlacement(serveDesign.netlist,
+                                     serveDesign.placement, r, jitterFrac));
+  }
+
+  // -- Parity: miss path == cache-off path, bitwise --------------------------
+  engineOff.loadDesign("d", stream[0], serveDesign.node,
+                       serveDesign.placement, "r0");
+  engineMiss.loadDesign("d", stream[0], serveDesign.node,
+                        serveDesign.placement, "r0");
+  bool parity = true;
+  for (std::int64_t e = 0; e < queryEndpoints; ++e) {
+    const float off = engineOff.predictEndpoint("d", e);
+    const float miss = engineMiss.predictEndpoint("d", e);
+    if (std::memcmp(&off, &miss, sizeof(float)) != 0) {
+      parity = false;
+      std::fprintf(stderr, "parity mismatch at endpoint %lld: %.9g vs %.9g\n",
+                   static_cast<long long>(e), off, miss);
+    }
+  }
+
+  // -- Replay the revision stream through both engines -----------------------
+  // Load time is excluded (feature extraction is identical for both); the
+  // timed region is the query stream only. Hit detection on the ON engine
+  // is a per-query counter delta on its (solo) cache.
+  double offSeconds = 0.0;
+  double onSeconds = 0.0;
+  std::uint64_t inBudgetHits = 0;
+  std::uint64_t outOfBudgetHits = 0;
+  JsonValue perRevision = JsonValue::array();
+  TextTable revTable({"revision", "off QPS", "on QPS", "hits", "hit rate",
+                      "in-budget"});
+  std::vector<float> offVals(static_cast<std::size_t>(queryEndpoints));
+  for (int r = 0; r < static_cast<int>(revisions); ++r) {
+    const std::string rev = "r" + std::to_string(r);
+    engineOff.loadDesign("d", stream[static_cast<std::size_t>(r)],
+                         serveDesign.node, serveDesign.placement, rev);
+    engineOn.loadDesign("d", stream[static_cast<std::size_t>(r)],
+                        serveDesign.node, serveDesign.placement, rev);
+    const auto cache = engineOn.retrievalCache("d");
+    DAGT_CHECK_MSG(cache != nullptr, "ON engine has no retrieval cache");
+    const auto before = cache->counters();
+
+    const auto offStart = Clock::now();
+    for (std::int64_t q = 0; q < rounds; ++q) {
+      for (std::int64_t e = 0; e < queryEndpoints; ++e) {
+        const float v = engineOff.predictEndpoint("d", e);
+        if (q == 0) offVals[static_cast<std::size_t>(e)] = v;
+      }
+    }
+    const double offRev = secondsSince(offStart);
+    offSeconds += offRev;
+
+    std::uint64_t revInBudget = 0;
+    std::uint64_t revHits = 0;
+    const auto onStart = Clock::now();
+    for (std::int64_t q = 0; q < rounds; ++q) {
+      for (std::int64_t e = 0; e < queryEndpoints; ++e) {
+        const std::uint64_t hitsBefore = cache->counters().hits;
+        const float v = engineOn.predictEndpoint("d", e);
+        if (cache->counters().hits != hitsBefore) {
+          ++revHits;
+          const double err =
+              std::abs(static_cast<double>(v) -
+                       static_cast<double>(offVals[static_cast<std::size_t>(e)]));
+          if (err <= budgetPs) {
+            ++revInBudget;
+          } else {
+            ++outOfBudgetHits;
+          }
+        }
+      }
+    }
+    const double onRev = secondsSince(onStart);
+    onSeconds += onRev;
+    inBudgetHits += revInBudget;
+
+    const auto after = cache->counters();
+    const double queries = static_cast<double>(rounds * queryEndpoints);
+    const double hitRate =
+        static_cast<double>(after.hits - before.hits) / queries;
+    revTable.addRow({rev, TextTable::num(queries / offRev, 1),
+                     TextTable::num(queries / onRev, 1),
+                     std::to_string(revHits), TextTable::num(hitRate, 3),
+                     std::to_string(revInBudget)});
+    perRevision.push(
+        JsonValue::object()
+            .set("revision", rev)
+            .set("off_qps", queries / offRev)
+            .set("on_qps", queries / onRev)
+            .set("hits", static_cast<std::int64_t>(revHits))
+            .set("hit_rate", hitRate)
+            .set("in_budget_hits", static_cast<std::int64_t>(revInBudget)));
+  }
+
+  const double totalQueries =
+      static_cast<double>(revisions * rounds * queryEndpoints);
+  const double offQps = totalQueries / offSeconds;
+  const double onQps = totalQueries / onSeconds;
+  const double speedup = onQps / offQps;
+  const std::uint64_t totalHits = inBudgetHits + outOfBudgetHits;
+  const double accuracy =
+      totalHits == 0 ? 0.0
+                     : static_cast<double>(inBudgetHits) /
+                           static_cast<double>(totalHits);
+  const auto counters = engineOn.retrievalCache("d")->counters();
+
+  // -- Report ----------------------------------------------------------------
+  std::printf("retrieval revision stream (%lld revisions x %lld rounds x "
+              "%lld endpoints of %s)\n%s",
+              static_cast<long long>(revisions),
+              static_cast<long long>(rounds),
+              static_cast<long long>(queryEndpoints), serveDesign.name.c_str(),
+              revTable.render().c_str());
+  std::printf("effective QPS: off %.1f, on %.1f -> %.2fx %s\n", offQps, onQps,
+              speedup, speedup >= minSpeedup ? "(gate met)" : "(below gate)");
+  std::printf("hit accuracy: %llu/%llu in +-%.0f ps budget = %.3f %s\n",
+              static_cast<unsigned long long>(inBudgetHits),
+              static_cast<unsigned long long>(totalHits), budgetPs, accuracy,
+              accuracy >= minAccuracy ? "(gate met)" : "(below gate)");
+  std::printf("cache-off parity: %s\n", parity ? "bitwise" : "MISMATCH");
+
+  JsonValue doc = JsonValue::object();
+  doc.set("design", serveDesign.name);
+  doc.set("endpoints", numEndpoints);
+  doc.set("query_endpoints", queryEndpoints);
+  doc.set("revisions", revisions);
+  doc.set("rounds", rounds);
+  doc.set("jitter_frac", jitterFrac);
+  doc.set("calibrated_p90_sigma_ps", calibratedSigmaPs);
+  doc.set("max_sigma_ps", maxSigmaPs);
+  doc.set("max_dist", static_cast<double>(onConfig.retrieval.maxDist));
+  doc.set("budget_ps", budgetPs);
+  doc.set("off_qps", offQps);
+  doc.set("on_qps", onQps);
+  doc.set("speedup", speedup);
+  doc.set("min_speedup_gate", minSpeedup);
+  doc.set("hits", static_cast<std::int64_t>(counters.hits));
+  doc.set("misses", static_cast<std::int64_t>(counters.misses));
+  doc.set("reject_by_dist", static_cast<std::int64_t>(counters.rejectByDist));
+  doc.set("reject_by_sigma",
+          static_cast<std::int64_t>(counters.rejectBySigma));
+  doc.set("inserts", static_cast<std::int64_t>(counters.inserts));
+  doc.set("embed_memo_hits",
+          static_cast<std::int64_t>(counters.embedMemoHits));
+  doc.set("index_size", static_cast<std::int64_t>(counters.indexSize));
+  doc.set("in_budget_hits", static_cast<std::int64_t>(inBudgetHits));
+  doc.set("hit_accuracy", accuracy);
+  doc.set("min_accuracy_gate", minAccuracy);
+  doc.set("parity_bitwise", parity);
+  doc.set("per_revision", std::move(perRevision));
+  doc.set("engine_metrics", engineOn.metrics().toJson());
+  const auto path = bench::writeBenchJson("retrieval", doc);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+
+  const bool pass = parity && totalHits > 0 && speedup >= minSpeedup &&
+                    accuracy >= minAccuracy;
+  return pass ? 0 : 1;
+}

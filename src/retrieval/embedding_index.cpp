@@ -1,0 +1,151 @@
+#include "retrieval/embedding_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.hpp"
+#include "tensor/kernels/kernels.hpp"
+
+namespace dagt::retrieval {
+
+namespace {
+
+namespace kernels = tensor::kernels;
+
+/// Unit-normalize `src[0:dim]` into `dst` using the kernel table's
+/// lane-blocked dot (bitwise across tiers, so the stored rows — and hence
+/// every later distance — are too). A zero vector is copied unscaled.
+void normalizeInto(const float* src, std::int64_t dim, float* dst) {
+  const double normSq =
+      kernels::active().dotVec(src, src, static_cast<std::size_t>(dim));
+  const float norm = std::sqrt(static_cast<float>(normSq));
+  if (norm > 0.0f) {
+    kernels::active().scaleVec(src, 1.0f / norm, dst,
+                               static_cast<std::size_t>(dim));
+  } else {
+    std::memcpy(dst, src, static_cast<std::size_t>(dim) * sizeof(float));
+  }
+}
+
+/// Per-thread probe scratch (normalized query + top-k arrays): a query on
+/// the serving hot path performs no heap allocation in steady state.
+struct ProbeScratch {
+  std::vector<float> query;
+  std::vector<float> topScores;
+  std::vector<std::int64_t> topIds;
+};
+
+thread_local ProbeScratch tlProbe;
+
+}  // namespace
+
+EmbeddingIndex::EmbeddingIndex(std::int64_t dim, std::int64_t payloadDim,
+                               Metric metric, std::int64_t bucketRows)
+    : dim_(dim),
+      payloadDim_(payloadDim),
+      metric_(metric),
+      bucketRows_(bucketRows) {
+  DAGT_CHECK_MSG(dim > 0, "embedding dim must be positive");
+  DAGT_CHECK_MSG(payloadDim >= 0, "payload dim must be non-negative");
+  DAGT_CHECK_MSG(bucketRows > 0, "bucket capacity must be positive");
+}
+
+EmbeddingIndex::~EmbeddingIndex() {
+  Bucket* b = head_.load(std::memory_order_acquire);
+  while (b != nullptr) {
+    Bucket* next = b->next.load(std::memory_order_acquire);
+    delete b;
+    b = next;
+  }
+}
+
+std::int64_t EmbeddingIndex::insert(const float* embedding,
+                                    const float* payload) {
+  DAGT_CHECK_MSG(payloadDim_ == 0 || payload != nullptr,
+                 "insert: payload required (payloadDim > 0)");
+  std::lock_guard<std::mutex> lock(writeMutex_);
+  if (tail_ == nullptr) {
+    Bucket* fresh = new Bucket(bucketRows_ * rowStride());
+    tail_ = fresh;
+    head_.store(fresh, std::memory_order_release);
+  } else if (tail_->committed.load(std::memory_order_relaxed) ==
+             bucketRows_) {
+    Bucket* fresh = new Bucket(bucketRows_ * rowStride());
+    tail_->next.store(fresh, std::memory_order_release);
+    tail_ = fresh;
+  }
+  const std::int64_t slot = tail_->committed.load(std::memory_order_relaxed);
+  float* row = tail_->rows.get() + slot * rowStride();
+  normalizeInto(embedding, dim_, row);
+  if (payloadDim_ > 0) {
+    std::memcpy(row + dim_, payload,
+                static_cast<std::size_t>(payloadDim_) * sizeof(float));
+  }
+  // Publish: the row bytes (copied above) happen-before any reader that
+  // acquire-loads this committed count.
+  tail_->committed.store(slot + 1, std::memory_order_release);
+  const std::int64_t id = size_.load(std::memory_order_relaxed);
+  size_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+std::vector<EmbeddingIndex::Neighbor> EmbeddingIndex::query(
+    const float* embedding, std::int32_t k) const {
+  DAGT_CHECK_MSG(k > 0, "query: k must be positive");
+  std::vector<Neighbor> out;
+  Bucket* head = head_.load(std::memory_order_acquire);
+  if (head == nullptr) return out;
+
+  ProbeScratch& scratch = tlProbe;
+  scratch.query.resize(static_cast<std::size_t>(dim_));
+  normalizeInto(embedding, dim_, scratch.query.data());
+  scratch.topScores.assign(static_cast<std::size_t>(k),
+                           -std::numeric_limits<float>::infinity());
+  scratch.topIds.assign(static_cast<std::size_t>(k), -1);
+
+  const kernels::KernelTable& table = kernels::active();
+  // Epoch snapshot: each bucket's committed count is acquire-loaded once;
+  // rows published after that are simply outside this query's epoch.
+  std::int64_t idBase = 0;
+  std::vector<std::pair<Bucket*, std::int64_t>> epoch;
+  for (Bucket* b = head; b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    const std::int64_t committed = b->committed.load(std::memory_order_acquire);
+    if (committed > 0) epoch.emplace_back(b, committed);
+  }
+  for (const auto& [bucket, committed] : epoch) {
+    table.dotTopkRows(scratch.query.data(), bucket->rows.get(), committed,
+                      dim_, rowStride(), idBase, k, scratch.topScores.data(),
+                      scratch.topIds.data());
+    idBase += committed;
+  }
+
+  for (std::int32_t i = 0; i < k; ++i) {
+    const std::int64_t id = scratch.topIds[static_cast<std::size_t>(i)];
+    if (id < 0) break;
+    const float dot = scratch.topScores[static_cast<std::size_t>(i)];
+    Neighbor n;
+    n.id = id;
+    n.distance = metric_ == Metric::kCosine
+                     ? 1.0f - dot
+                     : std::sqrt(std::max(0.0f, 2.0f - 2.0f * dot));
+    // Resolve the row's payload pointer from its id (buckets fill in
+    // insertion order, so the id maps straight to bucket / slot).
+    std::int64_t base = 0;
+    for (const auto& [bucket, committed] : epoch) {
+      if (id < base + committed) {
+        n.payload = payloadDim_ > 0
+                        ? bucket->rows.get() + (id - base) * rowStride() + dim_
+                        : nullptr;
+        break;
+      }
+      base += committed;
+    }
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace dagt::retrieval

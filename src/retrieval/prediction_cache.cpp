@@ -1,0 +1,176 @@
+#include "retrieval/prediction_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dagt::retrieval {
+
+namespace {
+
+bool envFlag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string(v) != "0";
+}
+
+float envFloat(const char* name, float fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtof(v, nullptr);
+}
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+}  // namespace
+
+CacheConfig CacheConfig::fromEnv() {
+  CacheConfig config;
+  config.enabled = envFlag("DAGT_RETRIEVAL", config.enabled);
+  config.maxDist = envFloat("DAGT_RETRIEVAL_MAX_DIST", config.maxDist);
+  config.maxSigmaPs = envFloat("DAGT_RETRIEVAL_MAX_SIGMA", config.maxSigmaPs);
+  const char* metric = std::getenv("DAGT_RETRIEVAL_METRIC");
+  if (metric != nullptr && std::string(metric) == "l2") {
+    config.metric = EmbeddingIndex::Metric::kL2;
+  }
+  config.bucketRows =
+      envInt("DAGT_RETRIEVAL_BUCKET_ROWS", config.bucketRows);
+  return config;
+}
+
+PredictionCache::PredictionCache(std::int64_t embeddingDim,
+                                 CacheConfig config)
+    : dim_(embeddingDim),
+      config_(config),
+      index_(embeddingDim, /*payloadDim=*/2, config.metric,
+             config.bucketRows) {
+  DAGT_CHECK_MSG(embeddingDim > 0, "embedding dim must be positive");
+}
+
+PredictionCache::ProbeResult PredictionCache::probe(
+    const float* rawEmbedding) const {
+  ProbeResult result;
+  const auto neighbors = index_.query(rawEmbedding, /*k=*/1);
+  if (neighbors.empty()) {
+    result.outcome = ProbeOutcome::kMiss;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  const auto& nearest = neighbors.front();
+  result.distance = nearest.distance;
+  // Both gates admit on equality: a neighbor exactly at the threshold is
+  // inside the budget the threshold was derived from.
+  if (!(nearest.distance <= config_.maxDist)) {
+    result.outcome = ProbeOutcome::kRejectDist;
+    rejectByDist_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  const float sigmaPs = nearest.payload[1];
+  if (!(sigmaPs <= config_.maxSigmaPs)) {
+    result.outcome = ProbeOutcome::kRejectSigma;
+    rejectBySigma_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+  result.outcome = ProbeOutcome::kHit;
+  result.posterior.rawMeanNs = nearest.payload[0];
+  result.posterior.sigmaPs = sigmaPs;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void PredictionCache::insert(const float* rawEmbedding,
+                             const Posterior& posterior) {
+  const float payload[2] = {posterior.rawMeanNs, posterior.sigmaPs};
+  index_.insert(rawEmbedding, payload);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PredictionCache::Era::Era(std::int64_t numEndpoints, std::int64_t dim)
+    : numEndpoints_(numEndpoints),
+      dim_(dim),
+      rows_(static_cast<std::size_t>(numEndpoints * dim), 0.0f),
+      present_(new std::atomic<std::uint8_t>[static_cast<std::size_t>(
+          numEndpoints)]) {
+  for (std::int64_t i = 0; i < numEndpoints; ++i) {
+    present_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+const float* PredictionCache::Era::lookup(std::int64_t endpoint) const {
+  DAGT_DCHECK(endpoint >= 0 && endpoint < numEndpoints_);
+  if (present_[static_cast<std::size_t>(endpoint)].load(
+          std::memory_order_acquire) == 0) {
+    return nullptr;
+  }
+  return rows_.data() + endpoint * dim_;
+}
+
+void PredictionCache::Era::memoize(std::int64_t endpoint,
+                                   const float* rawEmbedding) {
+  DAGT_DCHECK(endpoint >= 0 && endpoint < numEndpoints_);
+  std::lock_guard<std::mutex> lock(memoMutex_);
+  auto& flag = present_[static_cast<std::size_t>(endpoint)];
+  // First writer wins; a racing recomputation of the same snapshot would
+  // write identical bytes, but rewriting a published row would race with
+  // lock-free readers, so it is dropped instead.
+  if (flag.load(std::memory_order_relaxed) != 0) return;
+  std::memcpy(rows_.data() + endpoint * dim_, rawEmbedding,
+              static_cast<std::size_t>(dim_) * sizeof(float));
+  flag.store(1, std::memory_order_release);
+}
+
+std::shared_ptr<PredictionCache::Era> PredictionCache::eraFor(
+    const void* snapshotKey, std::int64_t numEndpoints) {
+  std::lock_guard<std::mutex> lock(eraMutex_);
+  if (eraKey_ != snapshotKey || era_ == nullptr) {
+    era_ = std::make_shared<Era>(numEndpoints, dim_);
+    eraKey_ = snapshotKey;
+  }
+  return era_;
+}
+
+PredictionCache::Counters PredictionCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.rejectByDist = rejectByDist_.load(std::memory_order_relaxed);
+  c.rejectBySigma = rejectBySigma_.load(std::memory_order_relaxed);
+  c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.embedMemoHits = embedMemoHits_.load(std::memory_order_relaxed);
+  c.indexSize = static_cast<std::uint64_t>(index_.size());
+  c.hitPathBatches = hitPathBatches_.load(std::memory_order_relaxed);
+  c.missPathBatches = missPathBatches_.load(std::memory_order_relaxed);
+  c.hitPathUsTotal =
+      static_cast<double>(hitPathNsTotal_.load(std::memory_order_relaxed)) /
+      1000.0;
+  c.missPathUsTotal =
+      static_cast<double>(missPathNsTotal_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return c;
+}
+
+void PredictionCache::recordHitPathUs(double us) {
+  hitPathBatches_.fetch_add(1, std::memory_order_relaxed);
+  hitPathNsTotal_.fetch_add(static_cast<std::uint64_t>(us * 1000.0),
+                            std::memory_order_relaxed);
+}
+
+void PredictionCache::recordMissPathUs(double us) {
+  missPathBatches_.fetch_add(1, std::memory_order_relaxed);
+  missPathNsTotal_.fetch_add(static_cast<std::uint64_t>(us * 1000.0),
+                             std::memory_order_relaxed);
+}
+
+void PredictionCache::recordEmbedMemoHits(std::uint64_t count) {
+  embedMemoHits_.fetch_add(count, std::memory_order_relaxed);
+}
+
+}  // namespace dagt::retrieval
